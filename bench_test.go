@@ -1,0 +1,453 @@
+package dropscope
+
+// The benchmark harness: one benchmark per table and figure in the
+// paper's evaluation, each regenerating that experiment's rows/series
+// from the archives, plus ablation benches for the design choices
+// DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The world is generated once per process and shared; the benchmarks
+// measure the analysis computations, which is what a user re-runs while
+// iterating on data.
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+
+	"dropscope/internal/analysis"
+	"dropscope/internal/bgp"
+	"dropscope/internal/mrt"
+	"dropscope/internal/netx"
+	"dropscope/internal/rib"
+	"dropscope/internal/rtr"
+	"dropscope/internal/sbl"
+	"dropscope/internal/scenario"
+	"dropscope/internal/timex"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *Study
+)
+
+func benchPipeline(b *testing.B) *analysis.Pipeline {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Scale = 256 // bench the analysis, not world generation
+		s, err := NewStudy(cfg)
+		if err != nil {
+			panic(err)
+		}
+		benchStudy = s
+	})
+	return benchStudy.Pipeline
+}
+
+// BenchmarkFig1Classification regenerates Figure 1: the category and
+// address-space breakdown of all 712 DROP listings.
+func BenchmarkFig1Classification(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := p.Fig1Classification()
+		if f.TotalPrefixes != 712 {
+			b.Fatal("wrong population")
+		}
+	}
+}
+
+// BenchmarkFig2Visibility regenerates Figure 2: per-listing visibility
+// CDFs at four day offsets, withdrawal rates, and filtering-peer
+// detection across every (peer, listing) pair.
+func BenchmarkFig2Visibility(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := p.Fig2Visibility()
+		if len(f.FilteringPeers) == 0 {
+			b.Fatal("no filtering peers")
+		}
+	}
+}
+
+// BenchmarkTable1RPKIUptake regenerates Table 1: per-RIR signing rates of
+// the never/removed/present populations plus the §4.2 ASN breakdown.
+func BenchmarkTable1RPKIUptake(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t1 := p.Table1RPKIUptake()
+		if _, removed, _ := t1.Overall(); removed.Total == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig3IRRTiming regenerates Figure 3 and the §5 aggregates: the
+// route-object journal correlation for every listing.
+func BenchmarkFig3IRRTiming(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := p.Sec5IRR()
+		if s.WithHijackerASNObject == 0 {
+			b.Fatal("no hijacker objects")
+		}
+	}
+}
+
+// BenchmarkSec5IRREffectiveness is the §5-specific alias bench (same
+// computation as Fig 3; kept separate so per-experiment timings appear
+// in the harness output).
+func BenchmarkSec5IRREffectiveness(b *testing.B) {
+	BenchmarkFig3IRRTiming(b)
+}
+
+// BenchmarkFig4CaseStudy regenerates the §6.1 case study: pre-signed
+// hijack detection, ROA-control inference, and sibling discovery.
+func BenchmarkFig4CaseStudy(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := p.Fig4RPKIValidHijacks()
+		if len(f.PreSigned) == 0 {
+			b.Fatal("no pre-signed hijacks")
+		}
+	}
+}
+
+// BenchmarkFig5ROAStatus regenerates Figure 5: the monthly sweep
+// classifying signed and allocated space by routing status.
+func BenchmarkFig5ROAStatus(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := p.Fig5ROAStatus()
+		if len(f.Samples) == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+// BenchmarkFig6UnallocTimeline regenerates Figure 6: unallocated listing
+// events, AS0 policy detection, and the would-be-filtered count.
+func BenchmarkFig6UnallocTimeline(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := p.Fig6UnallocatedTimeline()
+		if len(f.Events) == 0 {
+			b.Fatal("no events")
+		}
+	}
+}
+
+// BenchmarkFig7FreePool regenerates Figure 7: the per-RIR free-pool
+// series.
+func BenchmarkFig7FreePool(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(p.Fig7FreePools()) == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+// BenchmarkTable2SBLClassify regenerates Table 2 / Appendix A: keyword
+// classification of the full SBL corpus.
+func BenchmarkTable2SBLClassify(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t2 := p.Table2SBLBreakdown()
+		if t2.Records == 0 {
+			b.Fatal("no records")
+		}
+	}
+}
+
+// BenchmarkEndToEnd measures the full study: world generation, archive
+// emission, RIB reassembly, and every experiment.
+func BenchmarkEndToEnd(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Scale = 1024
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := s.Results()
+		var buf bytes.Buffer
+		if err := r.Render(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benches (design choices from DESIGN.md) -------------------
+
+// BenchmarkAblationTrieVsScan compares the Patricia trie against a linear
+// scan for longest-prefix matching, the core join in every analysis.
+func BenchmarkAblationTrieVsScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	var trie netx.Trie[int]
+	var list []netx.Prefix
+	for i := 0; i < 4096; i++ {
+		p := netx.PrefixFrom(netx.Addr(rng.Uint32()), 8+rng.Intn(17))
+		trie.Insert(p, i)
+		list = append(list, p)
+	}
+	queries := make([]netx.Prefix, 1024)
+	for i := range queries {
+		queries[i] = netx.PrefixFrom(netx.Addr(rng.Uint32()), 24)
+	}
+
+	b.Run("trie", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				trie.LongestMatch(q)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				var best netx.Prefix
+				found := false
+				for _, p := range list {
+					if p.Covers(q) && (!found || p.Bits() > best.Bits()) {
+						best, found = p, true
+					}
+				}
+				_ = best
+			}
+		}
+	})
+}
+
+// BenchmarkAblationMRTStreaming compares streaming MRT decode against
+// slurping the file and decoding from a memory reader (identical bytes).
+func BenchmarkAblationMRTStreaming(b *testing.B) {
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	t0 := timex.MustParseDay("2020-01-01")
+	for i := 0; i < 2000; i++ {
+		rec := &mrt.BGP4MPMessage{
+			When:   t0.Time(),
+			PeerAS: 64500, LocalAS: 6447,
+			PeerAddr: netx.AddrFrom4(10, 0, 0, 1), LocalAddr: netx.AddrFrom4(10, 0, 0, 2),
+			Update: &bgp.Update{
+				Attrs: bgp.Attrs{Path: bgp.Sequence(64500, bgp.ASN(i))},
+				NLRI:  []netx.Prefix{netx.PrefixFrom(netx.AddrFrom4(10, byte(i>>8), byte(i), 0), 24)},
+			},
+		}
+		if err := w.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wire := buf.Bytes()
+	b.SetBytes(int64(len(wire)))
+
+	b.Run("streaming", func(b *testing.B) {
+		b.SetBytes(int64(len(wire)))
+		for i := 0; i < b.N; i++ {
+			r := mrt.NewReader(bytes.NewReader(wire))
+			n := 0
+			for {
+				_, err := r.Next()
+				if err != nil {
+					break
+				}
+				n++
+			}
+			if n != 2000 {
+				b.Fatal("short read")
+			}
+		}
+	})
+	b.Run("slurp", func(b *testing.B) {
+		b.SetBytes(int64(len(wire)))
+		for i := 0; i < b.N; i++ {
+			cp := make([]byte, len(wire))
+			copy(cp, wire)
+			recs, err := mrt.ReadAll(bytes.NewReader(cp))
+			if err != nil || len(recs) != 2000 {
+				b.Fatal("short read")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationRIBDelta compares building visibility state from an
+// initial snapshot plus incremental updates against full-table snapshots
+// at every change.
+func BenchmarkAblationRIBDelta(b *testing.B) {
+	t0 := timex.MustParseDay("2020-01-01")
+	peers := &mrt.PeerIndexTable{
+		When:  t0.Time(),
+		Peers: []mrt.Peer{{Addr: netx.AddrFrom4(10, 0, 0, 1), AS: 64500}},
+	}
+	const prefixes = 500
+	const churn = 200
+
+	mkPrefix := func(i int) netx.Prefix {
+		return netx.PrefixFrom(netx.AddrFrom4(10, byte(i>>8), byte(i), 0), 24)
+	}
+
+	// Delta stream: one RIB dump + announce/withdraw churn.
+	var delta []mrt.Record
+	delta = append(delta, peers)
+	for i := 0; i < prefixes; i++ {
+		delta = append(delta, &mrt.RIBPrefix{
+			When: t0.Time(), Prefix: mkPrefix(i),
+			Entries: []mrt.RIBEntry{{PeerIndex: 0, OriginatedTime: t0.Time(),
+				Attrs: bgp.Attrs{Path: bgp.Sequence(64500, 100)}}},
+		})
+	}
+	for c := 0; c < churn; c++ {
+		day := t0 + timex.Day(c+1)
+		delta = append(delta, &mrt.BGP4MPMessage{
+			When: day.Time(), PeerAS: 64500, PeerAddr: netx.AddrFrom4(10, 0, 0, 1),
+			Update: &bgp.Update{Withdrawn: []netx.Prefix{mkPrefix(c % prefixes)}},
+		})
+	}
+
+	// Snapshot stream: a full RIB dump per churn day.
+	var snaps []mrt.Record
+	snaps = append(snaps, peers)
+	for c := 0; c < churn; c++ {
+		day := t0 + timex.Day(c+1)
+		for i := 0; i < prefixes; i++ {
+			snaps = append(snaps, &mrt.RIBPrefix{
+				When: day.Time(), Prefix: mkPrefix(i),
+				Entries: []mrt.RIBEntry{{PeerIndex: 0, OriginatedTime: t0.Time(),
+					Attrs: bgp.Attrs{Path: bgp.Sequence(64500, 100)}}},
+			})
+		}
+	}
+
+	b.Run("delta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix := rib.NewIndex()
+			if err := ix.Load("c", delta); err != nil {
+				b.Fatal(err)
+			}
+			ix.Close(t0 + 300)
+		}
+	})
+	b.Run("snapshots", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix := rib.NewIndex()
+			if err := ix.Load("c", snaps); err != nil {
+				b.Fatal(err)
+			}
+			ix.Close(t0 + 300)
+		}
+	})
+}
+
+// BenchmarkAblationSBLMatcher compares the production classifier against
+// a naive per-keyword re-scan over a synthetic corpus.
+func BenchmarkAblationSBLMatcher(b *testing.B) {
+	texts := make([]string, 512)
+	base := []string{
+		"Hijacked netblock on Stolen AS62927, illegal announcement via rogue transit",
+		"Snowshoe spam range used for high volume emission",
+		"Register Of Known Spam Operations entry for a long-running operation",
+		"AS204139 spammer hosting: bulletproof hosting ignoring complaints",
+		"Unallocated bogon space announced for spam",
+	}
+	for i := range texts {
+		texts[i] = base[i%len(base)]
+	}
+
+	b.Run("classifier", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, t := range texts {
+				cl := sbl.Classify(t)
+				if len(cl.Categories) == 0 && !cl.NeedsReview {
+					b.Fatal("bad classification")
+				}
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		keywords := []string{"hijack", "stolen", "snowshoe", "known spam operation", "hosting", "unallocated", "bogon"}
+		for i := 0; i < b.N; i++ {
+			for _, t := range texts {
+				n := 0
+				lower := []byte(t)
+				for j := range lower {
+					c := lower[j]
+					if c >= 'A' && c <= 'Z' {
+						lower[j] = c + 32
+					}
+				}
+				ls := string(lower)
+				for _, k := range keywords {
+					if bytes.Contains([]byte(ls), []byte(k)) {
+						n++
+					}
+				}
+				_ = n
+			}
+		}
+	})
+}
+
+// BenchmarkWorldGeneration measures the synthetic-world generator alone
+// at the default scale.
+func BenchmarkWorldGeneration(b *testing.B) {
+	cfg := scenario.DefaultParams()
+	cfg.Scale = 512
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCounterfactuals measures the extension analyses: ROV impact,
+// AS0 remediation arithmetic, maxLength audit, and path-end validation.
+func BenchmarkCounterfactuals(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.ROVCounterfactual()
+		_ = p.AS0WhatIf()
+		_ = p.MaxLengthAnalysis()
+		_ = p.PathEndCounterfactual()
+	}
+}
+
+// BenchmarkRTRSync measures a full RPKI-to-Router reset handshake over an
+// in-memory pipe: the cache streams its VRP set to the router.
+func BenchmarkRTRSync(b *testing.B) {
+	p := benchPipeline(b)
+	vrps := rtr.SnapshotVRPs(p.Dataset().RPKI, p.Window().Last, nil)
+	if len(vrps) == 0 {
+		b.Fatal("no VRPs")
+	}
+	b.SetBytes(int64(20 * len(vrps))) // one 20-byte PDU per VRP
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := rtr.NewServer(1, vrps)
+		client, server := net.Pipe()
+		go func() { _ = srv.HandleConn(server) }()
+		c := rtr.NewClient(client)
+		if err := c.Reset(); err != nil {
+			b.Fatal(err)
+		}
+		if len(c.VRPs) != len(vrps) {
+			b.Fatal("short sync")
+		}
+		client.Close()
+	}
+}

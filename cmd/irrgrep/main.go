@@ -1,0 +1,83 @@
+// Command irrgrep queries a journaled RPSL archive for the route objects
+// covering a prefix, optionally at a point in time.
+//
+// Usage:
+//
+//	irrgrep -journal irr/journal.rpsl -prefix 192.0.2.0/24 [-day 2021-06-01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dropscope/internal/irr"
+	"dropscope/internal/netx"
+	"dropscope/internal/timex"
+)
+
+func main() {
+	var (
+		journal = flag.String("journal", "", "IRR journal file (required)")
+		prefix  = flag.String("prefix", "", "prefix to query (required)")
+		day     = flag.String("day", "", "optional day (YYYY-MM-DD): show objects live that day")
+	)
+	flag.Parse()
+	if *journal == "" || *prefix == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p, err := netx.ParsePrefix(*prefix)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := loadJournal(*journal)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *day != "" {
+		d, err := timex.ParseDay(*day)
+		if err != nil {
+			fatal(err)
+		}
+		routes := db.RoutesAt(p, d)
+		if len(routes) == 0 {
+			fmt.Printf("no route objects covering %s on %s\n", p, d)
+			os.Exit(1)
+		}
+		for _, r := range routes {
+			fmt.Printf("%s origin %s mnt-by %s org %s\n", r.Prefix, r.Origin, r.MntBy, r.OrgID)
+		}
+		return
+	}
+
+	spans := db.RouteHistory(p)
+	if len(spans) == 0 {
+		fmt.Printf("no route object history for %s\n", p)
+		os.Exit(1)
+	}
+	for _, s := range spans {
+		end := "live"
+		if s.HasRemoved {
+			end = "removed " + s.Removed.String()
+		}
+		fmt.Printf("%s origin %s org %-12s created %s, %s\n",
+			s.Route.Prefix, s.Route.Origin, s.Route.OrgID, s.Created, end)
+	}
+}
+
+// loadJournal reads the archive journal format (%ADD/%DEL directives).
+func loadJournal(path string) (*irr.DB, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return irr.ParseJournal(raw)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "irrgrep:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,71 @@
+// Command mrtdump prints MRT files as text, one line per record, in the
+// style of bgpdump.
+//
+// Usage:
+//
+//	mrtdump FILE.mrt [FILE2.mrt ...]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dropscope/internal/mrt"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "mrtdump: no input files")
+		os.Exit(2)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	for _, path := range flag.Args() {
+		if err := dump(out, path); err != nil {
+			fmt.Fprintf(os.Stderr, "mrtdump: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func dump(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := mrt.NewReader(bufio.NewReader(f))
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		ts := rec.Timestamp().Format("2006-01-02 15:04:05")
+		switch rr := rec.(type) {
+		case *mrt.PeerIndexTable:
+			fmt.Fprintf(w, "%s|PEER_INDEX|%s|%d peers\n", ts, rr.ViewName, len(rr.Peers))
+			for i, p := range rr.Peers {
+				fmt.Fprintf(w, "  [%d] %s %s\n", i, p.AS, p.Addr)
+			}
+		case *mrt.RIBPrefix:
+			fmt.Fprintf(w, "%s|RIB|%s|%d entries\n", ts, rr.Prefix, len(rr.Entries))
+			for _, e := range rr.Entries {
+				fmt.Fprintf(w, "  peer=%d path=%s\n", e.PeerIndex, e.Attrs.Path)
+			}
+		case *mrt.BGP4MPMessage:
+			for _, p := range rr.Update.Withdrawn {
+				fmt.Fprintf(w, "%s|BGP4MP|%s|%s|W|%s\n", ts, rr.PeerAddr, rr.PeerAS, p)
+			}
+			for _, p := range rr.Update.NLRI {
+				fmt.Fprintf(w, "%s|BGP4MP|%s|%s|A|%s|%s\n", ts, rr.PeerAddr, rr.PeerAS, p, rr.Update.Attrs.Path)
+			}
+		}
+	}
+}

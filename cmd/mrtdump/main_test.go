@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/mrt"
+	"dropscope/internal/netx"
+)
+
+func writeTestMRT(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.mrt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriter(f)
+	w := mrt.NewWriter(bw)
+	t0 := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	recs := []mrt.Record{
+		&mrt.PeerIndexTable{
+			When: t0, ViewName: "t",
+			Peers: []mrt.Peer{{Addr: netx.AddrFrom4(10, 0, 0, 1), AS: 64500}},
+		},
+		&mrt.RIBPrefix{
+			When: t0, Prefix: netx.MustParsePrefix("132.255.0.0/22"),
+			Entries: []mrt.RIBEntry{{PeerIndex: 0, OriginatedTime: t0,
+				Attrs: bgp.Attrs{Path: bgp.Sequence(64500, 263692)}}},
+		},
+		&mrt.BGP4MPMessage{
+			When: t0.Add(time.Hour), PeerAS: 64500, LocalAS: 6447,
+			PeerAddr: netx.AddrFrom4(10, 0, 0, 1),
+			Update: &bgp.Update{
+				Attrs: bgp.Attrs{Path: bgp.Sequence(64500, 50509, 263692)},
+				NLRI:  []netx.Prefix{netx.MustParsePrefix("132.255.0.0/22")},
+			},
+		},
+		&mrt.BGP4MPMessage{
+			When: t0.Add(2 * time.Hour), PeerAS: 64500, LocalAS: 6447,
+			PeerAddr: netx.AddrFrom4(10, 0, 0, 1),
+			Update:   &bgp.Update{Withdrawn: []netx.Prefix{netx.MustParsePrefix("132.255.0.0/22")}},
+		},
+	}
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDumpOutput(t *testing.T) {
+	path := writeTestMRT(t)
+	var b strings.Builder
+	if err := dump(&b, path); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"PEER_INDEX", "AS64500",
+		"RIB|132.255.0.0/22", "64500 263692",
+		"|A|132.255.0.0/22|64500 50509 263692",
+		"|W|132.255.0.0/22",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpMissingFile(t *testing.T) {
+	var b strings.Builder
+	if err := dump(&b, filepath.Join(t.TempDir(), "absent.mrt")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestDumpGarbageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.mrt")
+	if err := os.WriteFile(path, []byte("not mrt at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := dump(&b, path); err == nil {
+		t.Error("garbage file should error")
+	}
+}

@@ -1,0 +1,62 @@
+// Command rtrd serves validated ROA payloads from an archive directory
+// over the RPKI-to-Router protocol (RFC 8210), the way a validator feeds
+// routers doing route origin validation.
+//
+// Usage:
+//
+//	rtrd -archive DIR -day 2022-03-30 [-listen 127.0.0.1:8282] [-as0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"dropscope/internal/archive"
+	"dropscope/internal/rpki"
+	"dropscope/internal/rtr"
+	"dropscope/internal/timex"
+)
+
+func main() {
+	var (
+		dir     = flag.String("archive", "", "archive directory from synthgen (required)")
+		dayStr  = flag.String("day", "2022-03-30", "serve the VRP snapshot of this day")
+		listen  = flag.String("listen", "127.0.0.1:8282", "listen address")
+		withAS0 = flag.Bool("as0", false, "include the APNIC/LACNIC AS0 TALs")
+	)
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	day, err := timex.ParseDay(*dayStr)
+	if err != nil {
+		fatal(err)
+	}
+	bundle, err := archive.Load(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	tals := append([]rpki.TrustAnchor{}, rpki.DefaultTALs...)
+	if *withAS0 {
+		tals = append(tals, rpki.TAAPNICAS0, rpki.TALACNICAS0)
+	}
+	vrps := rtr.SnapshotVRPs(bundle.RPKI, day, tals)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rtrd: serving %d VRPs (snapshot %s) on %s\n", len(vrps), day, ln.Addr())
+	srv := rtr.NewServer(1, vrps)
+	if err := srv.Serve(ln); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtrd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+// Package dropscope reproduces the measurement pipeline of "Stop, DROP,
+// and ROA: Effectiveness of Defenses through the lens of DROP" (IMC 2022).
+//
+// The library has three layers:
+//
+//   - Substrates (internal/...): from-scratch implementations of every
+//     data format the study consumes — MRT (RFC 6396) with full BGP UPDATE
+//     wire codec, RPSL/IRR with a journaled registry, RPKI ROAs with
+//     RFC 6811 validation and per-RIR trust anchors, RIR delegated-extended
+//     stats, the Spamhaus DROP list format, and SBL record classification.
+//
+//   - A deterministic synthetic-Internet generator (internal/scenario)
+//     calibrated to the paper's populations and behaviors, standing in for
+//     the proprietary feeds; it emits genuine archive bytes.
+//
+//   - The analysis pipeline (internal/analysis) that recomputes every
+//     table and figure of the paper from the archives alone.
+//
+// Quick start:
+//
+//	study, err := dropscope.NewStudy(dropscope.DefaultConfig())
+//	if err != nil { ... }
+//	results := study.Results()
+//	results.Render(os.Stdout)
+package dropscope
+
+import (
+	"fmt"
+	"io"
+
+	"dropscope/internal/analysis"
+	"dropscope/internal/archive"
+	"dropscope/internal/scenario"
+)
+
+// Config parameterizes the synthetic world; see scenario.Params for every
+// knob. DefaultConfig reproduces the paper at 1/64 background scale.
+type Config = scenario.Params
+
+// DefaultConfig returns the paper-calibrated configuration.
+func DefaultConfig() Config { return scenario.DefaultParams() }
+
+// Study couples a generated world with its analysis pipeline.
+type Study struct {
+	World    *scenario.World
+	Pipeline *analysis.Pipeline
+}
+
+// NewStudy generates a world and builds the analysis pipeline over its
+// archives.
+func NewStudy(cfg Config) (*Study, error) {
+	w, err := scenario.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("dropscope: generate: %w", err)
+	}
+	p, err := analysis.New(analysis.Dataset{
+		Window: cfg.Window,
+		DROP:   w.DROP, SBL: w.SBL, IRR: w.IRR, RPKI: w.RPKI, RIR: w.RIR,
+		MRT: w.MRT,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dropscope: pipeline: %w", err)
+	}
+	return &Study{World: w, Pipeline: p}, nil
+}
+
+// LoadStudy builds the pipeline from archives previously written with
+// (*Study).WriteArchives — the file-based path a downstream user takes
+// with their own data.
+func LoadStudy(dir string, cfg Config) (*Study, error) {
+	b, err := archive.Load(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dropscope: load: %w", err)
+	}
+	p, err := analysis.New(analysis.Dataset{
+		Window: cfg.Window,
+		DROP:   b.DROP, SBL: b.SBL, IRR: b.IRR, RPKI: b.RPKI, RIR: b.RIR,
+		MRT: b.MRT,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dropscope: pipeline: %w", err)
+	}
+	return &Study{Pipeline: p}, nil
+}
+
+// WriteArchives persists every archive of the study's world under dir in
+// its native on-disk format.
+func (s *Study) WriteArchives(dir string) error {
+	if s.World == nil {
+		return fmt.Errorf("dropscope: study has no generated world to persist")
+	}
+	return archive.Write(dir, &archive.Bundle{
+		MRT: s.World.MRT, DROP: s.World.DROP, SBL: s.World.SBL,
+		IRR: s.World.IRR, RPKI: s.World.RPKI, RIR: s.World.RIR,
+	})
+}
+
+// Results bundles every reproduced table and figure.
+type Results struct {
+	Fig1    analysis.Fig1
+	Fig2    analysis.Fig2
+	Dealloc analysis.Dealloc
+	Table1  analysis.Table1
+	Sec5    analysis.Sec5
+	Fig4    analysis.Fig4
+	Fig5    analysis.Fig5
+	Fig6    analysis.Fig6
+	Fig7    []analysis.Fig7Sample
+	Table2  analysis.Table2
+
+	// Extensions beyond the paper's figures: the counterfactuals its
+	// conclusions argue from.
+	ROV       analysis.ROVImpact
+	AS0WhatIf analysis.AS0Remediation
+	MaxLength analysis.MaxLengthAudit
+	PathEnd   analysis.PathEndImpact
+	Hijackers []analysis.HijackerProfile
+	MOAS      analysis.MOASReport
+}
+
+// Results runs every experiment.
+func (s *Study) Results() Results {
+	p := s.Pipeline
+	return Results{
+		Fig1:    p.Fig1Classification(),
+		Fig2:    p.Fig2Visibility(),
+		Dealloc: p.DeallocAnalysis(),
+		Table1:  p.Table1RPKIUptake(),
+		Sec5:    p.Sec5IRR(),
+		Fig4:    p.Fig4RPKIValidHijacks(),
+		Fig5:    p.Fig5ROAStatus(),
+		Fig6:    p.Fig6UnallocatedTimeline(),
+		Fig7:    p.Fig7FreePools(),
+		Table2:  p.Table2SBLBreakdown(),
+
+		ROV:       p.ROVCounterfactual(),
+		AS0WhatIf: p.AS0WhatIf(),
+		MaxLength: p.MaxLengthAnalysis(),
+		PathEnd:   p.PathEndCounterfactual(),
+		Hijackers: p.SerialHijackers(3, 0.5, 365),
+		MOAS:      p.MOASSweep(),
+	}
+}
+
+// Render writes every table and figure as text to w.
+func (r Results) Render(w io.Writer) error {
+	return renderAll(w, r)
+}

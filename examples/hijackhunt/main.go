@@ -1,0 +1,68 @@
+// Hijackhunt walks the reassembled RouteViews RIBs looking for
+// forged-origin hijacks of RPKI-signed prefixes: announcements that are
+// RPKI-valid yet route through a transit the prefix never used before —
+// the pattern behind the paper's 132.255.0.0/22 case study (§6.1).
+//
+// It uses only the public Study API plus the pipeline's RIB index, the
+// same interface a downstream operator would script against.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dropscope"
+	"dropscope/internal/rpki"
+	"dropscope/internal/timex"
+)
+
+func main() {
+	cfg := dropscope.DefaultConfig()
+	cfg.Scale = 256
+	study, err := dropscope.NewStudy(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p := study.Pipeline
+	ds := p.Dataset()
+	end := cfg.Window.Last
+
+	fmt.Println("scanning for RPKI-valid origin changes with new transits...")
+	suspects := 0
+	for _, pfx := range p.Index.Prefixes() {
+		spans := p.Index.OriginTimeline(pfx)
+		if len(spans) < 2 {
+			continue
+		}
+		// Same origin reappearing after a gap, through a different
+		// transit, while a ROA authorizes that origin: textbook
+		// forged-origin hijack of an unrouted signed prefix.
+		for i := 1; i < len(spans); i++ {
+			prev, cur := spans[i-1], spans[i]
+			if cur.Origin != prev.Origin || cur.Transit == prev.Transit {
+				continue
+			}
+			gap := cur.From - prev.To
+			if gap < 90 {
+				continue // ordinary rehoming, not a resurrection
+			}
+			v := ds.RPKI.ValidateAt(pfx, cur.Origin, cur.From, rpki.DefaultTALs)
+			if v != rpki.Valid {
+				continue
+			}
+			suspects++
+			fmt.Printf("\n%s\n", pfx)
+			fmt.Printf("  dormant %d days, then re-originated by %s via new transit %s on %s\n",
+				gap, cur.Origin, cur.Transit, cur.From)
+			fmt.Printf("  announcement is RPKI-VALID (ROA permits %s)\n", cur.Origin)
+			if still := p.Index.Observed(pfx, end); still {
+				fmt.Printf("  still announced at window end (%s)\n", timex.Day(end))
+			}
+		}
+	}
+	fmt.Printf("\n%d suspect resurrection(s) found\n", suspects)
+	if suspects == 0 {
+		os.Exit(1)
+	}
+}

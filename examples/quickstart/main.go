@@ -1,0 +1,25 @@
+// Quickstart: generate the paper-calibrated world, run the full analysis
+// pipeline, and print every table and figure.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dropscope"
+)
+
+func main() {
+	cfg := dropscope.DefaultConfig()
+	cfg.Scale = 256 // small world for a fast first run; use 64 for the paper-scale default
+
+	study, err := dropscope.NewStudy(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := study.Results().Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

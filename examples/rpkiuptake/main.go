@@ -1,0 +1,56 @@
+// Rpkiuptake reproduces the paper's Table-1 question interactively:
+// does being blocklisted (and remediating) correlate with RPKI adoption?
+// It prints per-RIR signing rates for the three populations and the §4.2
+// signing-ASN breakdown.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dropscope"
+	"dropscope/internal/report"
+	"dropscope/internal/rirstats"
+)
+
+func main() {
+	cfg := dropscope.DefaultConfig()
+	cfg.Scale = 256
+	study, err := dropscope.NewStudy(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	t1 := study.Pipeline.Table1RPKIUptake()
+
+	tbl := report.NewTable("RPKI uptake by DROP status", "Region", "Never", "Removed", "Present")
+	for _, rir := range rirstats.AllRIRs {
+		tbl.RawRow(string(rir),
+			fmt.Sprintf("%5.1f%% (n=%d)", t1.Never[rir].Rate()*100, t1.Never[rir].Total),
+			fmt.Sprintf("%5.1f%% (n=%d)", t1.Removed[rir].Rate()*100, t1.Removed[rir].Total),
+			fmt.Sprintf("%5.1f%% (n=%d)", t1.Present[rir].Rate()*100, t1.Present[rir].Total))
+	}
+	never, removed, present := t1.Overall()
+	tbl.RawRow("overall",
+		fmt.Sprintf("%5.1f%%", never.Rate()*100),
+		fmt.Sprintf("%5.1f%%", removed.Rate()*100),
+		fmt.Sprintf("%5.1f%%", present.Rate()*100))
+	if err := tbl.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println()
+	if removed.Rate() > never.Rate() && present.Rate() < never.Rate() {
+		fmt.Println("finding holds: removal from DROP correlates with ABOVE-baseline signing,")
+		fmt.Println("while prefixes still listed sign BELOW baseline — remediation drives RPKI uptake.")
+	} else {
+		fmt.Println("warning: the paper's ordering (removed > never > present) did not emerge")
+	}
+	tot := t1.RemovedSignedDifferentASN + t1.RemovedSignedSameASN + t1.RemovedSignedUnrouted
+	if tot > 0 {
+		fmt.Printf("\nof removed+signed prefixes: %d/%d signed by a different ASN than the\n",
+			t1.RemovedSignedDifferentASN, tot)
+		fmt.Println("listing-time origin — consistent with owners reclaiming hijacked space.")
+	}
+}

@@ -1,0 +1,3 @@
+module dropscope
+
+go 1.24

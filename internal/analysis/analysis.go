@@ -1,0 +1,137 @@
+// Package analysis implements the paper's measurement pipeline. It
+// consumes only the archive substrates — DROP snapshots, SBL records,
+// reassembled RouteViews RIBs, the IRR journal, the RPKI archive, and RIR
+// stats — and recomputes every table and figure of the paper. It never
+// touches generator ground truth.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/drop"
+	"dropscope/internal/irr"
+	"dropscope/internal/mrt"
+	"dropscope/internal/netx"
+	"dropscope/internal/rib"
+	"dropscope/internal/rirstats"
+	"dropscope/internal/rpki"
+	"dropscope/internal/sbl"
+	"dropscope/internal/timex"
+)
+
+// Dataset is the full set of inputs the pipeline consumes.
+type Dataset struct {
+	Window timex.Range
+	DROP   *drop.Archive
+	SBL    *sbl.DB
+	IRR    *irr.DB
+	RPKI   *rpki.Archive
+	RIR    *rirstats.Timeline
+	// MRT holds each collector's record stream.
+	MRT map[string][]mrt.Record
+}
+
+// Listing is one DROP listing enriched with everything the analyses need.
+type Listing struct {
+	drop.Listing
+	Classification sbl.Classification
+	Registry       rirstats.RIR
+	HasRegistry    bool
+	// UnallocatedAtListing reports the RIR-stats allocation state on the
+	// listing day.
+	UnallocatedAtListing bool
+	// Incident marks the prefixes attributed to the two AFRINIC incidents,
+	// identified (as in the paper) as the anomalously large hijack blocks;
+	// they are excluded from the behavioral analyses.
+	Incident bool
+}
+
+// Has reports whether the listing carries category c.
+func (l *Listing) Has(c sbl.Category) bool { return l.Classification.Has(c) }
+
+// Pipeline joins the data sets and serves every experiment. Build one
+// with New; it reassembles the RIBs once and reuses them.
+type Pipeline struct {
+	ds       Dataset
+	Index    *rib.Index
+	Listings []*Listing
+}
+
+// New builds the pipeline: loads every collector's MRT stream into a RIB
+// index, extracts DROP listing events, classifies SBL records, and
+// annotates listings with registry and allocation state.
+func New(ds Dataset) (*Pipeline, error) {
+	if ds.DROP == nil || ds.SBL == nil || ds.IRR == nil || ds.RPKI == nil || ds.RIR == nil {
+		return nil, fmt.Errorf("analysis: incomplete dataset")
+	}
+	p := &Pipeline{ds: ds}
+
+	p.Index = rib.NewIndex()
+	collectors := make([]string, 0, len(ds.MRT))
+	for name := range ds.MRT {
+		collectors = append(collectors, name)
+	}
+	sort.Strings(collectors)
+	for _, name := range collectors {
+		if err := p.Index.Load(name, ds.MRT[name]); err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", name, err)
+		}
+	}
+	p.Index.Close(ds.Window.Last)
+
+	for _, l := range ds.DROP.Listings() {
+		el := &Listing{Listing: l, Classification: ds.SBL.ClassifyRef(l.SBLRef)}
+		if reg, ok := ds.RIR.ManagedBy(l.Prefix); ok {
+			el.Registry, el.HasRegistry = reg, true
+		}
+		el.UnallocatedAtListing = ds.RIR.UnallocatedAt(l.Prefix, l.Added)
+		p.Listings = append(p.Listings, el)
+	}
+	p.markIncidents()
+	return p, nil
+}
+
+// markIncidents identifies the AFRINIC-incident prefixes the way the
+// paper did: hijack-labeled AFRINIC prefixes of anomalous size (/14 or
+// larger) clustered on shared listing days.
+func (p *Pipeline) markIncidents() {
+	for _, l := range p.Listings {
+		if l.Has(sbl.Hijacked) && l.Registry == rirstats.Afrinic && l.Prefix.Bits() <= 14 {
+			l.Incident = true
+		}
+	}
+}
+
+// Window returns the analysis window.
+func (p *Pipeline) Window() timex.Range { return p.ds.Window }
+
+// Dataset returns the underlying dataset.
+func (p *Pipeline) Dataset() Dataset { return p.ds }
+
+// NonIncident returns the listings excluding the AFRINIC incidents.
+func (p *Pipeline) NonIncident() []*Listing {
+	out := make([]*Listing, 0, len(p.Listings))
+	for _, l := range p.Listings {
+		if !l.Incident {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// originAtListing returns the plurality BGP origin of the prefix on its
+// listing day.
+func (p *Pipeline) originAtListing(l *Listing) (bgp.ASN, bool) {
+	return p.Index.OriginAt(l.Prefix, l.Added)
+}
+
+// addrSpace sums the union address space of the given listings.
+func addrSpace(ls []*Listing) uint64 {
+	var set netx.Set
+	for _, l := range ls {
+		set.Add(l.Prefix)
+	}
+	return set.AddrCount()
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"sort"
+
+	"dropscope/internal/rib"
+	"dropscope/internal/sbl"
+	"dropscope/internal/timex"
+)
+
+// Fig2Offsets are the observation offsets relative to the listing day
+// used in the left panel of Figure 2.
+var Fig2Offsets = []int{-1, 2, 7, 30}
+
+// Fig2 is the routing-visibility analysis of §4.1.
+type Fig2 struct {
+	// CDF maps each day offset to the sorted per-listing fractions of
+	// peers observing the prefix (the left panel's curves).
+	CDF map[int][]float64
+	// WithdrawnWithin30 is the fraction of listings no longer BGP-observed
+	// 30 days after listing (among those observed the day before listing).
+	WithdrawnWithin30 float64
+	// WithdrawnByCategory breaks the same fraction down by label.
+	WithdrawnByCategory map[sbl.Category]float64
+	// FilteringPeers are peers whose tables systematically exclude listed
+	// prefixes (the right panel's three outliers).
+	FilteringPeers []rib.PeerRef
+	// PeerCarryFraction maps every peer to the fraction of widely-visible
+	// listed prefixes it carried while they were listed.
+	PeerCarryFraction map[rib.PeerRef]float64
+}
+
+// Fig2Visibility computes DROP's correlation with routing visibility.
+// AFRINIC-incident prefixes are excluded, as in the paper.
+func (p *Pipeline) Fig2Visibility() Fig2 {
+	out := Fig2{
+		CDF:                 make(map[int][]float64),
+		WithdrawnByCategory: make(map[sbl.Category]float64),
+		PeerCarryFraction:   make(map[rib.PeerRef]float64),
+	}
+	listings := p.NonIncident()
+
+	for _, off := range Fig2Offsets {
+		fracs := make([]float64, 0, len(listings))
+		for _, l := range listings {
+			fracs = append(fracs, p.Index.VisibleFraction(l.Prefix, l.Added+timex.Day(off)))
+		}
+		sort.Float64s(fracs)
+		out.CDF[off] = fracs
+	}
+
+	// Withdrawal within 30 days: observed at -1, unobserved at +30.
+	catTotal := make(map[sbl.Category]int)
+	catWithdrawn := make(map[sbl.Category]int)
+	total, withdrawn := 0, 0
+	for _, l := range listings {
+		if !p.Index.Observed(l.Prefix, l.Added-1) {
+			continue
+		}
+		total++
+		gone := !p.Index.Observed(l.Prefix, l.Added+30)
+		if gone {
+			withdrawn++
+		}
+		for _, c := range l.Classification.Categories {
+			catTotal[c]++
+			if gone {
+				catWithdrawn[c]++
+			}
+		}
+	}
+	if total > 0 {
+		out.WithdrawnWithin30 = float64(withdrawn) / float64(total)
+	}
+	for c, n := range catTotal {
+		if n > 0 {
+			out.WithdrawnByCategory[c] = float64(catWithdrawn[c]) / float64(n)
+		}
+	}
+
+	// Filtering-peer detection: for listings that most peers carried
+	// while listed, check which peers were missing them.
+	type peerStat struct{ seen, eligible int }
+	stats := make(map[rib.PeerRef]*peerStat)
+	for _, ref := range p.Index.Peers() {
+		stats[ref] = &peerStat{}
+	}
+	for _, l := range listings {
+		day := l.Added + 2
+		frac := p.Index.VisibleFraction(l.Prefix, day)
+		if frac < 0.5 {
+			continue // not widely visible; says nothing about filtering
+		}
+		for _, ref := range p.Index.Peers() {
+			st := stats[ref]
+			st.eligible++
+			if p.Index.PeerObserved(ref, l.Prefix, day) {
+				st.seen++
+			}
+		}
+	}
+	for ref, st := range stats {
+		if st.eligible == 0 {
+			continue
+		}
+		frac := float64(st.seen) / float64(st.eligible)
+		out.PeerCarryFraction[ref] = frac
+		if frac < 0.2 {
+			out.FilteringPeers = append(out.FilteringPeers, ref)
+		}
+	}
+	sort.Slice(out.FilteringPeers, func(i, j int) bool {
+		return out.FilteringPeers[i].String() < out.FilteringPeers[j].String()
+	})
+	return out
+}
+
+// Dealloc is the §4.1 deallocation analysis.
+type Dealloc struct {
+	// MalHostingSpaceDealloc is the fraction of malicious-hosting space
+	// allocated at listing and deallocated by window end.
+	MalHostingSpaceDealloc float64
+	// RemovedDealloc is the fraction of removed listings deallocated by
+	// window end.
+	RemovedDealloc float64
+	// RemovedWithinWeekOfDealloc is, among deallocated removed listings,
+	// the fraction removed from DROP within a week of the deallocation.
+	RemovedWithinWeekOfDealloc float64
+}
+
+// DeallocAnalysis computes the RIR-deallocation correlations of §4.1.
+func (p *Pipeline) DeallocAnalysis() Dealloc {
+	var out Dealloc
+	end := p.ds.Window.Last
+
+	var mhTotal, mhDealloc uint64
+	for _, l := range p.NonIncident() {
+		if !l.Has(sbl.MaliciousHosting) {
+			continue
+		}
+		if !p.ds.RIR.AllocatedAt(l.Prefix, l.Added) {
+			continue
+		}
+		mhTotal += l.Prefix.NumAddrs()
+		if !p.ds.RIR.AllocatedAt(l.Prefix, end) {
+			mhDealloc += l.Prefix.NumAddrs()
+		}
+	}
+	if mhTotal > 0 {
+		out.MalHostingSpaceDealloc = float64(mhDealloc) / float64(mhTotal)
+	}
+
+	removed, dealloced, withinWeek := 0, 0, 0
+	for _, l := range p.NonIncident() {
+		if !l.HasRemoved {
+			continue
+		}
+		if !p.ds.RIR.AllocatedAt(l.Prefix, l.Added) {
+			continue // unallocated listings have nothing to deallocate
+		}
+		removed++
+		if p.ds.RIR.AllocatedAt(l.Prefix, end) {
+			continue
+		}
+		dealloced++
+		if d, ok := p.deallocDay(l, end); ok && l.Removed >= d && l.Removed-d <= 7 {
+			withinWeek++
+		}
+	}
+	if removed > 0 {
+		out.RemovedDealloc = float64(dealloced) / float64(removed)
+	}
+	if dealloced > 0 {
+		out.RemovedWithinWeekOfDealloc = float64(withinWeek) / float64(dealloced)
+	}
+	return out
+}
+
+// deallocDay scans for the day l's prefix stopped being allocated.
+func (p *Pipeline) deallocDay(l *Listing, end timex.Day) (timex.Day, bool) {
+	for d := l.Added; d <= end; d++ {
+		if !p.ds.RIR.AllocatedAt(l.Prefix, d) {
+			return d, true
+		}
+	}
+	return 0, false
+}

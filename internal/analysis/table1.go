@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"dropscope/internal/rirstats"
+	"dropscope/internal/sbl"
+)
+
+// Table1Cell is one (region, population) cell of Table 1.
+type Table1Cell struct {
+	Signed int // prefixes that gained a ROA during the window
+	Total  int // population size (prefixes without a ROA at baseline)
+}
+
+// Rate returns the cell's signing rate (0 if empty).
+func (c Table1Cell) Rate() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Signed) / float64(c.Total)
+}
+
+// Table1 is the RPKI-uptake table: per RIR, the signing rate of prefixes
+// never listed on DROP, removed from DROP, and still present on DROP.
+type Table1 struct {
+	Never   map[rirstats.RIR]Table1Cell
+	Removed map[rirstats.RIR]Table1Cell
+	Present map[rirstats.RIR]Table1Cell
+	// §4.2: among removed listings signed during the window, how the
+	// signing ASN relates to the BGP origin at listing time.
+	RemovedSignedDifferentASN int
+	RemovedSignedSameASN      int
+	RemovedSignedUnrouted     int
+}
+
+// overall sums a row map into one cell.
+func overall(m map[rirstats.RIR]Table1Cell) Table1Cell {
+	var out Table1Cell
+	for _, c := range m {
+		out.Signed += c.Signed
+		out.Total += c.Total
+	}
+	return out
+}
+
+// Overall returns the three bottom-row cells (never, removed, present).
+func (t Table1) Overall() (never, removed, present Table1Cell) {
+	return overall(t.Never), overall(t.Removed), overall(t.Present)
+}
+
+// Table1RPKIUptake computes the signing rates. The "never on DROP"
+// population is every prefix observed in BGP during the window that
+// never appeared on DROP and had no covering ROA at window start; the
+// listing populations are the non-incident, allocated listings without a
+// ROA on their listing day.
+func (p *Pipeline) Table1RPKIUptake() Table1 {
+	out := Table1{
+		Never:   make(map[rirstats.RIR]Table1Cell),
+		Removed: make(map[rirstats.RIR]Table1Cell),
+		Present: make(map[rirstats.RIR]Table1Cell),
+	}
+	start, end := p.ds.Window.First, p.ds.Window.Last
+
+	listed := make(map[string]bool)
+	for _, l := range p.Listings {
+		listed[l.Prefix.String()] = true
+	}
+
+	// Never-on-DROP population from the reassembled RIBs.
+	for _, pfx := range p.Index.Prefixes() {
+		if listed[pfx.String()] {
+			continue
+		}
+		reg, ok := p.ds.RIR.ManagedBy(pfx)
+		if !ok || !p.ds.RIR.AllocatedAt(pfx, start) {
+			continue
+		}
+		if p.ds.RPKI.SignedAt(pfx, start) {
+			continue // had a ROA at baseline; outside this population
+		}
+		cell := out.Never[reg]
+		cell.Total++
+		if p.ds.RPKI.SignedAt(pfx, end) {
+			cell.Signed++
+		}
+		out.Never[reg] = cell
+	}
+
+	// Listing populations.
+	for _, l := range p.NonIncident() {
+		if l.Has(sbl.Unallocated) || l.UnallocatedAtListing {
+			continue // nothing to sign for unallocated space
+		}
+		if !l.HasRegistry {
+			continue
+		}
+		if p.ds.RPKI.SignedAt(l.Prefix, l.Added) {
+			continue // had a ROA when added (outside Table 1)
+		}
+		signed := p.ds.RPKI.SignedAt(l.Prefix, end)
+		row := out.Present
+		if l.HasRemoved {
+			row = out.Removed
+		}
+		cell := row[l.Registry]
+		cell.Total++
+		if signed {
+			cell.Signed++
+		}
+		row[l.Registry] = cell
+
+		// §4.2 breakdown for removed-and-signed listings.
+		if l.HasRemoved && signed {
+			_, signASN, ok := p.ds.RPKI.FirstSigned(l.Prefix)
+			if !ok {
+				continue
+			}
+			origin, routed := p.originAtListing(l)
+			switch {
+			case !routed:
+				out.RemovedSignedUnrouted++
+			case origin == signASN:
+				out.RemovedSignedSameASN++
+			default:
+				out.RemovedSignedDifferentASN++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,455 @@
+// Package archive persists and reloads the full dataset as on-disk
+// archive files in each substrate's native format:
+//
+//	dir/
+//	  mrt/<collector>.mrt           binary MRT streams (RFC 6396)
+//	  drop/<YYYYMMDD>.txt           DROP snapshots, changed days only
+//	  sbl/records.txt               SBL record store
+//	  irr/journal.rpsl              journaled RPSL objects
+//	  rpki/<YYYYMMDD>.csv           ROA snapshots, changed days only
+//	  rirstats/<YYYYMMDD>/delegated-<rir>-extended  RIR stats, changed days
+//
+// Loading reconstructs every journaled store by diffing consecutive
+// snapshots — the same reassembly the paper's pipeline performed over the
+// public archives.
+package archive
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dropscope/internal/drop"
+	"dropscope/internal/irr"
+	"dropscope/internal/mrt"
+	"dropscope/internal/rirstats"
+	"dropscope/internal/rpki"
+	"dropscope/internal/sbl"
+	"dropscope/internal/timex"
+)
+
+// Bundle is the set of stores the archive directory holds.
+type Bundle struct {
+	MRT  map[string][]mrt.Record
+	DROP *drop.Archive
+	SBL  *sbl.DB
+	IRR  *irr.DB
+	RPKI *rpki.Archive
+	RIR  *rirstats.Timeline
+}
+
+// Write persists the bundle under dir, creating subdirectories.
+func Write(dir string, b *Bundle) error {
+	for _, sub := range []string{"mrt", "drop", "sbl", "irr", "rpki", "rirstats"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return err
+		}
+	}
+	if err := writeMRT(filepath.Join(dir, "mrt"), b.MRT); err != nil {
+		return err
+	}
+	if err := writeDROP(filepath.Join(dir, "drop"), b.DROP); err != nil {
+		return err
+	}
+	if err := writeSBL(filepath.Join(dir, "sbl", "records.txt"), b.SBL); err != nil {
+		return err
+	}
+	if err := writeIRR(filepath.Join(dir, "irr", "journal.rpsl"), b.IRR); err != nil {
+		return err
+	}
+	if err := writeRPKI(filepath.Join(dir, "rpki"), b.RPKI); err != nil {
+		return err
+	}
+	return writeRIRStats(filepath.Join(dir, "rirstats"), b.RIR)
+}
+
+// Load reads a bundle previously persisted with Write.
+func Load(dir string) (*Bundle, error) {
+	b := &Bundle{SBL: sbl.NewDB(), DROP: drop.NewArchive(), IRR: &irr.DB{}, RPKI: &rpki.Archive{}, RIR: &rirstats.Timeline{}}
+	var err error
+	if b.MRT, err = loadMRT(filepath.Join(dir, "mrt")); err != nil {
+		return nil, err
+	}
+	if err = loadDROP(filepath.Join(dir, "drop"), b.DROP); err != nil {
+		return nil, err
+	}
+	if err = loadSBL(filepath.Join(dir, "sbl", "records.txt"), b.SBL); err != nil {
+		return nil, err
+	}
+	if err = loadIRR(filepath.Join(dir, "irr", "journal.rpsl"), b.IRR); err != nil {
+		return nil, err
+	}
+	if err = loadRPKI(filepath.Join(dir, "rpki"), b.RPKI); err != nil {
+		return nil, err
+	}
+	if err = loadRIRStats(filepath.Join(dir, "rirstats"), b.RIR); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// --- MRT ----------------------------------------------------------------
+
+func writeMRT(dir string, streams map[string][]mrt.Record) error {
+	names := make([]string, 0, len(streams))
+	for n := range streams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := os.Create(filepath.Join(dir, name+".mrt"))
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		w := mrt.NewWriter(bw)
+		for _, rec := range streams[name] {
+			if err := w.Write(rec); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadMRT(dir string) (map[string][]mrt.Record, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]mrt.Record)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".mrt") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		recs, err := mrt.ReadAll(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("archive: %s: %w", e.Name(), err)
+		}
+		out[strings.TrimSuffix(e.Name(), ".mrt")] = recs
+	}
+	return out, nil
+}
+
+// --- DROP ---------------------------------------------------------------
+
+func writeDROP(dir string, a *drop.Archive) error {
+	for _, day := range a.Days() {
+		entries, _ := a.Snapshot(day)
+		f, err := os.Create(filepath.Join(dir, day.Compact()+".txt"))
+		if err != nil {
+			return err
+		}
+		err = drop.Write(f, day, entries)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadDROP(dir string, a *drop.Archive) error {
+	days, err := snapshotDays(dir, ".txt")
+	if err != nil {
+		return err
+	}
+	for _, day := range days {
+		f, err := os.Open(filepath.Join(dir, day.Compact()+".txt"))
+		if err != nil {
+			return err
+		}
+		entries, err := drop.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := a.AddSnapshot(day, entries); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshotDays lists the days for files named <YYYYMMDD><ext> in dir.
+func snapshotDays(dir, ext string) ([]timex.Day, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var days []timex.Day
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.Name(), ext)
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ext) {
+			// rirstats uses per-day directories instead.
+			if e.IsDir() && ext == "" {
+				name = e.Name()
+			} else {
+				continue
+			}
+		}
+		d, err := timex.ParseDay(name)
+		if err != nil {
+			continue
+		}
+		days = append(days, d)
+	}
+	sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
+	return days, nil
+}
+
+// --- SBL ----------------------------------------------------------------
+
+// The SBL store format: "@<ID>" then the record text until the next '@'.
+func writeSBL(path string, db *sbl.DB) error {
+	ids := db.IDs()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	for _, id := range ids {
+		rec, _ := db.Get(id)
+		fmt.Fprintf(bw, "@%s\n%s\n", rec.ID, rec.Text)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadSBL(path string, db *sbl.DB) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var id string
+	var text []string
+	flush := func() {
+		if id != "" {
+			db.Put(sbl.Record{ID: id, Text: strings.Join(text, "\n")})
+		}
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "@") {
+			flush()
+			id = line[1:]
+			text = text[:0]
+			continue
+		}
+		text = append(text, line)
+	}
+	flush()
+	return sc.Err()
+}
+
+// --- IRR ----------------------------------------------------------------
+
+func writeIRR(path string, db *irr.DB) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = db.WriteJournal(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func loadIRR(path string, db *irr.DB) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	parsed, err := irr.ParseJournal(raw)
+	if err != nil {
+		return err
+	}
+	*db = *parsed
+	return nil
+}
+
+// --- RPKI ---------------------------------------------------------------
+
+func writeRPKI(dir string, a *rpki.Archive) error {
+	for _, day := range a.ChangeDays() {
+		f, err := os.Create(filepath.Join(dir, day.Compact()+".csv"))
+		if err != nil {
+			return err
+		}
+		err = a.WriteSnapshotCSV(f, day)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadRPKI(dir string, a *rpki.Archive) error {
+	days, err := snapshotDays(dir, ".csv")
+	if err != nil {
+		return err
+	}
+	prev := make(map[rpki.ROA]bool)
+	for _, day := range days {
+		f, err := os.Open(filepath.Join(dir, day.Compact()+".csv"))
+		if err != nil {
+			return err
+		}
+		roas, err := rpki.ParseSnapshotCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cur := make(map[rpki.ROA]bool, len(roas))
+		for _, r := range roas {
+			cur[r] = true
+		}
+		// Revocations then creations, deterministically ordered.
+		for _, r := range sortedROAs(prev) {
+			if !cur[r] {
+				if err := a.Revoke(day, r); err != nil {
+					return err
+				}
+			}
+		}
+		for _, r := range sortedROAs(cur) {
+			if !prev[r] {
+				if err := a.Add(day, r); err != nil {
+					return err
+				}
+			}
+		}
+		prev = cur
+	}
+	return nil
+}
+
+func sortedROAs(m map[rpki.ROA]bool) []rpki.ROA {
+	out := make([]rpki.ROA, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Prefix.Compare(out[j].Prefix); c != 0 {
+			return c < 0
+		}
+		if out[i].ASN != out[j].ASN {
+			return out[i].ASN < out[j].ASN
+		}
+		if out[i].MaxLength != out[j].MaxLength {
+			return out[i].MaxLength < out[j].MaxLength
+		}
+		return out[i].TA < out[j].TA
+	})
+	return out
+}
+
+// --- RIR stats ------------------------------------------------------------
+
+func writeRIRStats(dir string, t *rirstats.Timeline) error {
+	days := t.ChangeDays()
+	// Always include a base snapshot on the earliest representable day of
+	// interest: the day before the first change (or epoch if none).
+	base := timex.Day(0)
+	if len(days) > 0 {
+		base = days[0] - 1
+	}
+	days = append([]timex.Day{base}, days...)
+	for _, day := range days {
+		ddir := filepath.Join(dir, day.Compact())
+		if err := os.MkdirAll(ddir, 0o755); err != nil {
+			return err
+		}
+		recs := t.RecordsAt(day)
+		for _, rir := range rirstats.AllRIRs {
+			f, err := os.Create(filepath.Join(ddir, fmt.Sprintf("delegated-%s-extended", rir)))
+			if err != nil {
+				return err
+			}
+			err = rirstats.WriteFile(f, rir, day, recs)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func loadRIRStats(dir string, t *rirstats.Timeline) error {
+	days, err := snapshotDays(dir, "")
+	if err != nil {
+		return err
+	}
+	if len(days) == 0 {
+		return fmt.Errorf("archive: no rirstats snapshots in %s", dir)
+	}
+	first := true
+	prev := make(map[string]rirstats.Status)
+	for _, day := range days {
+		ddir := filepath.Join(dir, day.Compact())
+		var recs []rirstats.Record
+		for _, rir := range rirstats.AllRIRs {
+			f, err := os.Open(filepath.Join(ddir, fmt.Sprintf("delegated-%s-extended", rir)))
+			if err != nil {
+				return err
+			}
+			rs, err := rirstats.ParseFile(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			recs = append(recs, rs...)
+		}
+		for _, rec := range recs {
+			for _, blk := range rec.Prefixes() {
+				k := string(rec.Registry) + "|" + blk.String()
+				if first {
+					if err := t.Manage(blk, rec.Registry, rec.Status); err != nil {
+						return err
+					}
+					prev[k] = rec.Status
+					continue
+				}
+				if prev[k] != rec.Status {
+					if err := t.SetStatus(blk, day, rec.Status); err != nil {
+						return err
+					}
+					prev[k] = rec.Status
+				}
+			}
+		}
+		first = false
+	}
+	return nil
+}

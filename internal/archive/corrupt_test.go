@@ -1,0 +1,146 @@
+package archive
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dropscope/internal/sbl"
+	"dropscope/internal/scenario"
+)
+
+var goldenDir string
+
+// writeSmallWorld returns a fresh copy of a tiny world's archive
+// directory; the world is generated and persisted once per process.
+func writeSmallWorld(t *testing.T) string {
+	t.Helper()
+	if goldenDir == "" {
+		p := scenario.DefaultParams()
+		p.Scale = 2048
+		w, err := scenario.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir, err := os.MkdirTemp("", "dropscope-golden-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {}) // golden dir is process-lifetime; OS temp cleanup applies
+		if err := Write(dir, &Bundle{MRT: w.MRT, DROP: w.DROP, SBL: w.SBL, IRR: w.IRR, RPKI: w.RPKI, RIR: w.RIR}); err != nil {
+			t.Fatal(err)
+		}
+		goldenDir = dir
+	}
+	dir := t.TempDir()
+	if err := os.CopyFS(dir, os.DirFS(goldenDir)); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// corrupt truncates or scribbles on one file matched by the glob.
+func corrupt(t *testing.T, dir, glob string, mode string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, glob))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no files match %s", glob)
+	}
+	path := matches[0]
+	switch mode {
+	case "truncate":
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, info.Size()/2); err != nil {
+			t.Fatal(err)
+		}
+	case "garbage":
+		if err := os.WriteFile(path, []byte("!!! not a valid archive file !!!\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+// Each corruption must produce a clean error from Load — never a panic,
+// never silent acceptance.
+func TestLoadRejectsCorruptMRT(t *testing.T) {
+	dir := writeSmallWorld(t)
+	corrupt(t, dir, "mrt/*.mrt", "truncate")
+	if _, err := Load(dir); err == nil {
+		t.Error("truncated MRT should fail to load")
+	}
+}
+
+func TestLoadRejectsGarbageDROP(t *testing.T) {
+	dir := writeSmallWorld(t)
+	corrupt(t, dir, "drop/*.txt", "garbage")
+	if _, err := Load(dir); err == nil {
+		t.Error("garbage DROP snapshot should fail to load")
+	}
+}
+
+func TestLoadRejectsGarbageIRRJournal(t *testing.T) {
+	dir := writeSmallWorld(t)
+	corrupt(t, dir, "irr/journal.rpsl", "garbage")
+	if _, err := Load(dir); err == nil {
+		t.Error("garbage IRR journal should fail to load")
+	}
+}
+
+func TestLoadRejectsGarbageROACSV(t *testing.T) {
+	dir := writeSmallWorld(t)
+	corrupt(t, dir, "rpki/*.csv", "garbage")
+	if _, err := Load(dir); err == nil {
+		t.Error("garbage ROA CSV should fail to load")
+	}
+}
+
+func TestLoadRejectsGarbageRIRStats(t *testing.T) {
+	dir := writeSmallWorld(t)
+	corrupt(t, dir, "rirstats/*/delegated-arin-extended", "garbage")
+	if _, err := Load(dir); err == nil {
+		t.Error("garbage RIR stats should fail to load")
+	}
+}
+
+func TestLoadRejectsMissingDirectory(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Error("empty directory should fail to load")
+	}
+}
+
+func TestLoadToleratesForeignFiles(t *testing.T) {
+	dir := writeSmallWorld(t)
+	// Droppings that do not match the expected names must be ignored.
+	for _, junk := range []string{"mrt/README", "drop/notes.md", "rpki/checksum.sha256"} {
+		if err := os.WriteFile(filepath.Join(dir, junk), []byte("hello"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Load(dir); err != nil {
+		t.Errorf("foreign files should be ignored: %v", err)
+	}
+}
+
+func TestSBLRecordWithAtSignInText(t *testing.T) {
+	// Record text lines are preserved; emails with '@' mid-line survive
+	// the store format (only line-leading '@' is structural).
+	dir := t.TempDir()
+	path := filepath.Join(dir, "records.txt")
+	content := "@SBL1\nhijacked range, contact billing@ahostinginc.com for removal\nsecond line\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := sbl.NewDB()
+	if err := loadSBL(path, db); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := db.Get("SBL1")
+	if !ok || !strings.Contains(rec.Text, "billing@ahostinginc.com") || !strings.Contains(rec.Text, "second line") {
+		t.Errorf("record = %+v", rec)
+	}
+}

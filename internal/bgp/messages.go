@@ -1,0 +1,171 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dropscope/internal/netx"
+)
+
+// Open is a BGP OPEN message (RFC 4271 §4.2) with the 4-octet-AS
+// capability (RFC 6793) always advertised.
+type Open struct {
+	AS       ASN // full 4-byte AS number
+	HoldTime uint16
+	RouterID netx.Addr
+}
+
+// Capability codes used here.
+const capFourOctetAS = 65
+
+// EncodeOpen serializes an OPEN message. The legacy My-AS field carries
+// AS_TRANS (23456) when the ASN does not fit 2 bytes.
+func EncodeOpen(o *Open) []byte {
+	legacyAS := uint16(23456) // AS_TRANS
+	if o.AS <= 0xFFFF {
+		legacyAS = uint16(o.AS)
+	}
+	// Optional parameter: capability 65 (4-octet AS).
+	capVal := be32(uint32(o.AS))
+	capability := append([]byte{capFourOctetAS, 4}, capVal...)
+	optParam := append([]byte{2 /* type: capabilities */, byte(len(capability))}, capability...)
+
+	body := make([]byte, 0, 10+len(optParam))
+	body = append(body, 4) // version
+	body = append(body, byte(legacyAS>>8), byte(legacyAS))
+	body = append(body, byte(o.HoldTime>>8), byte(o.HoldTime))
+	body = append(body, be32(uint32(o.RouterID))...)
+	body = append(body, byte(len(optParam)))
+	body = append(body, optParam...)
+
+	return frame(TypeOpen, body)
+}
+
+// DecodeOpen parses an OPEN message body (without the 19-byte header).
+func DecodeOpen(body []byte) (*Open, error) {
+	if len(body) < 10 {
+		return nil, ErrTruncated
+	}
+	if body[0] != 4 {
+		return nil, fmt.Errorf("bgp: version %d not supported", body[0])
+	}
+	o := &Open{
+		AS:       ASN(binary.BigEndian.Uint16(body[1:])),
+		HoldTime: binary.BigEndian.Uint16(body[3:]),
+		RouterID: netx.Addr(binary.BigEndian.Uint32(body[5:])),
+	}
+	optLen := int(body[9])
+	if len(body) < 10+optLen {
+		return nil, ErrTruncated
+	}
+	opts := body[10 : 10+optLen]
+	for len(opts) > 0 {
+		if len(opts) < 2 {
+			return nil, ErrTruncated
+		}
+		ptype, plen := opts[0], int(opts[1])
+		if len(opts) < 2+plen {
+			return nil, ErrTruncated
+		}
+		if ptype == 2 { // capabilities
+			caps := opts[2 : 2+plen]
+			for len(caps) > 0 {
+				if len(caps) < 2 {
+					return nil, ErrTruncated
+				}
+				code, clen := caps[0], int(caps[1])
+				if len(caps) < 2+clen {
+					return nil, ErrTruncated
+				}
+				if code == capFourOctetAS && clen == 4 {
+					o.AS = ASN(binary.BigEndian.Uint32(caps[2:]))
+				}
+				caps = caps[2+clen:]
+			}
+		}
+		opts = opts[2+plen:]
+	}
+	return o, nil
+}
+
+// Notification is a BGP NOTIFICATION message (RFC 4271 §4.5).
+type Notification struct {
+	Code, Subcode byte
+	Data          []byte
+}
+
+// Common notification codes.
+const (
+	NotifCease           = 6
+	NotifOpenError       = 2
+	NotifHoldTimeExpired = 4
+)
+
+// Error implements error so a received notification can propagate.
+func (n *Notification) Error() string {
+	return fmt.Sprintf("bgp: notification %d/%d", n.Code, n.Subcode)
+}
+
+// EncodeNotification serializes a NOTIFICATION message.
+func EncodeNotification(n *Notification) []byte {
+	body := append([]byte{n.Code, n.Subcode}, n.Data...)
+	return frame(TypeNotification, body)
+}
+
+// DecodeNotification parses a NOTIFICATION body.
+func DecodeNotification(body []byte) (*Notification, error) {
+	if len(body) < 2 {
+		return nil, ErrTruncated
+	}
+	return &Notification{Code: body[0], Subcode: body[1], Data: append([]byte(nil), body[2:]...)}, nil
+}
+
+// EncodeKeepalive serializes a KEEPALIVE message (header only).
+func EncodeKeepalive() []byte { return frame(TypeKeepalive, nil) }
+
+// frame wraps a body with the 19-byte BGP header.
+func frame(typ byte, body []byte) []byte {
+	total := headerLen + len(body)
+	msg := make([]byte, 0, total)
+	msg = append(msg, marker[:]...)
+	msg = append(msg, byte(total>>8), byte(total), typ)
+	return append(msg, body...)
+}
+
+// Message is one framed BGP message: its type code and body (without the
+// header). Raw holds the full wire bytes including the header, suitable
+// for DecodeUpdate.
+type Message struct {
+	Type byte
+	Body []byte
+	Raw  []byte
+}
+
+// ReadMessage reads one framed BGP message from r.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	for i := 0; i < 16; i++ {
+		if hdr[i] != 0xff {
+			return nil, ErrBadMarker
+		}
+	}
+	total := int(hdr[16])<<8 | int(hdr[17])
+	if total < headerLen || total > 4096 {
+		return nil, fmt.Errorf("%w: %d", ErrBadLength, total)
+	}
+	body := make([]byte, total-headerLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("%w: body: %v", ErrTruncated, err)
+	}
+	raw := make([]byte, 0, total)
+	raw = append(raw, hdr[:]...)
+	raw = append(raw, body...)
+	return &Message{Type: hdr[18], Body: body, Raw: raw}, nil
+}

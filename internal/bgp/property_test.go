@@ -1,0 +1,152 @@
+package bgp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dropscope/internal/netx"
+)
+
+// randUpdate generates a structurally valid random update.
+func randUpdate(rng *rand.Rand) *Update {
+	u := &Update{}
+	for i := rng.Intn(4); i > 0; i-- {
+		u.Withdrawn = append(u.Withdrawn, randPrefix(rng))
+	}
+	if n := rng.Intn(4); n > 0 {
+		for i := 0; i < n; i++ {
+			u.NLRI = append(u.NLRI, randPrefix(rng))
+		}
+		u.Attrs.Origin = byte(rng.Intn(3))
+		nseg := 1 + rng.Intn(2)
+		for s := 0; s < nseg; s++ {
+			seg := PathSegment{Type: SegmentSequence}
+			if s > 0 && rng.Intn(3) == 0 {
+				seg.Type = SegmentSet
+			}
+			for a := 1 + rng.Intn(4); a > 0; a-- {
+				seg.ASNs = append(seg.ASNs, ASN(rng.Uint32()))
+			}
+			u.Attrs.Path = append(u.Attrs.Path, seg)
+		}
+		u.Attrs.NextHop = netx.Addr(rng.Uint32())
+		u.Attrs.HasNextHop = true
+		if rng.Intn(2) == 0 {
+			u.Attrs.MED, u.Attrs.HasMED = rng.Uint32(), true
+		}
+		if rng.Intn(2) == 0 {
+			u.Attrs.LocalPref, u.Attrs.HasLocal = rng.Uint32(), true
+		}
+		for i := rng.Intn(3); i > 0; i-- {
+			u.Attrs.Communities = append(u.Attrs.Communities, rng.Uint32())
+		}
+	}
+	return u
+}
+
+func randPrefix(rng *rand.Rand) netx.Prefix {
+	return netx.PrefixFrom(netx.Addr(rng.Uint32()), rng.Intn(33))
+}
+
+// TestUpdateRoundTripProperty: encode→decode is the identity on valid
+// updates.
+func TestUpdateRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 500; i++ {
+		u := randUpdate(rng)
+		wire, err := EncodeUpdate(u)
+		if err != nil {
+			continue // oversized update; not an identity violation
+		}
+		got, err := DecodeUpdate(wire)
+		if err != nil {
+			t.Fatalf("iteration %d: decode: %v\nupdate: %+v", i, err, u)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(u)) {
+			t.Fatalf("iteration %d:\n got %+v\nwant %+v", i, got, u)
+		}
+	}
+}
+
+// normalize maps empty slices to nil so DeepEqual compares semantics.
+func normalize(u *Update) *Update {
+	c := *u
+	if len(c.Withdrawn) == 0 {
+		c.Withdrawn = nil
+	}
+	if len(c.NLRI) == 0 {
+		c.NLRI = nil
+	}
+	if len(c.Attrs.Communities) == 0 {
+		c.Attrs.Communities = nil
+	}
+	return &c
+}
+
+// TestPathLenNonNegativeProperty and origin consistency via testing/quick
+// over generated sequences.
+func TestPathProperties(t *testing.T) {
+	f := func(asns []uint32) bool {
+		if len(asns) == 0 {
+			return true
+		}
+		path := Sequence(toASNs(asns)...)
+		if path.Len() != len(asns) {
+			return false
+		}
+		o, ok := path.Origin()
+		if !ok || o != ASN(asns[len(asns)-1]) {
+			return false
+		}
+		first, ok := path.First()
+		if !ok || first != ASN(asns[0]) {
+			return false
+		}
+		for _, a := range asns {
+			if !path.Contains(ASN(a)) {
+				return false
+			}
+		}
+		return path.Equal(path)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func toASNs(v []uint32) []ASN {
+	out := make([]ASN, len(v))
+	for i, x := range v {
+		out[i] = ASN(x)
+	}
+	return out
+}
+
+// TestEncodePrefixCompactness: NLRI encoding uses the minimal byte count.
+func TestEncodePrefixCompactness(t *testing.T) {
+	cases := []struct {
+		pfx   string
+		bytes int // NLRI bytes: 1 length + ceil(bits/8)
+	}{
+		{"0.0.0.0/0", 1},
+		{"128.0.0.0/1", 2},
+		{"10.0.0.0/8", 2},
+		{"10.128.0.0/9", 3},
+		{"192.0.2.0/24", 4},
+		{"192.0.2.128/25", 5},
+		{"192.0.2.1/32", 5},
+	}
+	for _, c := range cases {
+		u := &Update{Withdrawn: []netx.Prefix{netx.MustParsePrefix(c.pfx)}}
+		wire, err := EncodeUpdate(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// header(19) + withdrawn len(2) + NLRI + attrs len(2)
+		if got := len(wire) - 19 - 2 - 2; got != c.bytes {
+			t.Errorf("%s: NLRI bytes = %d, want %d", c.pfx, got, c.bytes)
+		}
+	}
+}

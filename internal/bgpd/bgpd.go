@@ -1,0 +1,199 @@
+// Package bgpd implements a compact BGP-4 speaker over net.Conn: the
+// OPEN/KEEPALIVE session handshake with 4-octet-AS capability (RFC 6793),
+// hold-time negotiation, keepalive scheduling, UPDATE exchange, and
+// NOTIFICATION-based teardown. It is the live-session counterpart of the
+// archived MRT data: a collector built on this package hears the same
+// updates a RouteViews collector records.
+package bgpd
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/netx"
+)
+
+// Config parameterizes one side of a session.
+type Config struct {
+	LocalAS  bgp.ASN
+	RouterID netx.Addr
+	// RemoteAS, when non-zero, is enforced against the peer's OPEN.
+	RemoteAS bgp.ASN
+	// HoldTime proposed in the OPEN; the session uses min(ours, theirs).
+	// Zero proposes 90s. RFC 4271 requires 0 or >= 3.
+	HoldTime time.Duration
+}
+
+// Session is an established BGP session.
+type Session struct {
+	conn     net.Conn
+	mu       sync.Mutex // guards writes to conn
+	PeerAS   bgp.ASN
+	PeerID   netx.Addr
+	HoldTime time.Duration
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	keepDone  chan struct{}
+}
+
+// Errors.
+var (
+	ErrASMismatch = errors.New("bgpd: peer AS does not match configuration")
+)
+
+// Establish runs the OPEN handshake on an established transport
+// connection. Both sides call Establish; the protocol is symmetric.
+func Establish(conn net.Conn, cfg Config) (*Session, error) {
+	hold := cfg.HoldTime
+	if hold == 0 {
+		hold = 90 * time.Second
+	}
+	holdSecs := uint16(hold / time.Second)
+
+	// Send our OPEN.
+	open := &bgp.Open{AS: cfg.LocalAS, HoldTime: holdSecs, RouterID: cfg.RouterID}
+	if _, err := conn.Write(bgp.EncodeOpen(open)); err != nil {
+		return nil, fmt.Errorf("bgpd: send open: %w", err)
+	}
+
+	// Receive theirs.
+	msg, err := bgp.ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("bgpd: read open: %w", err)
+	}
+	if msg.Type == bgp.TypeNotification {
+		n, _ := bgp.DecodeNotification(msg.Body)
+		return nil, n
+	}
+	if msg.Type != bgp.TypeOpen {
+		return nil, fmt.Errorf("bgpd: expected OPEN, got type %d", msg.Type)
+	}
+	peer, err := bgp.DecodeOpen(msg.Body)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.RemoteAS != 0 && peer.AS != cfg.RemoteAS {
+		_, _ = conn.Write(bgp.EncodeNotification(&bgp.Notification{Code: bgp.NotifOpenError, Subcode: 2}))
+		return nil, fmt.Errorf("%w: got %s", ErrASMismatch, peer.AS)
+	}
+	if peer.HoldTime != 0 && peer.HoldTime < 3 {
+		_, _ = conn.Write(bgp.EncodeNotification(&bgp.Notification{Code: bgp.NotifOpenError, Subcode: 6}))
+		return nil, fmt.Errorf("bgpd: unacceptable hold time %d", peer.HoldTime)
+	}
+
+	// Negotiated hold time: the minimum; zero disables keepalives.
+	negotiated := holdSecs
+	if peer.HoldTime < negotiated {
+		negotiated = peer.HoldTime
+	}
+
+	// Confirm with a KEEPALIVE and wait for the peer's.
+	if _, err := conn.Write(bgp.EncodeKeepalive()); err != nil {
+		return nil, fmt.Errorf("bgpd: send keepalive: %w", err)
+	}
+	msg, err = bgp.ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("bgpd: read keepalive: %w", err)
+	}
+	if msg.Type == bgp.TypeNotification {
+		n, _ := bgp.DecodeNotification(msg.Body)
+		return nil, n
+	}
+	if msg.Type != bgp.TypeKeepalive {
+		return nil, fmt.Errorf("bgpd: expected KEEPALIVE, got type %d", msg.Type)
+	}
+
+	s := &Session{
+		conn:     conn,
+		PeerAS:   peer.AS,
+		PeerID:   peer.RouterID,
+		HoldTime: time.Duration(negotiated) * time.Second,
+		closed:   make(chan struct{}),
+		keepDone: make(chan struct{}),
+	}
+	go s.keepaliveLoop()
+	return s, nil
+}
+
+// keepaliveLoop sends keepalives at one third of the hold time.
+func (s *Session) keepaliveLoop() {
+	defer close(s.keepDone)
+	if s.HoldTime == 0 {
+		return
+	}
+	t := time.NewTicker(s.HoldTime / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			_, err := s.conn.Write(bgp.EncodeKeepalive())
+			s.mu.Unlock()
+			if err != nil {
+				return
+			}
+		}
+	}
+}
+
+// SendUpdate transmits one UPDATE.
+func (s *Session) SendUpdate(u *bgp.Update) error {
+	wire, err := bgp.EncodeUpdate(u)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err = s.conn.Write(wire)
+	return err
+}
+
+// Recv blocks until the next UPDATE arrives, transparently consuming
+// keepalives. A received NOTIFICATION is returned as an error of type
+// *bgp.Notification; transport EOF is io.EOF.
+func (s *Session) Recv() (*bgp.Update, error) {
+	for {
+		if s.HoldTime > 0 {
+			_ = s.conn.SetReadDeadline(time.Now().Add(s.HoldTime))
+		}
+		msg, err := bgp.ReadMessage(s.conn)
+		if err != nil {
+			return nil, err
+		}
+		switch msg.Type {
+		case bgp.TypeKeepalive:
+			continue
+		case bgp.TypeUpdate:
+			return bgp.DecodeUpdate(msg.Raw)
+		case bgp.TypeNotification:
+			n, derr := bgp.DecodeNotification(msg.Body)
+			if derr != nil {
+				return nil, derr
+			}
+			return nil, n
+		default:
+			return nil, fmt.Errorf("bgpd: unexpected message type %d", msg.Type)
+		}
+	}
+}
+
+// Close sends a cease NOTIFICATION and tears down the transport.
+func (s *Session) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.mu.Lock()
+		_, _ = s.conn.Write(bgp.EncodeNotification(&bgp.Notification{Code: bgp.NotifCease}))
+		s.mu.Unlock()
+		err = s.conn.Close()
+		<-s.keepDone
+	})
+	return err
+}

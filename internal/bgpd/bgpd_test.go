@@ -1,0 +1,226 @@
+package bgpd
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/netx"
+)
+
+// establishPair runs both sides of the handshake over a TCP loopback
+// connection (net.Pipe has no buffering, which would deadlock the
+// symmetric handshake).
+func establishPair(t *testing.T, a, b Config) (*Session, *Session) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type result struct {
+		s   *Session
+		err error
+	}
+	acceptCh := make(chan result, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			acceptCh <- result{nil, err}
+			return
+		}
+		s, err := Establish(conn, b)
+		acceptCh <- result{s, err}
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := Establish(conn, a)
+	if err != nil {
+		t.Fatalf("dial side: %v", err)
+	}
+	rb := <-acceptCh
+	if rb.err != nil {
+		t.Fatalf("accept side: %v", rb.err)
+	}
+	return sa, rb.s
+}
+
+func TestHandshake(t *testing.T) {
+	sa, sb := establishPair(t,
+		Config{LocalAS: 64500, RouterID: netx.AddrFrom4(10, 0, 0, 1)},
+		Config{LocalAS: 4200000001, RouterID: netx.AddrFrom4(10, 0, 0, 2)},
+	)
+	defer sa.Close()
+	defer sb.Close()
+
+	if sa.PeerAS != 4200000001 {
+		t.Errorf("dial side peer AS = %v (4-octet capability must carry the full ASN)", sa.PeerAS)
+	}
+	if sb.PeerAS != 64500 {
+		t.Errorf("accept side peer AS = %v", sb.PeerAS)
+	}
+	if sa.PeerID != netx.AddrFrom4(10, 0, 0, 2) {
+		t.Errorf("peer router ID = %v", sa.PeerID)
+	}
+	if sa.HoldTime != 90*time.Second {
+		t.Errorf("negotiated hold = %v", sa.HoldTime)
+	}
+}
+
+func TestHoldTimeNegotiation(t *testing.T) {
+	sa, sb := establishPair(t,
+		Config{LocalAS: 1, RouterID: 1, HoldTime: 30 * time.Second},
+		Config{LocalAS: 2, RouterID: 2, HoldTime: 12 * time.Second},
+	)
+	defer sa.Close()
+	defer sb.Close()
+	if sa.HoldTime != 12*time.Second || sb.HoldTime != 12*time.Second {
+		t.Errorf("negotiated hold = %v / %v, want 12s", sa.HoldTime, sb.HoldTime)
+	}
+}
+
+func TestUpdateExchange(t *testing.T) {
+	sa, sb := establishPair(t,
+		Config{LocalAS: 64500, RouterID: 1},
+		Config{LocalAS: 64501, RouterID: 2},
+	)
+	defer sa.Close()
+	defer sb.Close()
+
+	want := &bgp.Update{
+		Attrs: bgp.Attrs{
+			Origin:     bgp.OriginIGP,
+			Path:       bgp.Sequence(64500, 263692),
+			NextHop:    netx.AddrFrom4(10, 0, 0, 1),
+			HasNextHop: true,
+		},
+		NLRI: []netx.Prefix{netx.MustParsePrefix("132.255.0.0/22")},
+	}
+	if err := sa.SendUpdate(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.NLRI) != 1 || got.NLRI[0] != want.NLRI[0] || !got.Attrs.Path.Equal(want.Attrs.Path) {
+		t.Errorf("received %+v", got)
+	}
+}
+
+func TestRecvSkipsKeepalives(t *testing.T) {
+	sa, sb := establishPair(t,
+		// Short hold → frequent keepalives from the peer.
+		Config{LocalAS: 1, RouterID: 1, HoldTime: 3 * time.Second},
+		Config{LocalAS: 2, RouterID: 2, HoldTime: 3 * time.Second},
+	)
+	defer sa.Close()
+	defer sb.Close()
+
+	// Give the peer time to emit at least one keepalive, then an update.
+	time.Sleep(1200 * time.Millisecond)
+	u := &bgp.Update{Withdrawn: []netx.Prefix{netx.MustParsePrefix("192.0.2.0/24")}}
+	if err := sa.SendUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Withdrawn) != 1 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestRemoteASEnforced(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		_, err = Establish(conn, Config{LocalAS: 2, RouterID: 2, RemoteAS: 9999})
+		errCh <- err
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_, dialErr := Establish(conn, Config{LocalAS: 1, RouterID: 1})
+	acceptErr := <-errCh
+	if !errors.Is(acceptErr, ErrASMismatch) {
+		t.Errorf("accept side error = %v", acceptErr)
+	}
+	// The dialer should see a notification or connection error.
+	if dialErr == nil {
+		t.Error("dial side should fail after AS mismatch")
+	}
+}
+
+func TestCloseSendsCease(t *testing.T) {
+	sa, sb := establishPair(t,
+		Config{LocalAS: 1, RouterID: 1},
+		Config{LocalAS: 2, RouterID: 2},
+	)
+	defer sb.Close()
+	if err := sa.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sb.Recv()
+	var notif *bgp.Notification
+	if !errors.As(err, &notif) || notif.Code != bgp.NotifCease {
+		t.Errorf("expected cease notification, got %v", err)
+	}
+	// Double close is safe.
+	if err := sa.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	o := &bgp.Open{AS: 4200000001, HoldTime: 180, RouterID: netx.AddrFrom4(192, 0, 2, 1)}
+	wire := bgp.EncodeOpen(o)
+	msg, err := bgp.ReadMessage(bytesReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bgp.DecodeOpen(msg.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *o {
+		t.Errorf("round trip: %+v != %+v", got, o)
+	}
+}
+
+func TestSmallASNoTransition(t *testing.T) {
+	o := &bgp.Open{AS: 64500, HoldTime: 90, RouterID: 7}
+	msg, err := bgp.ReadMessage(bytesReader(bgp.EncodeOpen(o)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bgp.DecodeOpen(msg.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AS != 64500 {
+		t.Errorf("AS = %v", got.AS)
+	}
+}
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }

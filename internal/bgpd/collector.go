@@ -1,0 +1,162 @@
+package bgpd
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/mrt"
+	"dropscope/internal/netx"
+	"dropscope/internal/rib"
+	"dropscope/internal/timex"
+)
+
+// Collector accepts inbound BGP sessions and records everything it hears
+// as MRT records — a live, miniature RouteViews collector. The recorded
+// stream loads into the same rib.Index the archived data feeds, and can
+// be persisted with an mrt.Writer.
+type Collector struct {
+	Name   string
+	Config Config
+	// Clock returns the record timestamp; defaults to time.Now. Tests
+	// inject fixed clocks for determinism.
+	Clock func() time.Time
+
+	mu      sync.Mutex
+	peers   []mrt.Peer
+	peerIdx map[netx.Addr]int
+	records []mrt.Record
+
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewCollector returns a collector speaking with the given local config.
+func NewCollector(name string, cfg Config) *Collector {
+	return &Collector{Name: name, Config: cfg, peerIdx: make(map[netx.Addr]int)}
+}
+
+func (c *Collector) now() time.Time {
+	if c.Clock != nil {
+		return c.Clock()
+	}
+	return time.Now()
+}
+
+// Serve accepts BGP sessions on ln until Close.
+func (c *Collector) Serve(ln net.Listener) error {
+	c.mu.Lock()
+	c.ln = ln
+	c.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer conn.Close()
+			_ = c.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for sessions to drain.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	ln := c.ln
+	c.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+// handle runs one inbound session, recording every update.
+func (c *Collector) handle(conn net.Conn) error {
+	sess, err := Establish(conn, c.Config)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	peerAddr := remoteAddr(conn)
+	c.registerPeer(peerAddr, sess.PeerAS)
+	for {
+		u, err := sess.Recv()
+		if err != nil {
+			return err
+		}
+		c.record(peerAddr, sess.PeerAS, u)
+	}
+}
+
+func remoteAddr(conn net.Conn) netx.Addr {
+	if tcp, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		if v4 := tcp.IP.To4(); v4 != nil {
+			return netx.AddrFrom4(v4[0], v4[1], v4[2], v4[3])
+		}
+	}
+	return 0
+}
+
+func (c *Collector) registerPeer(addr netx.Addr, as bgp.ASN) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.peerIdx[addr]; ok {
+		return
+	}
+	c.peerIdx[addr] = len(c.peers)
+	c.peers = append(c.peers, mrt.Peer{BGPID: addr, Addr: addr, AS: as})
+}
+
+func (c *Collector) record(addr netx.Addr, as bgp.ASN, u *bgp.Update) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.records = append(c.records, &mrt.BGP4MPMessage{
+		When:      c.now(),
+		PeerAS:    as,
+		LocalAS:   c.Config.LocalAS,
+		PeerAddr:  addr,
+		LocalAddr: c.Config.RouterID,
+		Update:    u,
+	})
+}
+
+// Records returns the collector's full MRT stream so far: a peer index
+// table followed by every recorded update.
+func (c *Collector) Records() []mrt.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]mrt.Record, 0, len(c.records)+1)
+	out = append(out, &mrt.PeerIndexTable{
+		When:        c.now(),
+		CollectorID: c.Config.RouterID,
+		ViewName:    c.Name,
+		Peers:       append([]mrt.Peer(nil), c.peers...),
+	})
+	return append(out, c.records...)
+}
+
+// Index builds a fresh rib.Index from everything heard so far, closed at
+// the given day.
+func (c *Collector) Index(end timex.Day) (*rib.Index, error) {
+	ix := rib.NewIndex()
+	if err := ix.Load(c.Name, c.Records()); err != nil {
+		return nil, err
+	}
+	ix.Close(end)
+	return ix, nil
+}

@@ -1,0 +1,106 @@
+package bgpd
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/netx"
+	"dropscope/internal/timex"
+)
+
+func TestCollectorRecordsLiveSession(t *testing.T) {
+	day := timex.MustParseDay("2022-03-30")
+	col := NewCollector("live-test", Config{
+		LocalAS: 6447, RouterID: netx.AddrFrom4(128, 223, 51, 1),
+	})
+	col.Clock = func() time.Time { return day.Time() }
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- col.Serve(ln) }()
+
+	// Speaker side: establish and send an announce + a withdraw.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := Establish(conn, Config{LocalAS: 50509, RouterID: netx.AddrFrom4(203, 0, 113, 66)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfx := netx.MustParsePrefix("132.255.0.0/22")
+	if err := sess.SendUpdate(&bgp.Update{
+		Attrs: bgp.Attrs{Origin: bgp.OriginIGP, Path: bgp.Sequence(50509, 263692),
+			NextHop: netx.AddrFrom4(203, 0, 113, 66), HasNextHop: true},
+		NLRI: []netx.Prefix{pfx},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	other := netx.MustParsePrefix("198.51.100.0/24")
+	if err := sess.SendUpdate(&bgp.Update{Withdrawn: []netx.Prefix{other}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until both updates are recorded.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if len(col.Records()) >= 3 { // peer table + 2 updates
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("records = %d", len(col.Records()))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	sess.Close()
+
+	ix, err := col.Index(day + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Observed(pfx, day) {
+		t.Error("live announcement not in index")
+	}
+	if o, ok := ix.OriginAt(pfx, day); !ok || o != 263692 {
+		t.Errorf("origin = %v %v", o, ok)
+	}
+	if len(ix.Peers()) != 1 || ix.Peers()[0].AS != 50509 {
+		t.Errorf("peers = %v", ix.Peers())
+	}
+
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Errorf("serve: %v", err)
+	}
+}
+
+func TestCollectorRejectsWrongAS(t *testing.T) {
+	col := NewCollector("strict", Config{
+		LocalAS: 6447, RouterID: 1, RemoteAS: 64500,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = col.Serve(ln) }()
+	defer col.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := Establish(conn, Config{LocalAS: 99999, RouterID: 2}); err == nil {
+		t.Error("speaker with wrong AS should be rejected")
+	}
+	if got := len(col.Records()); got != 1 { // just the peer table
+		t.Errorf("records after rejected session = %d", got)
+	}
+}

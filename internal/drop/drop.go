@@ -1,0 +1,186 @@
+// Package drop implements the Spamhaus DROP ("Don't Route Or Peer") list
+// substrate: the published text format, a store of daily snapshots (the
+// form the FireHOL archive preserves), and extraction of listing events —
+// when each prefix was added and removed — which anchor every analysis in
+// the paper.
+package drop
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dropscope/internal/netx"
+	"dropscope/internal/timex"
+)
+
+// Entry is one line of a DROP snapshot: a prefix and its SBL reference.
+type Entry struct {
+	Prefix netx.Prefix
+	SBLRef string // e.g. "SBL502548"; may be empty
+}
+
+// Write emits entries in the published DROP format:
+//
+//	; Spamhaus DROP List 2019-06-05
+//	192.0.2.0/24 ; SBL123456
+func Write(w io.Writer, day timex.Day, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "; Spamhaus DROP List %s\n", day.String()); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		line := e.Prefix.String()
+		if e.SBLRef != "" {
+			line += " ; " + e.SBLRef
+		}
+		if _, err := fmt.Fprintln(bw, line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads a DROP snapshot in the published format. Comment lines
+// (starting with ';') are skipped.
+func Parse(r io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var out []Entry
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		var e Entry
+		if i := strings.Index(line, ";"); i >= 0 {
+			e.SBLRef = strings.TrimSpace(line[i+1:])
+			line = strings.TrimSpace(line[:i])
+		}
+		p, err := netx.ParsePrefix(line)
+		if err != nil {
+			return nil, fmt.Errorf("drop: line %d: %v", lineNo, err)
+		}
+		e.Prefix = p
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Archive stores daily DROP snapshots and derives listing events.
+type Archive struct {
+	days  []timex.Day
+	byDay map[timex.Day][]Entry
+}
+
+// NewArchive returns an empty archive.
+func NewArchive() *Archive {
+	return &Archive{byDay: make(map[timex.Day][]Entry)}
+}
+
+// AddSnapshot records the DROP list content for one day. Snapshots must
+// be added in day order; duplicate days are rejected.
+func (a *Archive) AddSnapshot(day timex.Day, entries []Entry) error {
+	if _, dup := a.byDay[day]; dup {
+		return fmt.Errorf("drop: duplicate snapshot for %v", day)
+	}
+	if n := len(a.days); n > 0 && day < a.days[n-1] {
+		return fmt.Errorf("drop: snapshot %v out of order", day)
+	}
+	cp := make([]Entry, len(entries))
+	copy(cp, entries)
+	a.days = append(a.days, day)
+	a.byDay[day] = cp
+	return nil
+}
+
+// Days returns the snapshot days in order.
+func (a *Archive) Days() []timex.Day { return a.days }
+
+// Snapshot returns the entries for the given day, if a snapshot exists.
+func (a *Archive) Snapshot(day timex.Day) ([]Entry, bool) {
+	e, ok := a.byDay[day]
+	return e, ok
+}
+
+// SnapshotAtOrBefore returns the most recent snapshot at or before day.
+func (a *Archive) SnapshotAtOrBefore(day timex.Day) ([]Entry, timex.Day, bool) {
+	i := sort.Search(len(a.days), func(i int) bool { return a.days[i] > day })
+	if i == 0 {
+		return nil, 0, false
+	}
+	d := a.days[i-1]
+	return a.byDay[d], d, true
+}
+
+// ListedAt reports whether p appeared in the snapshot effective on day.
+func (a *Archive) ListedAt(p netx.Prefix, day timex.Day) bool {
+	entries, _, ok := a.SnapshotAtOrBefore(day)
+	if !ok {
+		return false
+	}
+	for _, e := range entries {
+		if e.Prefix == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Listing is one prefix's stay on the DROP list.
+type Listing struct {
+	Prefix     netx.Prefix
+	SBLRef     string
+	Added      timex.Day
+	Removed    timex.Day // first snapshot day without the prefix
+	HasRemoved bool
+}
+
+// Listings diffs consecutive snapshots into per-prefix listing events,
+// ordered by (Added, Prefix). A prefix relisted after removal yields a
+// second Listing. Prefixes present in the first snapshot are treated as
+// added on that day.
+func (a *Archive) Listings() []Listing {
+	type open struct {
+		added  timex.Day
+		sblRef string
+	}
+	current := make(map[netx.Prefix]open)
+	var out []Listing
+	for _, day := range a.days {
+		next := make(map[netx.Prefix]string, len(a.byDay[day]))
+		for _, e := range a.byDay[day] {
+			next[e.Prefix] = e.SBLRef
+		}
+		// Removals.
+		for p, o := range current {
+			if _, still := next[p]; !still {
+				out = append(out, Listing{Prefix: p, SBLRef: o.sblRef, Added: o.added, Removed: day, HasRemoved: true})
+				delete(current, p)
+			}
+		}
+		// Additions.
+		for p, ref := range next {
+			if _, already := current[p]; !already {
+				current[p] = open{added: day, sblRef: ref}
+			}
+		}
+	}
+	for p, o := range current {
+		out = append(out, Listing{Prefix: p, SBLRef: o.sblRef, Added: o.added})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Added != out[j].Added {
+			return out[i].Added < out[j].Added
+		}
+		return out[i].Prefix.Compare(out[j].Prefix) < 0
+	})
+	return out
+}

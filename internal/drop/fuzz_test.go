@@ -1,0 +1,29 @@
+package drop
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dropscope/internal/timex"
+)
+
+func FuzzParse(f *testing.F) {
+	f.Add("; Spamhaus DROP List 2019-06-05\n192.0.2.0/24 ; SBL123\n10.0.0.0/8\n")
+	f.Add("")
+	f.Add("garbage\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		entries, err := Parse(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, timex.MustParseDay("2020-01-01"), entries); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil || len(back) != len(entries) {
+			t.Fatalf("round trip: %v (%d -> %d)", err, len(entries), len(back))
+		}
+	})
+}

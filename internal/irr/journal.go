@@ -1,0 +1,77 @@
+package irr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"dropscope/internal/timex"
+)
+
+// WriteJournal serializes the database's journal: each event is a
+// "%ADD <date>" or "%DEL <date>" directive followed by the RPSL object
+// and a blank line. The format is lossless and replayable.
+func (db *DB) WriteJournal(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range db.events {
+		op := "ADD"
+		if e.Op == OpDel {
+			op = "DEL"
+		}
+		if _, err := fmt.Fprintf(bw, "%%%s %s\n", op, e.Day.Compact()); err != nil {
+			return err
+		}
+		if err := Print(bw, []*Object{e.Object}); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseJournal reads the format WriteJournal emits, replaying it into a
+// fresh database.
+func ParseJournal(raw []byte) (*DB, error) {
+	db := &DB{}
+	chunks := strings.Split(string(raw), "%")
+	for _, chunk := range chunks {
+		chunk = strings.TrimSpace(chunk)
+		if chunk == "" {
+			continue
+		}
+		nl := strings.IndexByte(chunk, '\n')
+		if nl < 0 {
+			return nil, fmt.Errorf("irr: malformed journal entry %q", chunk)
+		}
+		header := strings.Fields(chunk[:nl])
+		if len(header) != 2 {
+			return nil, fmt.Errorf("irr: malformed journal header %q", chunk[:nl])
+		}
+		day, err := timex.ParseDay(header[1])
+		if err != nil {
+			return nil, err
+		}
+		objs, err := Parse(strings.NewReader(chunk[nl+1:]))
+		if err != nil {
+			return nil, err
+		}
+		if len(objs) != 1 {
+			return nil, fmt.Errorf("irr: journal entry with %d objects", len(objs))
+		}
+		switch header[0] {
+		case "ADD":
+			err = db.Add(day, objs[0])
+		case "DEL":
+			err = db.Del(day, objs[0])
+		default:
+			err = fmt.Errorf("irr: unknown journal op %q", header[0])
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,35 @@
+package mrt
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write(samplePeerIndex())
+	_ = w.Write(sampleRIB())
+	_ = w.Write(sampleBGP4MP())
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(make([]byte, 12))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for {
+			rec, err := r.Next()
+			if err != nil {
+				if err != io.EOF && rec != nil {
+					t.Fatal("record returned with error")
+				}
+				return
+			}
+			// Accepted records must re-serialize.
+			var out bytes.Buffer
+			if werr := NewWriter(&out).Write(rec); werr != nil {
+				t.Fatalf("re-encode failed: %v", werr)
+			}
+		}
+	})
+}

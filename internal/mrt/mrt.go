@@ -1,0 +1,393 @@
+// Package mrt implements the MRT routing-information export format
+// (RFC 6396) used by RouteViews and RIPE RIS archives: the common record
+// header, TABLE_DUMP_V2 RIB snapshots (PEER_INDEX_TABLE and
+// RIB_IPV4_UNICAST), and BGP4MP_MESSAGE_AS4 update records.
+//
+// Reader streams records from an io.Reader without slurping the file;
+// Writer is its inverse. Both operate on the same typed records, so a
+// write→read round trip is lossless.
+package mrt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/netx"
+)
+
+// MRT record types and subtypes used by this pipeline (RFC 6396 §4).
+const (
+	TypeTableDumpV2 = 13
+	TypeBGP4MP      = 16
+
+	SubtypePeerIndexTable = 1
+	SubtypeRIBIPv4Unicast = 2
+
+	SubtypeBGP4MPMessageAS4 = 4
+)
+
+// Record is any decoded MRT record.
+type Record interface {
+	// Timestamp returns the record's header timestamp.
+	Timestamp() time.Time
+	mrtRecord()
+}
+
+// Peer identifies one collector peer in a PEER_INDEX_TABLE.
+type Peer struct {
+	BGPID netx.Addr
+	Addr  netx.Addr
+	AS    bgp.ASN
+}
+
+// PeerIndexTable is the TABLE_DUMP_V2 peer index that RIB entries
+// reference by position.
+type PeerIndexTable struct {
+	When        time.Time
+	CollectorID netx.Addr
+	ViewName    string
+	Peers       []Peer
+}
+
+func (p *PeerIndexTable) Timestamp() time.Time { return p.When }
+func (p *PeerIndexTable) mrtRecord()           {}
+
+// RIBEntry is one peer's path for the prefix of a RIB_IPV4_UNICAST record.
+type RIBEntry struct {
+	PeerIndex      uint16
+	OriginatedTime time.Time
+	Attrs          bgp.Attrs
+}
+
+// RIBPrefix is a TABLE_DUMP_V2 RIB_IPV4_UNICAST record: every peer's best
+// path for one prefix at dump time.
+type RIBPrefix struct {
+	When     time.Time
+	Sequence uint32
+	Prefix   netx.Prefix
+	Entries  []RIBEntry
+}
+
+func (r *RIBPrefix) Timestamp() time.Time { return r.When }
+func (r *RIBPrefix) mrtRecord()           {}
+
+// BGP4MPMessage is a BGP4MP_MESSAGE_AS4 record carrying one BGP UPDATE
+// received by the collector from a peer.
+type BGP4MPMessage struct {
+	When      time.Time
+	PeerAS    bgp.ASN
+	LocalAS   bgp.ASN
+	Interface uint16
+	PeerAddr  netx.Addr
+	LocalAddr netx.Addr
+	Update    *bgp.Update
+}
+
+func (m *BGP4MPMessage) Timestamp() time.Time { return m.When }
+func (m *BGP4MPMessage) mrtRecord()           {}
+
+// Decode errors.
+var (
+	ErrTruncated   = errors.New("mrt: truncated record")
+	ErrUnsupported = errors.New("mrt: unsupported record type")
+)
+
+// afiIPv4 is the only address family this pipeline carries.
+const afiIPv4 = 1
+
+// Writer emits MRT records to an io.Writer.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write serializes one record.
+func (w *Writer) Write(rec Record) error {
+	w.buf = w.buf[:0]
+	var typ, sub uint16
+	switch r := rec.(type) {
+	case *PeerIndexTable:
+		typ, sub = TypeTableDumpV2, SubtypePeerIndexTable
+		w.buf = appendPeerIndexTable(w.buf, r)
+	case *RIBPrefix:
+		typ, sub = TypeTableDumpV2, SubtypeRIBIPv4Unicast
+		var err error
+		w.buf, err = appendRIBPrefix(w.buf, r)
+		if err != nil {
+			return err
+		}
+	case *BGP4MPMessage:
+		typ, sub = TypeBGP4MP, SubtypeBGP4MPMessageAS4
+		var err error
+		w.buf, err = appendBGP4MP(w.buf, r)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%w: %T", ErrUnsupported, rec)
+	}
+
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(rec.Timestamp().Unix()))
+	binary.BigEndian.PutUint16(hdr[4:], typ)
+	binary.BigEndian.PutUint16(hdr[6:], sub)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(w.buf)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+func appendPeerIndexTable(b []byte, p *PeerIndexTable) []byte {
+	b = be32a(b, uint32(p.CollectorID))
+	b = be16a(b, uint16(len(p.ViewName)))
+	b = append(b, p.ViewName...)
+	b = be16a(b, uint16(len(p.Peers)))
+	for _, peer := range p.Peers {
+		// Peer type: bit 0 = IPv6 addr (never set here), bit 1 = 4-byte AS.
+		b = append(b, 0x02)
+		b = be32a(b, uint32(peer.BGPID))
+		b = be32a(b, uint32(peer.Addr))
+		b = be32a(b, uint32(peer.AS))
+	}
+	return b
+}
+
+func appendRIBPrefix(b []byte, r *RIBPrefix) ([]byte, error) {
+	b = be32a(b, r.Sequence)
+	b = append(b, byte(r.Prefix.Bits()))
+	n := (r.Prefix.Bits() + 7) / 8
+	a := uint32(r.Prefix.Addr())
+	for i := 0; i < n; i++ {
+		b = append(b, byte(a>>(24-8*uint(i))))
+	}
+	b = be16a(b, uint16(len(r.Entries)))
+	for _, e := range r.Entries {
+		b = be16a(b, e.PeerIndex)
+		b = be32a(b, uint32(e.OriginatedTime.Unix()))
+		attrs := bgp.EncodeAttrs(&e.Attrs)
+		if len(attrs) > 0xFFFF {
+			return nil, fmt.Errorf("mrt: attribute block %d bytes too large", len(attrs))
+		}
+		b = be16a(b, uint16(len(attrs)))
+		b = append(b, attrs...)
+	}
+	return b, nil
+}
+
+func appendBGP4MP(b []byte, m *BGP4MPMessage) ([]byte, error) {
+	b = be32a(b, uint32(m.PeerAS))
+	b = be32a(b, uint32(m.LocalAS))
+	b = be16a(b, m.Interface)
+	b = be16a(b, afiIPv4)
+	b = be32a(b, uint32(m.PeerAddr))
+	b = be32a(b, uint32(m.LocalAddr))
+	msg, err := bgp.EncodeUpdate(m.Update)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, msg...), nil
+}
+
+func be16a(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+func be32a(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Reader streams MRT records from an io.Reader.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReader returns a Reader consuming r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next returns the next record, or io.EOF at a clean end of stream.
+func (r *Reader) Next() (Record, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	ts := time.Unix(int64(binary.BigEndian.Uint32(hdr[0:])), 0).UTC()
+	typ := binary.BigEndian.Uint16(hdr[4:])
+	sub := binary.BigEndian.Uint16(hdr[6:])
+	length := binary.BigEndian.Uint32(hdr[8:])
+	const maxRecord = 1 << 24
+	if length > maxRecord {
+		return nil, fmt.Errorf("mrt: record length %d exceeds cap", length)
+	}
+	if cap(r.buf) < int(length) {
+		r.buf = make([]byte, length)
+	}
+	body := r.buf[:length]
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		return nil, fmt.Errorf("%w: body: %v", ErrTruncated, err)
+	}
+
+	// Each decoder returns a concrete pointer; convert to the Record
+	// interface only on success so a failed decode yields an untyped nil.
+	switch {
+	case typ == TypeTableDumpV2 && sub == SubtypePeerIndexTable:
+		rec, err := decodePeerIndexTable(ts, body)
+		if err != nil {
+			return nil, err
+		}
+		return rec, nil
+	case typ == TypeTableDumpV2 && sub == SubtypeRIBIPv4Unicast:
+		rec, err := decodeRIBPrefix(ts, body)
+		if err != nil {
+			return nil, err
+		}
+		return rec, nil
+	case typ == TypeBGP4MP && sub == SubtypeBGP4MPMessageAS4:
+		rec, err := decodeBGP4MP(ts, body)
+		if err != nil {
+			return nil, err
+		}
+		return rec, nil
+	default:
+		return nil, fmt.Errorf("%w: type %d subtype %d", ErrUnsupported, typ, sub)
+	}
+}
+
+func decodePeerIndexTable(ts time.Time, b []byte) (*PeerIndexTable, error) {
+	if len(b) < 8 {
+		return nil, ErrTruncated
+	}
+	p := &PeerIndexTable{When: ts, CollectorID: netx.Addr(binary.BigEndian.Uint32(b))}
+	nameLen := int(binary.BigEndian.Uint16(b[4:]))
+	if len(b) < 8+nameLen {
+		return nil, ErrTruncated
+	}
+	p.ViewName = string(b[6 : 6+nameLen])
+	count := int(binary.BigEndian.Uint16(b[6+nameLen:]))
+	b = b[8+nameLen:]
+	for i := 0; i < count; i++ {
+		if len(b) < 1 {
+			return nil, ErrTruncated
+		}
+		ptype := b[0]
+		if ptype&0x01 != 0 {
+			return nil, fmt.Errorf("mrt: IPv6 peers unsupported")
+		}
+		asLen := 2
+		if ptype&0x02 != 0 {
+			asLen = 4
+		}
+		need := 1 + 4 + 4 + asLen
+		if len(b) < need {
+			return nil, ErrTruncated
+		}
+		peer := Peer{
+			BGPID: netx.Addr(binary.BigEndian.Uint32(b[1:])),
+			Addr:  netx.Addr(binary.BigEndian.Uint32(b[5:])),
+		}
+		if asLen == 4 {
+			peer.AS = bgp.ASN(binary.BigEndian.Uint32(b[9:]))
+		} else {
+			peer.AS = bgp.ASN(binary.BigEndian.Uint16(b[9:]))
+		}
+		p.Peers = append(p.Peers, peer)
+		b = b[need:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("mrt: %d trailing bytes in peer index table", len(b))
+	}
+	return p, nil
+}
+
+func decodeRIBPrefix(ts time.Time, b []byte) (*RIBPrefix, error) {
+	if len(b) < 5 {
+		return nil, ErrTruncated
+	}
+	r := &RIBPrefix{When: ts, Sequence: binary.BigEndian.Uint32(b)}
+	bits := int(b[4])
+	if bits > 32 {
+		return nil, fmt.Errorf("mrt: prefix length %d", bits)
+	}
+	n := (bits + 7) / 8
+	if len(b) < 5+n+2 {
+		return nil, ErrTruncated
+	}
+	var a uint32
+	for i := 0; i < n; i++ {
+		a |= uint32(b[5+i]) << (24 - 8*uint(i))
+	}
+	r.Prefix = netx.PrefixFrom(netx.Addr(a), bits)
+	count := int(binary.BigEndian.Uint16(b[5+n:]))
+	b = b[7+n:]
+	for i := 0; i < count; i++ {
+		if len(b) < 8 {
+			return nil, ErrTruncated
+		}
+		e := RIBEntry{
+			PeerIndex:      binary.BigEndian.Uint16(b),
+			OriginatedTime: time.Unix(int64(binary.BigEndian.Uint32(b[2:])), 0).UTC(),
+		}
+		attrLen := int(binary.BigEndian.Uint16(b[6:]))
+		if len(b) < 8+attrLen {
+			return nil, ErrTruncated
+		}
+		if err := bgp.DecodeAttrs(b[8:8+attrLen], &e.Attrs); err != nil {
+			return nil, err
+		}
+		r.Entries = append(r.Entries, e)
+		b = b[8+attrLen:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("mrt: %d trailing bytes in RIB record", len(b))
+	}
+	return r, nil
+}
+
+func decodeBGP4MP(ts time.Time, b []byte) (*BGP4MPMessage, error) {
+	if len(b) < 20 {
+		return nil, ErrTruncated
+	}
+	afi := binary.BigEndian.Uint16(b[10:])
+	if afi != afiIPv4 {
+		return nil, fmt.Errorf("mrt: AFI %d unsupported", afi)
+	}
+	m := &BGP4MPMessage{
+		When:      ts,
+		PeerAS:    bgp.ASN(binary.BigEndian.Uint32(b)),
+		LocalAS:   bgp.ASN(binary.BigEndian.Uint32(b[4:])),
+		Interface: binary.BigEndian.Uint16(b[8:]),
+		PeerAddr:  netx.Addr(binary.BigEndian.Uint32(b[12:])),
+		LocalAddr: netx.Addr(binary.BigEndian.Uint32(b[16:])),
+	}
+	u, err := bgp.DecodeUpdate(b[20:])
+	if err != nil {
+		return nil, err
+	}
+	m.Update = u
+	return m, nil
+}
+
+// ReadAll drains r, returning every record. Errors other than io.EOF abort.
+func ReadAll(r io.Reader) ([]Record, error) {
+	mr := NewReader(r)
+	var out []Record
+	for {
+		rec, err := mr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,251 @@
+package mrt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/netx"
+)
+
+var t0 = time.Date(2019, time.June, 5, 0, 0, 0, 0, time.UTC)
+
+func samplePeerIndex() *PeerIndexTable {
+	return &PeerIndexTable{
+		When:        t0,
+		CollectorID: netx.AddrFrom4(198, 51, 100, 1),
+		ViewName:    "rv2",
+		Peers: []Peer{
+			{BGPID: netx.AddrFrom4(10, 0, 0, 1), Addr: netx.AddrFrom4(203, 0, 113, 1), AS: 64500},
+			{BGPID: netx.AddrFrom4(10, 0, 0, 2), Addr: netx.AddrFrom4(203, 0, 113, 2), AS: 4200000001},
+		},
+	}
+}
+
+func sampleRIB() *RIBPrefix {
+	return &RIBPrefix{
+		When:     t0,
+		Sequence: 17,
+		Prefix:   netx.MustParsePrefix("132.255.0.0/22"),
+		Entries: []RIBEntry{
+			{
+				PeerIndex:      0,
+				OriginatedTime: t0.Add(-24 * time.Hour),
+				Attrs: bgp.Attrs{
+					Origin: bgp.OriginIGP,
+					Path:   bgp.Sequence(64500, 21575, 263692),
+				},
+			},
+			{
+				PeerIndex:      1,
+				OriginatedTime: t0.Add(-48 * time.Hour),
+				Attrs: bgp.Attrs{
+					Origin: bgp.OriginIGP,
+					Path:   bgp.Sequence(4200000001, 50509, 263692),
+				},
+			},
+		},
+	}
+}
+
+func sampleBGP4MP() *BGP4MPMessage {
+	return &BGP4MPMessage{
+		When:      t0.Add(time.Hour),
+		PeerAS:    64500,
+		LocalAS:   6447,
+		PeerAddr:  netx.AddrFrom4(203, 0, 113, 1),
+		LocalAddr: netx.AddrFrom4(198, 51, 100, 1),
+		Update: &bgp.Update{
+			Attrs: bgp.Attrs{
+				Origin:     bgp.OriginIGP,
+				Path:       bgp.Sequence(64500, 263692),
+				NextHop:    netx.AddrFrom4(203, 0, 113, 1),
+				HasNextHop: true,
+			},
+			NLRI: []netx.Prefix{netx.MustParsePrefix("132.255.0.0/22")},
+		},
+	}
+}
+
+func TestRoundTripAllRecordTypes(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, rec := range []Record{samplePeerIndex(), sampleRIB(), sampleBGP4MP()} {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records", len(recs))
+	}
+
+	pit, ok := recs[0].(*PeerIndexTable)
+	if !ok {
+		t.Fatalf("record 0 is %T", recs[0])
+	}
+	if pit.ViewName != "rv2" || len(pit.Peers) != 2 || pit.Peers[1].AS != 4200000001 {
+		t.Errorf("peer index = %+v", pit)
+	}
+	if !pit.Timestamp().Equal(t0) {
+		t.Errorf("timestamp = %v", pit.Timestamp())
+	}
+
+	rib, ok := recs[1].(*RIBPrefix)
+	if !ok {
+		t.Fatalf("record 1 is %T", recs[1])
+	}
+	if rib.Prefix.String() != "132.255.0.0/22" || rib.Sequence != 17 || len(rib.Entries) != 2 {
+		t.Errorf("rib = %+v", rib)
+	}
+	if o, _ := rib.Entries[1].Attrs.Path.Origin(); o != 263692 {
+		t.Errorf("entry 1 origin = %v", o)
+	}
+	if !rib.Entries[0].OriginatedTime.Equal(t0.Add(-24 * time.Hour)) {
+		t.Errorf("originated = %v", rib.Entries[0].OriginatedTime)
+	}
+
+	msg, ok := recs[2].(*BGP4MPMessage)
+	if !ok {
+		t.Fatalf("record 2 is %T", recs[2])
+	}
+	if msg.PeerAS != 64500 || msg.LocalAS != 6447 || len(msg.Update.NLRI) != 1 {
+		t.Errorf("bgp4mp = %+v", msg)
+	}
+}
+
+func TestZeroLengthPrefixRIB(t *testing.T) {
+	r := sampleRIB()
+	r.Prefix = netx.MustParsePrefix("0.0.0.0/0")
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write(r); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].(*RIBPrefix).Prefix.Bits() != 0 {
+		t.Error("default route round trip")
+	}
+}
+
+func TestReaderCleanEOF(t *testing.T) {
+	recs, err := ReadAll(bytes.NewReader(nil))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("empty stream: %v %v", recs, err)
+	}
+}
+
+func TestReaderTruncatedHeader(t *testing.T) {
+	_, err := ReadAll(bytes.NewReader([]byte{1, 2, 3}))
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReaderTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write(sampleRIB()); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5]
+	_, err := ReadAll(bytes.NewReader(cut))
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReaderUnsupportedType(t *testing.T) {
+	// Type 11 (TABLE_DUMP, old format) is not supported.
+	raw := []byte{0, 0, 0, 0, 0, 11, 0, 1, 0, 0, 0, 0}
+	_, err := ReadAll(bytes.NewReader(raw))
+	if !errors.Is(err, ErrUnsupported) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReaderRejectsHugeRecord(t *testing.T) {
+	raw := []byte{0, 0, 0, 0, 0, 13, 0, 2, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadAll(bytes.NewReader(raw)); err == nil {
+		t.Error("oversized record length should fail")
+	}
+}
+
+func TestWriterRejectsUnknownRecord(t *testing.T) {
+	err := NewWriter(io.Discard).Write(nil)
+	if !errors.Is(err, ErrUnsupported) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestManyRecordsStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const n = 500
+	for i := 0; i < n; i++ {
+		r := sampleRIB()
+		r.Sequence = uint32(i)
+		r.Prefix = netx.PrefixFrom(netx.AddrFrom4(10, byte(i>>8), byte(i), 0), 24)
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := NewReader(&buf)
+	for i := 0; i < n; i++ {
+		rec, err := rd.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.(*RIBPrefix).Sequence != uint32(i) {
+			t.Fatalf("record %d out of order", i)
+		}
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestDecodeFuzzSafety(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write(samplePeerIndex())
+	_ = w.Write(sampleRIB())
+	_ = w.Write(sampleBGP4MP())
+	wire := buf.Bytes()
+
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		mut := append([]byte(nil), wire...)
+		for j := 0; j < 1+rng.Intn(6); j++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		// Must never panic; errors are fine. Length-field mutations are
+		// bounded by the record cap so memory stays sane.
+		_, _ = ReadAll(bytes.NewReader(mut))
+	}
+}
+
+func TestPeerIndexTrailingBytesRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write(samplePeerIndex()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Extend declared record length by one and add a junk byte.
+	bodyLen := uint32(raw[8])<<24 | uint32(raw[9])<<16 | uint32(raw[10])<<8 | uint32(raw[11])
+	bodyLen++
+	raw[8], raw[9], raw[10], raw[11] = byte(bodyLen>>24), byte(bodyLen>>16), byte(bodyLen>>8), byte(bodyLen)
+	raw = append(raw, 0xAA)
+	if _, err := ReadAll(bytes.NewReader(raw)); err == nil {
+		t.Error("trailing bytes should be rejected")
+	}
+}

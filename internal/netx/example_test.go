@@ -1,0 +1,35 @@
+package netx_test
+
+import (
+	"fmt"
+
+	"dropscope/internal/netx"
+)
+
+// ExampleTrie_LongestMatch shows longest-prefix matching, the join
+// underlying every archive correlation in the pipeline.
+func ExampleTrie_LongestMatch() {
+	var t netx.Trie[string]
+	t.Insert(netx.MustParsePrefix("10.0.0.0/8"), "aggregate")
+	t.Insert(netx.MustParsePrefix("10.1.0.0/16"), "customer")
+
+	pfx, val, _ := t.LongestMatch(netx.MustParsePrefix("10.1.2.0/24"))
+	fmt.Println(pfx, val)
+	pfx, val, _ = t.LongestMatch(netx.MustParsePrefix("10.9.0.0/16"))
+	fmt.Println(pfx, val)
+	// Output:
+	// 10.1.0.0/16 customer
+	// 10.0.0.0/8 aggregate
+}
+
+// ExampleSet_SlashEquivalents shows the /8-equivalent accounting used for
+// the paper's address-space figures.
+func ExampleSet_SlashEquivalents() {
+	var s netx.Set
+	s.Add(netx.MustParsePrefix("41.0.0.0/8"))
+	s.Add(netx.MustParsePrefix("41.0.0.0/16")) // nested: no double count
+	s.Add(netx.MustParsePrefix("102.0.0.0/9"))
+	fmt.Printf("%.1f /8 equivalents\n", s.SlashEquivalents(8))
+	// Output:
+	// 1.5 /8 equivalents
+}

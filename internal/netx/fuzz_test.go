@@ -1,0 +1,40 @@
+package netx
+
+import "testing"
+
+func FuzzParsePrefix(f *testing.F) {
+	for _, seed := range []string{
+		"192.0.2.0/24", "0.0.0.0/0", "255.255.255.255/32", "10.0.0.0/8",
+		"", "/", "1.2.3.4", "1.2.3.4/", "999.0.0.0/8", "1.2.3.4/33",
+		"1.2.3.4/-1", "a.b.c.d/24", "1..2.3/8", "192.0.2.1/24",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		// Any accepted prefix must round-trip exactly.
+		back, err := ParsePrefix(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip %q -> %v -> %v (%v)", s, p, back, err)
+		}
+	})
+}
+
+func FuzzParseAddr(f *testing.F) {
+	for _, seed := range []string{"0.0.0.0", "255.255.255.255", "1.2.3.4", "", "256.1.1.1", "1.2.3", "....", "01.02.03.04"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseAddr(a.String())
+		if err != nil || back != a {
+			t.Fatalf("round trip %q -> %v -> %v (%v)", s, a, back, err)
+		}
+	})
+}

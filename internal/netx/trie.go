@@ -1,0 +1,155 @@
+package netx
+
+// Trie is a binary (Patricia-style, path-expanded) trie keyed by Prefix.
+// Each node corresponds to one bit of the address; values attach to the
+// node at the prefix's depth. The zero value is an empty trie ready to use.
+//
+// Trie supports exact lookup, longest-prefix match, covering-entry and
+// covered-entry enumeration — the operations the analysis pipeline needs
+// to join blocklist prefixes against RIBs, ROAs, IRR objects, and RIR
+// delegations.
+type Trie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// Len returns the number of prefixes stored in t.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Insert stores val under p, replacing any existing value.
+func (t *Trie[V]) Insert(p Prefix, val V) {
+	if t.root == nil {
+		t.root = &trieNode[V]{}
+	}
+	n := t.root
+	for depth := 0; depth < p.Bits(); depth++ {
+		b := bitAt(p.Addr(), depth)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val, n.set = val, true
+}
+
+// Delete removes the entry for p, reporting whether it was present.
+// Empty interior nodes are left in place; tries in this pipeline are
+// built once and queried many times, so compaction is not worth it.
+func (t *Trie[V]) Delete(p Prefix) bool {
+	n := t.root
+	for depth := 0; n != nil && depth < p.Bits(); depth++ {
+		n = n.child[bitAt(p.Addr(), depth)]
+	}
+	if n == nil || !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	return true
+}
+
+// Get returns the value stored at exactly p.
+func (t *Trie[V]) Get(p Prefix) (V, bool) {
+	n := t.root
+	for depth := 0; n != nil && depth < p.Bits(); depth++ {
+		n = n.child[bitAt(p.Addr(), depth)]
+	}
+	if n == nil || !n.set {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// LongestMatch returns the most specific stored prefix that covers p,
+// along with its value. It reports false if no stored prefix covers p.
+func (t *Trie[V]) LongestMatch(p Prefix) (Prefix, V, bool) {
+	var (
+		best    Prefix
+		bestVal V
+		found   bool
+	)
+	n := t.root
+	for depth := 0; n != nil; depth++ {
+		if n.set {
+			best = PrefixFrom(p.Addr(), depth)
+			bestVal = n.val
+			found = true
+		}
+		if depth == p.Bits() {
+			break
+		}
+		n = n.child[bitAt(p.Addr(), depth)]
+	}
+	return best, bestVal, found
+}
+
+// Covering calls fn for every stored prefix that covers p (equal or less
+// specific), from / shortest to longest. fn returning false stops the walk.
+func (t *Trie[V]) Covering(p Prefix, fn func(Prefix, V) bool) {
+	n := t.root
+	for depth := 0; n != nil; depth++ {
+		if n.set {
+			if !fn(PrefixFrom(p.Addr(), depth), n.val) {
+				return
+			}
+		}
+		if depth == p.Bits() {
+			return
+		}
+		n = n.child[bitAt(p.Addr(), depth)]
+	}
+}
+
+// CoveredBy calls fn for every stored prefix covered by p (equal or more
+// specific), in address order. fn returning false stops the walk.
+func (t *Trie[V]) CoveredBy(p Prefix, fn func(Prefix, V) bool) {
+	n := t.root
+	for depth := 0; n != nil && depth < p.Bits(); depth++ {
+		n = n.child[bitAt(p.Addr(), depth)]
+	}
+	if n == nil {
+		return
+	}
+	walk(n, p, fn)
+}
+
+// Walk calls fn for every stored prefix in address order.
+func (t *Trie[V]) Walk(fn func(Prefix, V) bool) {
+	if t.root == nil {
+		return
+	}
+	walk(t.root, Prefix{}, fn)
+}
+
+func walk[V any](n *trieNode[V], at Prefix, fn func(Prefix, V) bool) bool {
+	if n.set && !fn(at, n.val) {
+		return false
+	}
+	if at.Bits() == 32 {
+		return true
+	}
+	lo, hi := at.Halves()
+	if n.child[0] != nil && !walk(n.child[0], lo, fn) {
+		return false
+	}
+	if n.child[1] != nil && !walk(n.child[1], hi, fn) {
+		return false
+	}
+	return true
+}
+
+// bitAt returns bit number depth of a, counting from the most significant.
+func bitAt(a Addr, depth int) int {
+	return int(a>>(31-uint(depth))) & 1
+}

@@ -1,0 +1,206 @@
+package netx
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrieInsertGet(t *testing.T) {
+	var tr Trie[int]
+	p := MustParsePrefix("10.0.0.0/8")
+	tr.Insert(p, 42)
+	if v, ok := tr.Get(p); !ok || v != 42 {
+		t.Fatalf("Get = %v,%v", v, ok)
+	}
+	if _, ok := tr.Get(MustParsePrefix("10.0.0.0/9")); ok {
+		t.Error("more specific should not be present")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	tr.Insert(p, 7) // replace
+	if v, _ := tr.Get(p); v != 7 {
+		t.Errorf("replace failed: %v", v)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len after replace = %d", tr.Len())
+	}
+}
+
+func TestTrieDefaultRoute(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(MustParsePrefix("0.0.0.0/0"), "default")
+	pfx, v, ok := tr.LongestMatch(MustParsePrefix("203.0.113.7/32"))
+	if !ok || v != "default" || pfx.String() != "0.0.0.0/0" {
+		t.Fatalf("LongestMatch via default = %v %v %v", pfx, v, ok)
+	}
+}
+
+func TestTrieLongestMatch(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), "eight")
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), "sixteen")
+	tr.Insert(MustParsePrefix("10.1.2.0/24"), "twentyfour")
+
+	cases := []struct {
+		q, wantPfx, wantVal string
+		ok                  bool
+	}{
+		{"10.1.2.3/32", "10.1.2.0/24", "twentyfour", true},
+		{"10.1.3.0/24", "10.1.0.0/16", "sixteen", true},
+		{"10.2.0.0/16", "10.0.0.0/8", "eight", true},
+		{"10.1.2.0/24", "10.1.2.0/24", "twentyfour", true}, // exact counts
+		{"10.16.0.0/12", "10.0.0.0/8", "eight", true},      // shorter query
+		{"11.0.0.0/8", "", "", false},
+	}
+	for _, c := range cases {
+		pfx, v, ok := tr.LongestMatch(MustParsePrefix(c.q))
+		if ok != c.ok {
+			t.Errorf("LongestMatch(%s) ok=%v want %v", c.q, ok, c.ok)
+			continue
+		}
+		if ok && (pfx.String() != c.wantPfx || v != c.wantVal) {
+			t.Errorf("LongestMatch(%s) = %v,%q want %v,%q", c.q, pfx, v, c.wantPfx, c.wantVal)
+		}
+	}
+}
+
+func TestTrieDelete(t *testing.T) {
+	var tr Trie[int]
+	p := MustParsePrefix("192.0.2.0/24")
+	tr.Insert(p, 1)
+	if !tr.Delete(p) {
+		t.Fatal("Delete should report present")
+	}
+	if tr.Delete(p) {
+		t.Fatal("second Delete should report absent")
+	}
+	if _, ok := tr.Get(p); ok {
+		t.Fatal("deleted entry still present")
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestTrieCovering(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 8)
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), 16)
+	tr.Insert(MustParsePrefix("10.1.2.0/24"), 24)
+	tr.Insert(MustParsePrefix("11.0.0.0/8"), 0)
+
+	var got []int
+	tr.Covering(MustParsePrefix("10.1.2.0/24"), func(_ Prefix, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 3 || got[0] != 8 || got[1] != 16 || got[2] != 24 {
+		t.Fatalf("Covering = %v", got)
+	}
+
+	// Early stop.
+	got = got[:0]
+	tr.Covering(MustParsePrefix("10.1.2.0/24"), func(_ Prefix, v int) bool {
+		got = append(got, v)
+		return false
+	})
+	if len(got) != 1 {
+		t.Fatalf("Covering with early stop = %v", got)
+	}
+}
+
+func TestTrieCoveredBy(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 8)
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), 16)
+	tr.Insert(MustParsePrefix("10.1.2.0/24"), 24)
+	tr.Insert(MustParsePrefix("10.200.0.0/16"), 200)
+	tr.Insert(MustParsePrefix("11.0.0.0/8"), 0)
+
+	var got []int
+	tr.CoveredBy(MustParsePrefix("10.0.0.0/8"), func(_ Prefix, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 4 {
+		t.Fatalf("CoveredBy = %v", got)
+	}
+	if got[0] != 8 || got[1] != 16 || got[2] != 24 || got[3] != 200 {
+		t.Fatalf("CoveredBy order = %v", got)
+	}
+}
+
+func TestTrieWalkOrder(t *testing.T) {
+	var tr Trie[struct{}]
+	in := []string{"192.0.2.0/24", "10.0.0.0/8", "10.0.0.0/16", "172.16.0.0/12"}
+	for _, s := range in {
+		tr.Insert(MustParsePrefix(s), struct{}{})
+	}
+	var got []string
+	tr.Walk(func(p Prefix, _ struct{}) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"10.0.0.0/8", "10.0.0.0/16", "172.16.0.0/12", "192.0.2.0/24"}
+	if len(got) != len(want) {
+		t.Fatalf("Walk = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Walk order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTrieEmptyOperations(t *testing.T) {
+	var tr Trie[int]
+	if tr.Len() != 0 {
+		t.Error("empty trie Len != 0")
+	}
+	if _, ok := tr.Get(MustParsePrefix("10.0.0.0/8")); ok {
+		t.Error("Get on empty trie")
+	}
+	if _, _, ok := tr.LongestMatch(MustParsePrefix("10.0.0.0/8")); ok {
+		t.Error("LongestMatch on empty trie")
+	}
+	if tr.Delete(MustParsePrefix("10.0.0.0/8")) {
+		t.Error("Delete on empty trie")
+	}
+	tr.Walk(func(Prefix, int) bool { t.Error("Walk on empty trie called fn"); return false })
+}
+
+// TestTrieMatchesLinearScan cross-checks LongestMatch against a brute-force
+// reference over random prefix sets.
+func TestTrieMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		var tr Trie[int]
+		var all []Prefix
+		for i := 0; i < 200; i++ {
+			p := PrefixFrom(Addr(rng.Uint32()), 4+rng.Intn(29))
+			if _, ok := tr.Get(p); ok {
+				continue
+			}
+			tr.Insert(p, i)
+			all = append(all, p)
+		}
+		for i := 0; i < 200; i++ {
+			q := PrefixFrom(Addr(rng.Uint32()), rng.Intn(33))
+			var best Prefix
+			found := false
+			for _, p := range all {
+				if p.Covers(q) && (!found || p.Bits() > best.Bits()) {
+					best, found = p, true
+				}
+			}
+			gotPfx, _, gotOK := tr.LongestMatch(q)
+			if gotOK != found {
+				t.Fatalf("trial %d: LongestMatch(%v) ok=%v want %v", trial, q, gotOK, found)
+			}
+			if found && gotPfx != best {
+				t.Fatalf("trial %d: LongestMatch(%v) = %v want %v", trial, q, gotPfx, best)
+			}
+		}
+	}
+}

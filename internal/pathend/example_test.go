@@ -1,0 +1,24 @@
+package pathend_test
+
+import (
+	"fmt"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/pathend"
+)
+
+// Example shows how path-end validation catches the forged-origin hijack
+// that origin validation alone accepts (the paper's §6.1 case).
+func Example() {
+	t := pathend.NewTable()
+	_ = t.Add(pathend.Record{Origin: 263692, Neighbors: []bgp.ASN{21575}})
+
+	legit := bgp.Sequence(1001, 21575, 263692)
+	hijack := bgp.Sequence(1004, 34665, 50509, 263692)
+
+	fmt.Println("owner via AS21575: ", t.Validate(legit))
+	fmt.Println("hijack via AS50509:", t.Validate(hijack))
+	// Output:
+	// owner via AS21575:  valid
+	// hijack via AS50509: invalid
+}

@@ -1,0 +1,143 @@
+// Package pathend implements path-end validation (Cohen et al., SIGCOMM
+// 2016), the lightweight AS-path defense the paper discusses in §2.3: the
+// resource holder signs the set of ASNs allowed to appear adjacent to its
+// origin. A forged-origin hijack — RPKI-valid under plain origin
+// validation — fails path-end validation because the hijacker's transit
+// is not an authorized neighbor.
+package pathend
+
+import (
+	"fmt"
+	"sort"
+
+	"dropscope/internal/bgp"
+)
+
+// Record authorizes the neighbors of one origin AS.
+type Record struct {
+	Origin    bgp.ASN
+	Neighbors []bgp.ASN // ASes allowed adjacent to Origin in announcements
+}
+
+// Validity is a path-end validation outcome.
+type Validity int
+
+// Outcomes.
+const (
+	NotFound Validity = iota // origin has no record; validation is silent
+	Valid                    // neighbor authorized (or origin is the peer itself)
+	Invalid                  // neighbor not in the origin's record
+)
+
+// String names the outcome.
+func (v Validity) String() string {
+	switch v {
+	case Valid:
+		return "valid"
+	case Invalid:
+		return "invalid"
+	default:
+		return "notfound"
+	}
+}
+
+// Table holds path-end records keyed by origin.
+type Table struct {
+	records map[bgp.ASN]map[bgp.ASN]bool
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{records: make(map[bgp.ASN]map[bgp.ASN]bool)}
+}
+
+// Add registers (or extends) the record for rec.Origin.
+func (t *Table) Add(rec Record) error {
+	if rec.Origin == bgp.AS0 {
+		return fmt.Errorf("pathend: AS0 cannot originate")
+	}
+	set := t.records[rec.Origin]
+	if set == nil {
+		set = make(map[bgp.ASN]bool)
+		t.records[rec.Origin] = set
+	}
+	for _, n := range rec.Neighbors {
+		set[n] = true
+	}
+	return nil
+}
+
+// Len returns the number of origins with records.
+func (t *Table) Len() int { return len(t.records) }
+
+// Record returns the stored record for origin, if any.
+func (t *Table) Record(origin bgp.ASN) (Record, bool) {
+	set, ok := t.records[origin]
+	if !ok {
+		return Record{}, false
+	}
+	rec := Record{Origin: origin}
+	for n := range set {
+		rec.Neighbors = append(rec.Neighbors, n)
+	}
+	sort.Slice(rec.Neighbors, func(i, j int) bool { return rec.Neighbors[i] < rec.Neighbors[j] })
+	return rec, true
+}
+
+// Validate checks the end of an AS path: the AS adjacent to the origin
+// must be one of the origin's authorized neighbors. Paths where the
+// collector peer IS the origin (no adjacent AS) validate trivially.
+// Paths ending in an AS_SET cannot be validated and return Invalid when
+// the set's members include an origin with a record (conservative), else
+// NotFound.
+func (t *Table) Validate(path bgp.ASPath) Validity {
+	if len(path) == 0 {
+		return NotFound
+	}
+	last := path[len(path)-1]
+	if last.Type != bgp.SegmentSequence || len(last.ASNs) == 0 {
+		// AS_SET-terminated: conservative handling.
+		for _, a := range last.ASNs {
+			if _, ok := t.records[a]; ok {
+				return Invalid
+			}
+		}
+		return NotFound
+	}
+	origin := last.ASNs[len(last.ASNs)-1]
+	set, ok := t.records[origin]
+	if !ok {
+		return NotFound
+	}
+	// Find the AS adjacent to the origin, crossing segment boundaries.
+	var neighbor bgp.ASN
+	if len(last.ASNs) >= 2 {
+		neighbor = last.ASNs[len(last.ASNs)-2]
+	} else if len(path) >= 2 {
+		prev := path[len(path)-2]
+		if len(prev.ASNs) == 0 {
+			return Invalid
+		}
+		neighbor = prev.ASNs[len(prev.ASNs)-1]
+	} else {
+		// Single-element path: the origin announced directly to the
+		// collector peer; there is no adjacency to check.
+		return Valid
+	}
+	// Prepending: the origin may appear multiple times; skip self-loops.
+	if neighbor == origin {
+		seq := last.ASNs
+		i := len(seq) - 1
+		for i >= 0 && seq[i] == origin {
+			i--
+		}
+		if i < 0 {
+			return Valid // the whole path is the origin prepending itself
+		}
+		neighbor = seq[i]
+	}
+	if set[neighbor] {
+		return Valid
+	}
+	return Invalid
+}

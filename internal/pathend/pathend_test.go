@@ -1,0 +1,130 @@
+package pathend
+
+import (
+	"testing"
+
+	"dropscope/internal/bgp"
+)
+
+func table(t *testing.T) *Table {
+	t.Helper()
+	tb := NewTable()
+	// AS263692's only legitimate transit is AS21575 (the case study).
+	if err := tb.Add(Record{Origin: 263692, Neighbors: []bgp.ASN{21575}}); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestValidateLegitimatePath(t *testing.T) {
+	tb := table(t)
+	if got := tb.Validate(bgp.Sequence(1001, 21575, 263692)); got != Valid {
+		t.Errorf("legitimate path = %v", got)
+	}
+}
+
+func TestForgedOriginHijackDetected(t *testing.T) {
+	tb := table(t)
+	// The paper's RPKI-valid hijack: origin spoofed, but the adjacent AS
+	// is the hijacker's transit AS50509, not AS21575.
+	if got := tb.Validate(bgp.Sequence(1004, 34665, 50509, 263692)); got != Invalid {
+		t.Errorf("forged-origin hijack = %v, want invalid", got)
+	}
+}
+
+func TestNoRecordIsSilent(t *testing.T) {
+	tb := table(t)
+	if got := tb.Validate(bgp.Sequence(1001, 3356, 15169)); got != NotFound {
+		t.Errorf("unrecorded origin = %v", got)
+	}
+	if got := tb.Validate(nil); got != NotFound {
+		t.Errorf("empty path = %v", got)
+	}
+}
+
+func TestPrependingTolerated(t *testing.T) {
+	tb := table(t)
+	if got := tb.Validate(bgp.Sequence(1001, 21575, 263692, 263692, 263692)); got != Valid {
+		t.Errorf("prepended legitimate path = %v", got)
+	}
+	if got := tb.Validate(bgp.Sequence(1001, 50509, 263692, 263692)); got != Invalid {
+		t.Errorf("prepended hijack = %v", got)
+	}
+	// Degenerate: path that is only the origin prepending itself.
+	if got := tb.Validate(bgp.Sequence(263692, 263692)); got != Valid {
+		t.Errorf("self-only path = %v", got)
+	}
+}
+
+func TestDirectPeering(t *testing.T) {
+	tb := table(t)
+	// Collector peers directly with the origin: nothing to check.
+	if got := tb.Validate(bgp.Sequence(263692)); got != Valid {
+		t.Errorf("direct origin path = %v", got)
+	}
+}
+
+func TestSegmentBoundaryAdjacency(t *testing.T) {
+	tb := table(t)
+	// Origin alone in the last sequence segment; neighbor in the prior one.
+	path := bgp.ASPath{
+		{Type: bgp.SegmentSequence, ASNs: []bgp.ASN{1001, 21575}},
+		{Type: bgp.SegmentSequence, ASNs: []bgp.ASN{263692}},
+	}
+	if got := tb.Validate(path); got != Valid {
+		t.Errorf("cross-segment neighbor = %v", got)
+	}
+	bad := bgp.ASPath{
+		{Type: bgp.SegmentSequence, ASNs: []bgp.ASN{1001, 50509}},
+		{Type: bgp.SegmentSequence, ASNs: []bgp.ASN{263692}},
+	}
+	if got := tb.Validate(bad); got != Invalid {
+		t.Errorf("cross-segment hijack = %v", got)
+	}
+}
+
+func TestASSetTermination(t *testing.T) {
+	tb := table(t)
+	withRecorded := bgp.ASPath{
+		{Type: bgp.SegmentSequence, ASNs: []bgp.ASN{1001}},
+		{Type: bgp.SegmentSet, ASNs: []bgp.ASN{263692, 99}},
+	}
+	if got := tb.Validate(withRecorded); got != Invalid {
+		t.Errorf("AS_SET hiding recorded origin = %v", got)
+	}
+	without := bgp.ASPath{
+		{Type: bgp.SegmentSequence, ASNs: []bgp.ASN{1001}},
+		{Type: bgp.SegmentSet, ASNs: []bgp.ASN{42, 99}},
+	}
+	if got := tb.Validate(without); got != NotFound {
+		t.Errorf("AS_SET without recorded origin = %v", got)
+	}
+}
+
+func TestRecordAccessors(t *testing.T) {
+	tb := NewTable()
+	if err := tb.Add(Record{Origin: 7, Neighbors: []bgp.ASN{3, 1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Add(Record{Origin: 7, Neighbors: []bgp.ASN{5}}); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := tb.Record(7)
+	if !ok || len(rec.Neighbors) != 4 {
+		t.Fatalf("record = %+v", rec)
+	}
+	for i := 1; i < len(rec.Neighbors); i++ {
+		if rec.Neighbors[i-1] >= rec.Neighbors[i] {
+			t.Errorf("neighbors unsorted: %v", rec.Neighbors)
+		}
+	}
+	if _, ok := tb.Record(8); ok {
+		t.Error("missing record reported present")
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	if err := tb.Add(Record{Origin: bgp.AS0}); err == nil {
+		t.Error("AS0 record should be rejected")
+	}
+}

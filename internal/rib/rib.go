@@ -1,0 +1,515 @@
+// Package rib reassembles per-peer routing tables from MRT archives and
+// answers the temporal queries the paper's analysis needs: how many peers
+// observed a prefix on a given day, which AS originated it, whether any
+// announcement covered a block of address space, and full origination
+// timelines for case-study prefixes.
+//
+// An Index is built by loading each collector's RIB dump (PEER_INDEX_TABLE
+// followed by RIB_IPV4_UNICAST records) and then replaying the interleaved
+// BGP4MP update stream. Routes are tracked as day-resolution presence
+// intervals per (prefix, peer).
+package rib
+
+import (
+	"fmt"
+	"sort"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/mrt"
+	"dropscope/internal/netx"
+	"dropscope/internal/timex"
+)
+
+// PeerRef identifies one peer of one collector.
+type PeerRef struct {
+	Collector string
+	Addr      netx.Addr
+	AS        bgp.ASN
+}
+
+// String renders the peer as "collector/AS64500/203.0.113.1".
+func (p PeerRef) String() string {
+	return fmt.Sprintf("%s/%s/%s", p.Collector, p.AS, p.Addr)
+}
+
+// span is a half-open day interval [From, To) during which a peer carried
+// a route. To == openEnd while the route is still installed.
+type span struct {
+	From, To timex.Day
+	Origin   bgp.ASN
+	Neighbor bgp.ASN // first AS in the path (the peer's own AS typically)
+	Path     bgp.ASPath
+}
+
+const openEnd = timex.Day(1<<31 - 1)
+
+// prefixHist is the full observation history of one prefix.
+type prefixHist struct {
+	byPeer map[int][]span // peer id -> closed and open spans, in time order
+}
+
+// Index is the reassembled multi-collector view.
+type Index struct {
+	peers   []PeerRef
+	peerIDs map[PeerRef]int
+	// peerTables maps collector name -> MRT peer index -> global peer id.
+	peerTables map[string][]int
+	prefixes   map[netx.Prefix]*prefixHist
+	trie       netx.Trie[*prefixHist] // for covering queries; built lazily
+	trieBuilt  bool
+	closed     bool
+}
+
+// NewIndex returns an empty Index.
+func NewIndex() *Index {
+	return &Index{
+		peerIDs:    make(map[PeerRef]int),
+		peerTables: make(map[string][]int),
+		prefixes:   make(map[netx.Prefix]*prefixHist),
+	}
+}
+
+// Peers returns all peers registered via peer index tables, in
+// registration order.
+func (ix *Index) Peers() []PeerRef { return ix.peers }
+
+// NumPrefixes returns the number of distinct prefixes ever observed.
+func (ix *Index) NumPrefixes() int { return len(ix.prefixes) }
+
+func (ix *Index) peerID(ref PeerRef) int {
+	if id, ok := ix.peerIDs[ref]; ok {
+		return id
+	}
+	id := len(ix.peers)
+	ix.peers = append(ix.peers, ref)
+	ix.peerIDs[ref] = id
+	return id
+}
+
+func (ix *Index) hist(p netx.Prefix) *prefixHist {
+	h, ok := ix.prefixes[p]
+	if !ok {
+		h = &prefixHist{byPeer: make(map[int][]span)}
+		ix.prefixes[p] = h
+		ix.trieBuilt = false
+	}
+	return h
+}
+
+// Load consumes one collector's MRT record stream: a PEER_INDEX_TABLE
+// declares the peer set, RIB_IPV4_UNICAST records seed routes, and
+// BGP4MP messages open and close presence intervals. Records must be in
+// timestamp order within the stream.
+func (ix *Index) Load(collector string, recs []mrt.Record) error {
+	if ix.closed {
+		return fmt.Errorf("rib: index already closed")
+	}
+	for _, rec := range recs {
+		switch r := rec.(type) {
+		case *mrt.PeerIndexTable:
+			table := make([]int, len(r.Peers))
+			for i, p := range r.Peers {
+				table[i] = ix.peerID(PeerRef{Collector: collector, Addr: p.Addr, AS: p.AS})
+			}
+			ix.peerTables[collector] = table
+		case *mrt.RIBPrefix:
+			table := ix.peerTables[collector]
+			if table == nil {
+				return fmt.Errorf("rib: %s: RIB record before peer index table", collector)
+			}
+			day := timex.FromTime(r.When)
+			h := ix.hist(r.Prefix)
+			for _, e := range r.Entries {
+				if int(e.PeerIndex) >= len(table) {
+					return fmt.Errorf("rib: %s: peer index %d out of range", collector, e.PeerIndex)
+				}
+				ix.open(h, table[e.PeerIndex], day, e.Attrs.Path)
+			}
+		case *mrt.BGP4MPMessage:
+			day := timex.FromTime(r.When)
+			pid := ix.peerID(PeerRef{Collector: collector, Addr: r.PeerAddr, AS: r.PeerAS})
+			for _, p := range r.Update.Withdrawn {
+				ix.close(ix.hist(p), pid, day)
+			}
+			for _, p := range r.Update.NLRI {
+				ix.open(ix.hist(p), pid, day, r.Update.Attrs.Path)
+			}
+		default:
+			return fmt.Errorf("rib: unsupported record %T", rec)
+		}
+	}
+	return nil
+}
+
+// open starts (or re-points) the peer's route for the prefix.
+func (ix *Index) open(h *prefixHist, pid int, day timex.Day, path bgp.ASPath) {
+	spans := h.byPeer[pid]
+	origin, _ := path.Origin()
+	neighbor, _ := path.First()
+	if n := len(spans); n > 0 && spans[n-1].To == openEnd {
+		last := &spans[n-1]
+		if last.Path.Equal(path) {
+			return // implicit re-announcement of the same route
+		}
+		// Implicit withdraw: route replaced by a different path same day.
+		last.To = day
+		if last.To < last.From {
+			last.To = last.From
+		}
+	}
+	h.byPeer[pid] = append(spans, span{From: day, To: openEnd, Origin: origin, Neighbor: neighbor, Path: path})
+}
+
+// close ends the peer's open route for the prefix, if any.
+func (ix *Index) close(h *prefixHist, pid int, day timex.Day) {
+	spans := h.byPeer[pid]
+	if n := len(spans); n > 0 && spans[n-1].To == openEnd {
+		spans[n-1].To = day
+		if spans[n-1].To < spans[n-1].From {
+			spans[n-1].To = spans[n-1].From
+		}
+	}
+}
+
+// Close finalizes the index. Routes still installed are treated as
+// remaining installed through end. Queries before Close see open routes
+// as present at any later day, so Close is optional but recommended.
+func (ix *Index) Close(end timex.Day) {
+	for _, h := range ix.prefixes {
+		for pid, spans := range h.byPeer {
+			for i := range spans {
+				if spans[i].To == openEnd {
+					spans[i].To = end + 1
+				}
+			}
+			h.byPeer[pid] = spans
+		}
+	}
+	ix.closed = true
+}
+
+// observedBy reports whether peer pid carried a route for h on day d,
+// and returns the active span.
+func (h *prefixHist) observedBy(pid int, d timex.Day) (span, bool) {
+	for _, s := range h.byPeer[pid] {
+		if d >= s.From && d < s.To {
+			return s, true
+		}
+	}
+	return span{}, false
+}
+
+// PeersObserving returns the peers that carried an exact route for p on
+// day d.
+func (ix *Index) PeersObserving(p netx.Prefix, d timex.Day) []PeerRef {
+	h, ok := ix.prefixes[p]
+	if !ok {
+		return nil
+	}
+	var out []PeerRef
+	for pid := range ix.peers {
+		if _, ok := h.observedBy(pid, d); ok {
+			out = append(out, ix.peers[pid])
+		}
+	}
+	return out
+}
+
+// VisibleFraction returns the fraction of all registered peers that
+// carried an exact route for p on day d. With no registered peers it
+// returns 0.
+func (ix *Index) VisibleFraction(p netx.Prefix, d timex.Day) float64 {
+	if len(ix.peers) == 0 {
+		return 0
+	}
+	h, ok := ix.prefixes[p]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for pid := range ix.peers {
+		if _, ok := h.observedBy(pid, d); ok {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ix.peers))
+}
+
+// Observed reports whether any peer carried an exact route for p on day d.
+func (ix *Index) Observed(p netx.Prefix, d timex.Day) bool {
+	h, ok := ix.prefixes[p]
+	if !ok {
+		return false
+	}
+	for pid := range ix.peers {
+		if _, ok := h.observedBy(pid, d); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// PeerObserved reports whether the specific peer carried an exact route
+// for p on day d.
+func (ix *Index) PeerObserved(ref PeerRef, p netx.Prefix, d timex.Day) bool {
+	h, ok := ix.prefixes[p]
+	if !ok {
+		return false
+	}
+	pid, ok := ix.peerIDs[ref]
+	if !ok {
+		return false
+	}
+	_, seen := h.observedBy(pid, d)
+	return seen
+}
+
+// OriginAt returns the plurality origin AS across peers observing p on
+// day d.
+func (ix *Index) OriginAt(p netx.Prefix, d timex.Day) (bgp.ASN, bool) {
+	h, ok := ix.prefixes[p]
+	if !ok {
+		return 0, false
+	}
+	counts := make(map[bgp.ASN]int)
+	for pid := range ix.peers {
+		if s, ok := h.observedBy(pid, d); ok {
+			counts[s.Origin]++
+		}
+	}
+	var best bgp.ASN
+	bestN := 0
+	for asn, n := range counts {
+		if n > bestN || (n == bestN && asn < best) {
+			best, bestN = asn, n
+		}
+	}
+	return best, bestN > 0
+}
+
+// PathAt returns one observing peer's AS path for p on day d (the
+// lowest-numbered observing peer, for determinism).
+func (ix *Index) PathAt(p netx.Prefix, d timex.Day) (bgp.ASPath, bool) {
+	h, ok := ix.prefixes[p]
+	if !ok {
+		return nil, false
+	}
+	for pid := range ix.peers {
+		if s, ok := h.observedBy(pid, d); ok {
+			return s.Path, true
+		}
+	}
+	return nil, false
+}
+
+// OriginSpan is one interval of an origination timeline.
+type OriginSpan struct {
+	From, To timex.Day // half-open [From, To)
+	Origin   bgp.ASN
+	Transit  bgp.ASN // second-to-last AS on the path, 0 if none
+}
+
+// OriginTimeline merges all peers' spans for p into a deduplicated
+// origination history ordered by start day. Overlapping spans with the
+// same (origin, transit) merge; distinct origins yield separate entries.
+func (ix *Index) OriginTimeline(p netx.Prefix) []OriginSpan {
+	h, ok := ix.prefixes[p]
+	if !ok {
+		return nil
+	}
+	var all []OriginSpan
+	for _, spans := range h.byPeer {
+		for _, s := range spans {
+			all = append(all, OriginSpan{From: s.From, To: s.To, Origin: s.Origin, Transit: transitOf(s.Path)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].From != all[j].From {
+			return all[i].From < all[j].From
+		}
+		return all[i].Origin < all[j].Origin
+	})
+	var merged []OriginSpan
+	for _, s := range all {
+		if n := len(merged); n > 0 {
+			m := &merged[n-1]
+			if m.Origin == s.Origin && m.Transit == s.Transit && s.From <= m.To {
+				if s.To > m.To {
+					m.To = s.To
+				}
+				continue
+			}
+		}
+		merged = append(merged, s)
+	}
+	return merged
+}
+
+func transitOf(p bgp.ASPath) bgp.ASN {
+	if len(p) == 0 {
+		return 0
+	}
+	last := p[len(p)-1]
+	if last.Type != bgp.SegmentSequence || len(last.ASNs) < 2 {
+		return 0
+	}
+	return last.ASNs[len(last.ASNs)-2]
+}
+
+// FirstObserved returns the first day any peer observed p, if ever.
+func (ix *Index) FirstObserved(p netx.Prefix) (timex.Day, bool) {
+	h, ok := ix.prefixes[p]
+	if !ok {
+		return 0, false
+	}
+	var first timex.Day
+	found := false
+	for _, spans := range h.byPeer {
+		for _, s := range spans {
+			if !found || s.From < first {
+				first, found = s.From, true
+			}
+		}
+	}
+	return first, found
+}
+
+// buildTrie indexes prefix histories for covering/overlap queries.
+func (ix *Index) buildTrie() {
+	if ix.trieBuilt {
+		return
+	}
+	ix.trie = netx.Trie[*prefixHist]{}
+	for p, h := range ix.prefixes {
+		ix.trie.Insert(p, h)
+	}
+	ix.trieBuilt = true
+}
+
+// AnyOverlapObserved reports whether any announced prefix overlapping p
+// (covering it or covered by it) was observed by any peer on day d. This
+// is the "is this address space routed" test used for ROA routing status.
+func (ix *Index) AnyOverlapObserved(p netx.Prefix, d timex.Day) bool {
+	ix.buildTrie()
+	found := false
+	check := func(_ netx.Prefix, h *prefixHist) bool {
+		for pid := range ix.peers {
+			if _, ok := h.observedBy(pid, d); ok {
+				found = true
+				return false
+			}
+		}
+		return true
+	}
+	ix.trie.Covering(p, check)
+	if !found {
+		ix.trie.CoveredBy(p, check)
+	}
+	return found
+}
+
+// RoutedSpace returns the union of prefixes observed by at least
+// minPeers peers on day d.
+func (ix *Index) RoutedSpace(d timex.Day, minPeers int) *netx.Set {
+	var set netx.Set
+	for p, h := range ix.prefixes {
+		n := 0
+		for pid := range ix.peers {
+			if _, ok := h.observedBy(pid, d); ok {
+				n++
+				if n >= minPeers {
+					break
+				}
+			}
+		}
+		if n >= minPeers {
+			set.Add(p)
+		}
+	}
+	return &set
+}
+
+// MOAS is one multiple-origin-AS conflict: a prefix simultaneously
+// originated by more than one AS — the coarse signature hijack detectors
+// alarm on.
+type MOAS struct {
+	Prefix  netx.Prefix
+	Origins []bgp.ASN // sorted
+}
+
+// MOASConflicts returns the prefixes with more than one origin AS
+// observed across peers on day d, in address order.
+func (ix *Index) MOASConflicts(d timex.Day) []MOAS {
+	var out []MOAS
+	for p, h := range ix.prefixes {
+		origins := make(map[bgp.ASN]bool)
+		for pid := range ix.peers {
+			if s, ok := h.observedBy(pid, d); ok {
+				origins[s.Origin] = true
+			}
+		}
+		if len(origins) < 2 {
+			continue
+		}
+		m := MOAS{Prefix: p}
+		for o := range origins {
+			m.Origins = append(m.Origins, o)
+		}
+		sort.Slice(m.Origins, func(i, j int) bool { return m.Origins[i] < m.Origins[j] })
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
+	return out
+}
+
+// OriginActivity summarizes one origin AS's footprint over the whole
+// index: the prefixes it originated and its total originated days.
+type OriginActivity struct {
+	Origin         bgp.ASN
+	Prefixes       []netx.Prefix // sorted, deduplicated
+	OriginatedDays int           // sum of span lengths across prefixes and peers' merged spans
+}
+
+// ByOrigin aggregates origination activity per origin AS.
+func (ix *Index) ByOrigin() map[bgp.ASN]*OriginActivity {
+	out := make(map[bgp.ASN]*OriginActivity)
+	for p := range ix.prefixes {
+		for _, span := range ix.OriginTimeline(p) {
+			act := out[span.Origin]
+			if act == nil {
+				act = &OriginActivity{Origin: span.Origin}
+				out[span.Origin] = act
+			}
+			n := len(act.Prefixes)
+			if n == 0 || act.Prefixes[n-1] != p {
+				act.Prefixes = append(act.Prefixes, p)
+			}
+			act.OriginatedDays += int(span.To - span.From)
+		}
+	}
+	for _, act := range out {
+		netx.SortPrefixes(act.Prefixes)
+		act.Prefixes = dedupPrefixes(act.Prefixes)
+	}
+	return out
+}
+
+func dedupPrefixes(ps []netx.Prefix) []netx.Prefix {
+	out := ps[:0]
+	for i, p := range ps {
+		if i == 0 || ps[i-1] != p {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Prefixes returns every prefix ever observed, in address order.
+func (ix *Index) Prefixes() []netx.Prefix {
+	out := make([]netx.Prefix, 0, len(ix.prefixes))
+	for p := range ix.prefixes {
+		out = append(out, p)
+	}
+	netx.SortPrefixes(out)
+	return out
+}

@@ -1,0 +1,361 @@
+// Package rirstats implements the RIR statistics exchange format (the
+// "delegated-extended" files each RIR publishes daily) and a journaled
+// allocation timeline that answers: which registry manages a prefix, was
+// it allocated on a given day, and how much free-pool space each RIR had
+// over time — the substrate behind the paper's Figures 6 and 7 and the
+// unallocated-prefix classification.
+package rirstats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dropscope/internal/netx"
+	"dropscope/internal/timex"
+)
+
+// RIR names as they appear in stats files.
+type RIR string
+
+// The five RIRs.
+const (
+	Afrinic RIR = "afrinic"
+	APNIC   RIR = "apnic"
+	ARIN    RIR = "arin"
+	LACNIC  RIR = "lacnic"
+	RIPE    RIR = "ripencc"
+)
+
+// AllRIRs lists the five registries in alphabetical order.
+var AllRIRs = []RIR{Afrinic, APNIC, ARIN, LACNIC, RIPE}
+
+// Status is a delegation status from the stats file format.
+type Status string
+
+// Delegation statuses.
+const (
+	Available Status = "available"
+	Allocated Status = "allocated"
+	Assigned  Status = "assigned"
+	Reserved  Status = "reserved"
+)
+
+// Record is one line of a delegated-extended file.
+type Record struct {
+	Registry RIR
+	CC       string
+	Start    netx.Addr
+	Count    uint64
+	Date     timex.Day // date of the delegation; zero for available space
+	Status   Status
+	OpaqueID string
+}
+
+// Prefixes decomposes the record's [Start, Start+Count) range into
+// CIDR-aligned prefixes, the way delegated ranges map onto routable
+// blocks.
+func (r Record) Prefixes() []netx.Prefix {
+	return RangeToPrefixes(r.Start, r.Count)
+}
+
+// RangeToPrefixes returns the minimal CIDR decomposition of the range
+// [start, start+count).
+func RangeToPrefixes(start netx.Addr, count uint64) []netx.Prefix {
+	var out []netx.Prefix
+	a := uint64(start)
+	for count > 0 {
+		// Largest power-of-two block that is aligned at a and <= count.
+		size := uint64(1) << 32
+		if a != 0 {
+			size = a & -a // low-bit alignment
+		}
+		for size > count {
+			size >>= 1
+		}
+		bits := 32
+		for s := size; s > 1; s >>= 1 {
+			bits--
+		}
+		out = append(out, netx.PrefixFrom(netx.Addr(a), bits))
+		a += size
+		count -= size
+	}
+	return out
+}
+
+// WriteFile emits a delegated-extended stats file for one registry:
+// version line, summary lines, then records.
+func WriteFile(w io.Writer, registry RIR, day timex.Day, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	var v4Count int
+	for _, r := range recs {
+		if r.Registry == registry {
+			v4Count++
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "2|%s|%s|%d|%d|19830101|%s|+0000\n",
+		registry, day.Compact(), v4Count, v4Count, day.Compact()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%s|*|ipv4|*|%d|summary\n", registry, v4Count); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if r.Registry != registry {
+			continue
+		}
+		date := ""
+		if r.Status != Available {
+			date = r.Date.Compact()
+		}
+		cc := r.CC
+		if cc == "" {
+			cc = "ZZ"
+		}
+		if _, err := fmt.Fprintf(bw, "%s|%s|ipv4|%s|%d|%s|%s|%s\n",
+			registry, cc, r.Start, r.Count, date, r.Status, r.OpaqueID); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseFile reads a delegated-extended stats file, returning its records.
+// Summary and version lines are validated and skipped.
+func ParseFile(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var out []Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if lineNo == 1 && len(fields) >= 2 && fields[0] == "2" {
+			continue // version line
+		}
+		if len(fields) >= 6 && fields[2] == "ipv4" && fields[3] == "*" {
+			continue // summary line (ipv4|*|count|summary)
+		}
+		if len(fields) >= 6 && fields[1] == "*" {
+			continue // summary line
+		}
+		if len(fields) < 7 {
+			return nil, fmt.Errorf("rirstats: line %d: %d fields", lineNo, len(fields))
+		}
+		if fields[2] != "ipv4" {
+			continue // this pipeline is IPv4-only
+		}
+		var rec Record
+		rec.Registry = RIR(fields[0])
+		rec.CC = fields[1]
+		start, err := netx.ParseAddr(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("rirstats: line %d: %v", lineNo, err)
+		}
+		rec.Start = start
+		rec.Count, err = strconv.ParseUint(fields[4], 10, 64)
+		if err != nil || rec.Count == 0 {
+			return nil, fmt.Errorf("rirstats: line %d: bad count %q", lineNo, fields[4])
+		}
+		if rec.Count > (1<<32)-uint64(rec.Start) {
+			return nil, fmt.Errorf("rirstats: line %d: range %s+%d exceeds the address space",
+				lineNo, rec.Start, rec.Count)
+		}
+		if fields[5] != "" {
+			d, err := timex.ParseDay(fields[5])
+			if err != nil {
+				return nil, fmt.Errorf("rirstats: line %d: %v", lineNo, err)
+			}
+			rec.Date = d
+		}
+		rec.Status = Status(fields[6])
+		if len(fields) >= 8 {
+			rec.OpaqueID = fields[7]
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Timeline tracks the allocation status of registry-managed space over
+// time. Managed blocks are registered once; status transitions are
+// journaled per prefix.
+type Timeline struct {
+	managed netx.Trie[*blockHist]
+	blocks  []*blockHist
+}
+
+type blockHist struct {
+	prefix   netx.Prefix
+	registry RIR
+	changes  []statusChange // in day order
+}
+
+type statusChange struct {
+	day    timex.Day
+	status Status
+}
+
+// Manage registers a block as part of a registry's managed space with an
+// initial status effective from the beginning of time.
+func (t *Timeline) Manage(p netx.Prefix, registry RIR, initial Status) error {
+	if _, ok := t.managed.Get(p); ok {
+		return fmt.Errorf("rirstats: %s already managed", p)
+	}
+	h := &blockHist{prefix: p, registry: registry, changes: []statusChange{{day: -1 << 30, status: initial}}}
+	t.managed.Insert(p, h)
+	t.blocks = append(t.blocks, h)
+	return nil
+}
+
+// SetStatus journals a status change for block p on day d. The block
+// must exactly match a managed block.
+func (t *Timeline) SetStatus(p netx.Prefix, d timex.Day, s Status) error {
+	h, ok := t.managed.Get(p)
+	if !ok {
+		return fmt.Errorf("rirstats: %s is not a managed block", p)
+	}
+	if n := len(h.changes); n > 0 && d < h.changes[n-1].day {
+		return fmt.Errorf("rirstats: %s: status change out of order", p)
+	}
+	h.changes = append(h.changes, statusChange{d, s})
+	return nil
+}
+
+func (h *blockHist) statusAt(d timex.Day) Status {
+	st := h.changes[0].status
+	for _, c := range h.changes {
+		if c.day > d {
+			break
+		}
+		st = c.status
+	}
+	return st
+}
+
+// StatusAt returns the status and registry of the most specific managed
+// block covering p on day d.
+func (t *Timeline) StatusAt(p netx.Prefix, d timex.Day) (Status, RIR, bool) {
+	_, h, ok := t.managed.LongestMatch(p)
+	if !ok {
+		return "", "", false
+	}
+	return h.statusAt(d), h.registry, true
+}
+
+// AllocatedAt reports whether p lies inside a block that was allocated
+// or assigned on day d.
+func (t *Timeline) AllocatedAt(p netx.Prefix, d timex.Day) bool {
+	st, _, ok := t.StatusAt(p, d)
+	return ok && (st == Allocated || st == Assigned)
+}
+
+// UnallocatedAt reports whether p is RIR-managed but in the free pool
+// (available or reserved) on day d, or not managed by any RIR at all —
+// the paper's "unallocated" category.
+func (t *Timeline) UnallocatedAt(p netx.Prefix, d timex.Day) bool {
+	return !t.AllocatedAt(p, d)
+}
+
+// FreePool returns the number of addresses in the registry's managed
+// space that were available on day d.
+func (t *Timeline) FreePool(registry RIR, d timex.Day) uint64 {
+	var n uint64
+	for _, h := range t.blocks {
+		if h.registry == registry && h.statusAt(d) == Available {
+			n += h.prefix.NumAddrs()
+		}
+	}
+	return n
+}
+
+// SpaceWhere returns the union of managed blocks of the registry (or all
+// registries if registry is empty) whose status on day d satisfies keep.
+func (t *Timeline) SpaceWhere(registry RIR, d timex.Day, keep func(Status) bool) *netx.Set {
+	var set netx.Set
+	for _, h := range t.blocks {
+		if registry != "" && h.registry != registry {
+			continue
+		}
+		if keep(h.statusAt(d)) {
+			set.Add(h.prefix)
+		}
+	}
+	return &set
+}
+
+// RecordsAt flattens the timeline into delegated-extended records for
+// day d, ordered by start address.
+func (t *Timeline) RecordsAt(d timex.Day) []Record {
+	var out []Record
+	for _, h := range t.blocks {
+		st := h.statusAt(d)
+		rec := Record{
+			Registry: h.registry,
+			Start:    h.prefix.Addr(),
+			Count:    h.prefix.NumAddrs(),
+			Status:   st,
+		}
+		if st != Available {
+			// Date of the transition that produced the current status.
+			for _, c := range h.changes {
+				if c.day > d {
+					break
+				}
+				if c.status == st {
+					rec.Date = c.day
+				}
+			}
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// ManagedBy returns the registry managing p, if any.
+func (t *Timeline) ManagedBy(p netx.Prefix) (RIR, bool) {
+	_, h, ok := t.managed.LongestMatch(p)
+	if !ok {
+		return "", false
+	}
+	return h.registry, true
+}
+
+// ChangeDays returns the distinct days on which any block's status
+// changed, in ascending order (the sentinel initial day is excluded).
+func (t *Timeline) ChangeDays() []timex.Day {
+	seen := make(map[timex.Day]bool)
+	for _, h := range t.blocks {
+		for _, c := range h.changes[1:] {
+			seen[c.day] = true
+		}
+	}
+	out := make([]timex.Day, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Blocks returns every managed block with its registry, in address order.
+func (t *Timeline) Blocks() []Record {
+	out := make([]Record, 0, len(t.blocks))
+	for _, h := range t.blocks {
+		out = append(out, Record{Registry: h.registry, Start: h.prefix.Addr(), Count: h.prefix.NumAddrs()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

@@ -1,0 +1,290 @@
+// Package routeviews synthesizes RouteViews-style MRT archives: given an
+// AS topology and a timeline of route injection events, it computes the
+// AS path each collector peer would select and emits a TABLE_DUMP_V2 RIB
+// snapshot at the window start followed by BGP4MP update records — real
+// MRT bytes that the rib package reassembles without any knowledge of
+// the generator.
+package routeviews
+
+import (
+	"fmt"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/mrt"
+	"dropscope/internal/netx"
+	"dropscope/internal/timex"
+	"dropscope/internal/topo"
+)
+
+// Peer is one BGP neighbor of a collector.
+type Peer struct {
+	AS        bgp.ASN
+	Addr      netx.Addr
+	FullTable bool
+}
+
+// Collector is one RouteViews collector with its peering set.
+type Collector struct {
+	Name      string
+	LocalAS   bgp.ASN
+	LocalAddr netx.Addr
+	Peers     []Peer
+}
+
+// Event is one route injection or withdrawal in the synthetic world.
+// Tail is the AS-path suffix as announced by the injector: Tail[0] is
+// the AS that injects the route into the topology and Tail[len-1] is the
+// (possibly spoofed) origin. A legitimate origination has Tail ==
+// [origin]; a forged-origin hijack via AS50509 of a prefix "owned" by
+// AS263692 has Tail == [50509, 263692].
+type Event struct {
+	Day      timex.Day
+	Withdraw bool
+	Prefix   netx.Prefix
+	Tail     []bgp.ASN
+}
+
+// FilterFunc decides whether a peer suppresses a prefix from the routes
+// it reports (modeling the DROP-filtering peers in §4.1). It is
+// consulted with the event day.
+type FilterFunc func(c *Collector, p Peer, prefix netx.Prefix, day timex.Day) bool
+
+// Emitter converts events into per-collector MRT record streams.
+type Emitter struct {
+	Graph      *topo.Graph
+	Collectors []Collector
+	Filter     FilterFunc // nil means no filtering
+
+	pathCache map[bgp.ASN]map[bgp.ASN][]bgp.ASN
+}
+
+func (e *Emitter) pathsFrom(injector bgp.ASN) map[bgp.ASN][]bgp.ASN {
+	if e.pathCache == nil {
+		e.pathCache = make(map[bgp.ASN]map[bgp.ASN][]bgp.ASN)
+	}
+	if p, ok := e.pathCache[injector]; ok {
+		return p
+	}
+	p := e.Graph.PathsFrom(injector)
+	e.pathCache[injector] = p
+	return p
+}
+
+// peerPath returns the AS path peer as would report for an event, or nil
+// if the peer cannot reach the injector.
+func (e *Emitter) peerPath(peerAS bgp.ASN, tail []bgp.ASN) bgp.ASPath {
+	if len(tail) == 0 {
+		return nil
+	}
+	injector := tail[0]
+	var base []bgp.ASN
+	if peerAS == injector {
+		base = []bgp.ASN{peerAS}
+	} else {
+		paths := e.pathsFrom(injector)
+		base = paths[peerAS]
+		if base == nil {
+			return nil
+		}
+	}
+	full := make([]bgp.ASN, 0, len(base)+len(tail)-1)
+	full = append(full, base...)
+	full = append(full, tail[1:]...)
+	return bgp.Sequence(full...)
+}
+
+func tailKey(t []bgp.ASN) string {
+	b := make([]byte, 0, len(t)*5)
+	for _, a := range t {
+		b = append(b, byte(a>>24), byte(a>>16), byte(a>>8), byte(a), '|')
+	}
+	return string(b)
+}
+
+// Emit produces each collector's MRT record stream for the window
+// starting at start. Events with Day <= start contribute to the initial
+// TABLE_DUMP_V2 snapshot; later events become BGP4MP updates in day
+// order. Events must be sorted by Day.
+//
+// Each peer performs best-path selection among the live candidate
+// announcements for a prefix (shortest AS path, then lexicographic), so
+// competing origins yield genuine multiple-origin views across peers and
+// a withdrawal of the preferred route falls back to the next candidate.
+func (e *Emitter) Emit(events []Event, start timex.Day) (map[string][]mrt.Record, error) {
+	if e.Graph == nil {
+		return nil, fmt.Errorf("routeviews: emitter needs a topology")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Day < events[i-1].Day {
+			return nil, fmt.Errorf("routeviews: events out of order at %d", i)
+		}
+	}
+	for _, ev := range events {
+		if len(ev.Tail) == 0 {
+			return nil, fmt.Errorf("routeviews: event with empty tail for %s", ev.Prefix)
+		}
+	}
+
+	// Live candidate announcements per prefix, keyed by tail.
+	type candidate struct {
+		tail []bgp.ASN
+		day  timex.Day
+	}
+	live := make(map[netx.Prefix]map[string]candidate)
+	apply := func(ev Event) {
+		m := live[ev.Prefix]
+		if m == nil {
+			m = make(map[string]candidate)
+			live[ev.Prefix] = m
+		}
+		k := tailKey(ev.Tail)
+		if ev.Withdraw {
+			delete(m, k)
+		} else {
+			if old, ok := m[k]; ok {
+				// Refresh keeps the original day.
+				m[k] = candidate{ev.Tail, old.day}
+			} else {
+				m[k] = candidate{ev.Tail, ev.Day}
+			}
+		}
+	}
+
+	// bestFor selects the peer's route among live candidates.
+	bestFor := func(c *Collector, p Peer, prefix netx.Prefix, day timex.Day) (bgp.ASPath, timex.Day, bool) {
+		if e.filtered(c, p, prefix, day) {
+			return nil, 0, false
+		}
+		var bestPath bgp.ASPath
+		var bestDay timex.Day
+		found := false
+		for _, cand := range live[prefix] {
+			path := e.peerPath(p.AS, cand.tail)
+			if path == nil {
+				continue
+			}
+			if !found || better(path, bestPath) {
+				bestPath, bestDay, found = path, cand.day, true
+			}
+		}
+		return bestPath, bestDay, found
+	}
+
+	// Split events at the window start.
+	split := len(events)
+	for i, ev := range events {
+		if ev.Day > start {
+			split = i
+			break
+		}
+	}
+	for _, ev := range events[:split] {
+		apply(ev)
+	}
+
+	// exported tracks what each (collector, peer) currently advertises.
+	type exportKey struct {
+		collector string
+		peerIdx   int
+		prefix    netx.Prefix
+	}
+	exported := make(map[exportKey]string) // path string; "" = none
+
+	out := make(map[string][]mrt.Record, len(e.Collectors))
+	recs := make(map[string][]mrt.Record, len(e.Collectors))
+
+	// Initial snapshot per collector.
+	prefixes := make([]netx.Prefix, 0, len(live))
+	for p := range live {
+		prefixes = append(prefixes, p)
+	}
+	netx.SortPrefixes(prefixes)
+	for ci := range e.Collectors {
+		c := &e.Collectors[ci]
+		pit := &mrt.PeerIndexTable{
+			When:        start.Time(),
+			CollectorID: c.LocalAddr,
+			ViewName:    c.Name,
+		}
+		for _, p := range c.Peers {
+			pit.Peers = append(pit.Peers, mrt.Peer{BGPID: p.Addr, Addr: p.Addr, AS: p.AS})
+		}
+		recs[c.Name] = append(recs[c.Name], pit)
+
+		seq := uint32(0)
+		for _, prefix := range prefixes {
+			rib := &mrt.RIBPrefix{When: start.Time(), Sequence: seq, Prefix: prefix}
+			for pi, p := range c.Peers {
+				path, day, ok := bestFor(c, p, prefix, start)
+				if !ok {
+					continue
+				}
+				rib.Entries = append(rib.Entries, mrt.RIBEntry{
+					PeerIndex:      uint16(pi),
+					OriginatedTime: day.Time(),
+					Attrs:          bgp.Attrs{Origin: bgp.OriginIGP, Path: path},
+				})
+				exported[exportKey{c.Name, pi, prefix}] = path.String()
+			}
+			if len(rib.Entries) > 0 {
+				recs[c.Name] = append(recs[c.Name], rib)
+				seq++
+			}
+		}
+	}
+
+	// Updates: after each event, re-run best-path selection at each peer
+	// and emit the difference.
+	for _, ev := range events[split:] {
+		apply(ev)
+		for ci := range e.Collectors {
+			c := &e.Collectors[ci]
+			for pi, p := range c.Peers {
+				key := exportKey{c.Name, pi, ev.Prefix}
+				prev := exported[key]
+				path, _, ok := bestFor(c, p, ev.Prefix, ev.Day)
+				cur := ""
+				if ok {
+					cur = path.String()
+				}
+				if cur == prev {
+					continue
+				}
+				u := &bgp.Update{}
+				if !ok {
+					u.Withdrawn = []netx.Prefix{ev.Prefix}
+					delete(exported, key)
+				} else {
+					u.Attrs = bgp.Attrs{Origin: bgp.OriginIGP, Path: path, NextHop: p.Addr, HasNextHop: true}
+					u.NLRI = []netx.Prefix{ev.Prefix}
+					exported[key] = cur
+				}
+				recs[c.Name] = append(recs[c.Name], &mrt.BGP4MPMessage{
+					When:      ev.Day.Time(),
+					PeerAS:    p.AS,
+					LocalAS:   c.LocalAS,
+					PeerAddr:  p.Addr,
+					LocalAddr: c.LocalAddr,
+					Update:    u,
+				})
+			}
+		}
+	}
+	for name, r := range recs {
+		out[name] = r
+	}
+	return out, nil
+}
+
+// better reports whether path a beats b under BGP-style selection:
+// shorter AS path first, then lexicographically smaller.
+func better(a, b bgp.ASPath) bool {
+	if la, lb := a.Len(), b.Len(); la != lb {
+		return la < lb
+	}
+	return a.String() < b.String()
+}
+
+func (e *Emitter) filtered(c *Collector, p Peer, prefix netx.Prefix, day timex.Day) bool {
+	return e.Filter != nil && e.Filter(c, p, prefix, day)
+}

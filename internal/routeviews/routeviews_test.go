@@ -1,0 +1,218 @@
+package routeviews
+
+import (
+	"bytes"
+	"testing"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/mrt"
+	"dropscope/internal/netx"
+	"dropscope/internal/rib"
+	"dropscope/internal/timex"
+	"dropscope/internal/topo"
+)
+
+var (
+	d0  = timex.MustParseDay("2019-06-05")
+	pfx = netx.MustParsePrefix("192.0.2.0/24")
+)
+
+// testWorld: two tier-1s (100, 200) peering; origin AS 300 customers of
+// 100; hijacker AS 400 customers of 200. Collector peers at 100 and 200.
+func testWorld(t *testing.T) (*topo.Graph, []Collector) {
+	t.Helper()
+	var g topo.Graph
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.Link(100, 300, topo.ProviderOf))
+	must(g.Link(200, 400, topo.ProviderOf))
+	must(g.Link(100, 200, topo.PeerWith))
+	cols := []Collector{{
+		Name:      "rv-test",
+		LocalAS:   6447,
+		LocalAddr: netx.AddrFrom4(198, 51, 100, 1),
+		Peers: []Peer{
+			{AS: 100, Addr: netx.AddrFrom4(203, 0, 113, 1), FullTable: true},
+			{AS: 200, Addr: netx.AddrFrom4(203, 0, 113, 2), FullTable: true},
+		},
+	}}
+	return &g, cols
+}
+
+func TestEmitSnapshotAndUpdates(t *testing.T) {
+	g, cols := testWorld(t)
+	em := &Emitter{Graph: g, Collectors: cols}
+	events := []Event{
+		{Day: d0 - 30, Prefix: pfx, Tail: []bgp.ASN{300}}, // live at window start
+		{Day: d0 + 10, Prefix: pfx, Tail: []bgp.ASN{300}, Withdraw: true},
+		{Day: d0 + 20, Prefix: pfx, Tail: []bgp.ASN{400, 300}}, // forged-origin hijack
+	}
+	recs, err := em.Emit(events, d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := recs["rv-test"]
+	if len(stream) == 0 {
+		t.Fatal("no records")
+	}
+	if _, ok := stream[0].(*mrt.PeerIndexTable); !ok {
+		t.Fatalf("first record is %T", stream[0])
+	}
+
+	// Snapshot should show the prefix at both peers with correct paths.
+	ribRec, ok := stream[1].(*mrt.RIBPrefix)
+	if !ok {
+		t.Fatalf("second record is %T", stream[1])
+	}
+	if ribRec.Prefix != pfx || len(ribRec.Entries) != 2 {
+		t.Fatalf("rib = %+v", ribRec)
+	}
+	// Peer 100 reaches origin 300 directly (customer): path 100 300.
+	if got := ribRec.Entries[0].Attrs.Path.String(); got != "100 300" {
+		t.Errorf("peer100 path = %q", got)
+	}
+	// Peer 200 crosses the peering: 200 100 300.
+	if got := ribRec.Entries[1].Attrs.Path.String(); got != "200 100 300" {
+		t.Errorf("peer200 path = %q", got)
+	}
+
+	// Updates: a withdrawal day d0+10 and a hijack announcement d0+20
+	// at each peer.
+	var withdraws, announces int
+	for _, r := range stream[2:] {
+		m, ok := r.(*mrt.BGP4MPMessage)
+		if !ok {
+			t.Fatalf("unexpected record %T", r)
+		}
+		if len(m.Update.Withdrawn) > 0 {
+			withdraws++
+		}
+		if len(m.Update.NLRI) > 0 {
+			announces++
+			// Hijack path must end with spoofed origin 300 via 400.
+			if o, _ := m.Update.Attrs.Path.Origin(); o != 300 {
+				t.Errorf("hijack origin = %v", o)
+			}
+			if !m.Update.Attrs.Path.Contains(400) {
+				t.Errorf("hijack path misses injector: %v", m.Update.Attrs.Path)
+			}
+		}
+	}
+	if withdraws != 2 || announces != 2 {
+		t.Errorf("withdraws=%d announces=%d", withdraws, announces)
+	}
+}
+
+func TestEmitFeedsRIBIndex(t *testing.T) {
+	g, cols := testWorld(t)
+	em := &Emitter{Graph: g, Collectors: cols}
+	events := []Event{
+		{Day: d0 - 30, Prefix: pfx, Tail: []bgp.ASN{300}},
+		{Day: d0 + 10, Prefix: pfx, Tail: []bgp.ASN{300}, Withdraw: true},
+	}
+	recs, err := em.Emit(events, d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip through real MRT bytes.
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	for _, r := range recs["rv-test"] {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parsed, err := mrt.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ix := rib.NewIndex()
+	if err := ix.Load("rv-test", parsed); err != nil {
+		t.Fatal(err)
+	}
+	ix.Close(d0 + 100)
+
+	if got := ix.VisibleFraction(pfx, d0+5); got != 1.0 {
+		t.Errorf("visible before withdraw = %v", got)
+	}
+	if got := ix.VisibleFraction(pfx, d0+15); got != 0.0 {
+		t.Errorf("visible after withdraw = %v", got)
+	}
+	if o, ok := ix.OriginAt(pfx, d0+5); !ok || o != 300 {
+		t.Errorf("origin = %v %v", o, ok)
+	}
+}
+
+func TestPeerFiltering(t *testing.T) {
+	g, cols := testWorld(t)
+	em := &Emitter{
+		Graph:      g,
+		Collectors: cols,
+		Filter: func(_ *Collector, p Peer, prefix netx.Prefix, _ timex.Day) bool {
+			return p.AS == 200 && prefix == pfx // peer 200 drops the prefix
+		},
+	}
+	events := []Event{{Day: d0 - 1, Prefix: pfx, Tail: []bgp.ASN{300}}}
+	recs, err := em.Emit(events, d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ribRec := recs["rv-test"][1].(*mrt.RIBPrefix)
+	if len(ribRec.Entries) != 1 || ribRec.Entries[0].PeerIndex != 0 {
+		t.Errorf("filtered snapshot = %+v", ribRec.Entries)
+	}
+}
+
+func TestUnreachableInjectorInvisible(t *testing.T) {
+	g, cols := testWorld(t)
+	em := &Emitter{Graph: g, Collectors: cols}
+	// Injector 999 is not in the topology: no peer sees it.
+	events := []Event{{Day: d0 - 1, Prefix: pfx, Tail: []bgp.ASN{999}}}
+	recs, err := em.Emit(events, d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs["rv-test"]) != 1 { // just the peer index table
+		t.Errorf("records = %d", len(recs["rv-test"]))
+	}
+}
+
+func TestEmitValidation(t *testing.T) {
+	g, cols := testWorld(t)
+	em := &Emitter{Graph: g, Collectors: cols}
+	if _, err := em.Emit([]Event{{Day: d0, Prefix: pfx}}, d0); err == nil {
+		t.Error("empty tail should fail")
+	}
+	bad := []Event{
+		{Day: d0 + 2, Prefix: pfx, Tail: []bgp.ASN{300}},
+		{Day: d0 + 1, Prefix: pfx, Tail: []bgp.ASN{300}},
+	}
+	if _, err := em.Emit(bad, d0); err == nil {
+		t.Error("out-of-order events should fail")
+	}
+	em2 := &Emitter{Collectors: cols}
+	if _, err := em2.Emit(nil, d0); err == nil {
+		t.Error("missing graph should fail")
+	}
+}
+
+func TestWithdrawBeforeStartExcludedFromSnapshot(t *testing.T) {
+	g, cols := testWorld(t)
+	em := &Emitter{Graph: g, Collectors: cols}
+	events := []Event{
+		{Day: d0 - 30, Prefix: pfx, Tail: []bgp.ASN{300}},
+		{Day: d0 - 10, Prefix: pfx, Tail: []bgp.ASN{300}, Withdraw: true},
+	}
+	recs, err := em.Emit(events, d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs["rv-test"]) != 1 {
+		t.Errorf("withdrawn-before-start route leaked into snapshot: %d recs", len(recs["rv-test"]))
+	}
+}

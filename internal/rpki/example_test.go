@@ -1,0 +1,31 @@
+package rpki_test
+
+import (
+	"fmt"
+
+	"dropscope/internal/netx"
+	"dropscope/internal/rpki"
+)
+
+// ExampleValidate shows RFC 6811 origin validation, including the
+// forged-origin blind spot the paper's case study exploits: the hijacker
+// announcing the ROA's own ASN validates exactly like the owner.
+func ExampleValidate() {
+	roas := []rpki.ROA{{
+		Prefix:    netx.MustParsePrefix("132.255.0.0/22"),
+		MaxLength: 22,
+		ASN:       263692,
+		TA:        rpki.TALACNIC,
+	}}
+	p := netx.MustParsePrefix("132.255.0.0/22")
+
+	fmt.Println("owner:   ", rpki.Validate(p, 263692, roas))
+	fmt.Println("attacker:", rpki.Validate(p, 50509, roas))
+	fmt.Println("forged:  ", rpki.Validate(p, 263692, roas)) // indistinguishable
+	fmt.Println("too long:", rpki.Validate(netx.MustParsePrefix("132.255.0.0/24"), 263692, roas))
+	// Output:
+	// owner:    valid
+	// attacker: invalid
+	// forged:   valid
+	// too long: invalid
+}

@@ -1,0 +1,23 @@
+package rpki
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzParseSnapshotCSV(f *testing.F) {
+	f.Add("URI,ASN,IP Prefix,Max Length,Not Before,Not After\nrsync://rpki.example.net/ripe/1.roa,AS64500,10.0.0.0/8,24,2020-01-01,2021-01-01\n")
+	f.Add("bad,line\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		roas, err := ParseSnapshotCSV(bytes.NewReader([]byte(s)))
+		if err != nil {
+			return
+		}
+		for _, r := range roas {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("accepted invalid ROA: %v", err)
+			}
+		}
+	})
+}

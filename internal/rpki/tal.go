@@ -1,0 +1,89 @@
+package rpki
+
+import (
+	"bufio"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TALFile is a Trust Anchor Locator in the RFC 8630 text format: one or
+// more rsync/https URIs pointing at the trust-anchor certificate,
+// followed by a blank line and the base64 subjectPublicKeyInfo.
+type TALFile struct {
+	Name      TrustAnchor
+	URIs      []string
+	PublicKey []byte
+}
+
+// WriteTAL emits the locator in RFC 8630 form, with the key wrapped at
+// 64 columns.
+func WriteTAL(w io.Writer, t *TALFile) error {
+	bw := bufio.NewWriter(w)
+	for _, uri := range t.URIs {
+		if _, err := fmt.Fprintln(bw, uri); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw); err != nil {
+		return err
+	}
+	enc := base64.StdEncoding.EncodeToString(t.PublicKey)
+	for len(enc) > 0 {
+		n := 64
+		if n > len(enc) {
+			n = len(enc)
+		}
+		if _, err := fmt.Fprintln(bw, enc[:n]); err != nil {
+			return err
+		}
+		enc = enc[n:]
+	}
+	return bw.Flush()
+}
+
+// ParseTAL reads an RFC 8630 locator. The Name is not part of the wire
+// format; callers set it from the file name.
+func ParseTAL(r io.Reader) (*TALFile, error) {
+	sc := bufio.NewScanner(r)
+	t := &TALFile{}
+	var keyB64 strings.Builder
+	inKey := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			if len(t.URIs) == 0 {
+				continue // leading blank lines
+			}
+			inKey = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !inKey {
+			if !strings.HasPrefix(line, "rsync://") && !strings.HasPrefix(line, "https://") {
+				return nil, fmt.Errorf("rpki: TAL URI %q has unsupported scheme", line)
+			}
+			t.URIs = append(t.URIs, line)
+		} else {
+			keyB64.WriteString(line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(t.URIs) == 0 {
+		return nil, fmt.Errorf("rpki: TAL has no URIs")
+	}
+	key, err := base64.StdEncoding.DecodeString(keyB64.String())
+	if err != nil {
+		return nil, fmt.Errorf("rpki: TAL key: %v", err)
+	}
+	if len(key) == 0 {
+		return nil, fmt.Errorf("rpki: TAL has no public key")
+	}
+	t.PublicKey = key
+	return t, nil
+}

@@ -1,0 +1,29 @@
+package rtr
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzReadPDU(f *testing.F) {
+	for _, p := range []PDU{
+		&ResetQuery{},
+		&IPv4Prefix{Announce: true, VRP: sampleVRPs()[0]},
+		&EndOfData{SessionID: 1, Serial: 2, Refresh: 3, Retry: 4, Expire: 5},
+		&ErrorReport{Code: 2, Text: "x"},
+	} {
+		var buf bytes.Buffer
+		_ = WritePDU(&buf, p)
+		f.Add(buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pdu, err := ReadPDU(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WritePDU(&out, pdu); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,410 @@
+package rtr
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/netx"
+	"dropscope/internal/rpki"
+	"dropscope/internal/timex"
+)
+
+// Server serves VRPs from an rpki.Archive snapshot over the RTR protocol.
+// It answers Reset Query with the full data set and Serial Query with an
+// incremental delta when the requested serial is within its retained
+// history (maxDeltas versions), falling back to Cache Reset otherwise.
+type Server struct {
+	mu        sync.Mutex
+	sessionID uint16
+	serial    uint32
+	vrps      []VRP
+	deltas    []delta // oldest first; deltas[i] upgrades serial-1 -> serial
+
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// delta records one Update's changes.
+type delta struct {
+	serial    uint32 // the serial this delta produces
+	announced []VRP
+	withdrawn []VRP
+}
+
+// maxDeltas bounds the retained incremental history.
+const maxDeltas = 8
+
+// SnapshotVRPs flattens the archive's live ROAs on day d under the given
+// trust anchors into deduplicated, deterministic VRPs. AS0 ROAs are
+// included: a router applying them rejects covered announcements.
+func SnapshotVRPs(a *rpki.Archive, d timex.Day, tals []rpki.TrustAnchor) []VRP {
+	seen := make(map[VRP]bool)
+	var out []VRP
+	for _, roa := range a.LiveAt(d, tals) {
+		v := VRP{Prefix: roa.Prefix, MaxLength: roa.MaxLength, ASN: roa.ASN}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Prefix.Compare(out[j].Prefix); c != 0 {
+			return c < 0
+		}
+		if out[i].MaxLength != out[j].MaxLength {
+			return out[i].MaxLength < out[j].MaxLength
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	return out
+}
+
+// NewServer returns a server initialized with the given VRP set.
+func NewServer(sessionID uint16, vrps []VRP) *Server {
+	return &Server{sessionID: sessionID, serial: 1, vrps: vrps}
+}
+
+// Update replaces the VRP set and bumps the serial, as a validator does
+// on each validation run. The diff against the previous set is retained
+// so routers at recent serials receive incremental updates.
+func (s *Server) Update(vrps []VRP) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := make(map[VRP]bool, len(s.vrps))
+	for _, v := range s.vrps {
+		old[v] = true
+	}
+	cur := make(map[VRP]bool, len(vrps))
+	for _, v := range vrps {
+		cur[v] = true
+	}
+	var d delta
+	for _, v := range vrps {
+		if !old[v] {
+			d.announced = append(d.announced, v)
+		}
+	}
+	for _, v := range s.vrps {
+		if !cur[v] {
+			d.withdrawn = append(d.withdrawn, v)
+		}
+	}
+	s.vrps = vrps
+	s.serial++
+	d.serial = s.serial
+	s.deltas = append(s.deltas, d)
+	if len(s.deltas) > maxDeltas {
+		s.deltas = s.deltas[len(s.deltas)-maxDeltas:]
+	}
+}
+
+// Serial returns the current serial number.
+func (s *Server) Serial() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serial
+}
+
+// Serve accepts connections on ln until Close. It returns the first
+// accept error after Close (net.ErrClosed), which callers may ignore.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			_ = s.HandleConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// HandleConn runs the protocol on one established connection until the
+// peer disconnects or errors. Exported so tests can drive it over
+// net.Pipe.
+func (s *Server) HandleConn(conn io.ReadWriter) error {
+	for {
+		pdu, err := ReadPDU(conn)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			_ = WritePDU(conn, &ErrorReport{Code: ErrCorruptData, Text: err.Error()})
+			return err
+		}
+		switch q := pdu.(type) {
+		case *ResetQuery:
+			if err := s.sendAll(conn); err != nil {
+				return err
+			}
+		case *SerialQuery:
+			s.mu.Lock()
+			current := s.serial
+			session := s.sessionID
+			s.mu.Unlock()
+			if q.SessionID != session {
+				if err := WritePDU(conn, &ErrorReport{Code: ErrCorruptData, Text: "session mismatch"}); err != nil {
+					return err
+				}
+				continue
+			}
+			if q.Serial == current {
+				// Up to date: empty delta.
+				if err := WritePDU(conn, &CacheResponse{SessionID: session}); err != nil {
+					return err
+				}
+				if err := s.sendEOD(conn); err != nil {
+					return err
+				}
+			} else if ann, wd, ok := s.deltasSince(q.Serial); ok {
+				// Within retained history: incremental update.
+				if err := WritePDU(conn, &CacheResponse{SessionID: session}); err != nil {
+					return err
+				}
+				for _, v := range wd {
+					if err := WritePDU(conn, &IPv4Prefix{Announce: false, VRP: v}); err != nil {
+						return err
+					}
+				}
+				for _, v := range ann {
+					if err := WritePDU(conn, &IPv4Prefix{Announce: true, VRP: v}); err != nil {
+						return err
+					}
+				}
+				if err := s.sendEOD(conn); err != nil {
+					return err
+				}
+			} else {
+				// Serial older than the retained history: force a reset.
+				if err := WritePDU(conn, &CacheReset{}); err != nil {
+					return err
+				}
+			}
+		case *ErrorReport:
+			return fmt.Errorf("rtr: peer error %d: %s", q.Code, q.Text)
+		default:
+			if err := WritePDU(conn, &ErrorReport{Code: ErrUnsupportedPDUType,
+				Text: fmt.Sprintf("unexpected %T", pdu)}); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// deltasSince coalesces the retained deltas from the given serial to the
+// current one. It reports false when the serial predates the history.
+// Changes that cancel out across versions (announced then withdrawn) are
+// elided.
+func (s *Server) deltasSince(serial uint32) (announced, withdrawn []VRP, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.deltas) == 0 || serial < s.deltas[0].serial-1 || serial > s.serial {
+		return nil, nil, false
+	}
+	state := make(map[VRP]int) // +1 announced, -1 withdrawn
+	for _, d := range s.deltas {
+		if d.serial <= serial {
+			continue
+		}
+		for _, v := range d.announced {
+			state[v]++
+		}
+		for _, v := range d.withdrawn {
+			state[v]--
+		}
+	}
+	for v, n := range state {
+		switch {
+		case n > 0:
+			announced = append(announced, v)
+		case n < 0:
+			withdrawn = append(withdrawn, v)
+		}
+	}
+	sortVRPs(announced)
+	sortVRPs(withdrawn)
+	return announced, withdrawn, true
+}
+
+func sortVRPs(vrps []VRP) {
+	sort.Slice(vrps, func(i, j int) bool {
+		if c := vrps[i].Prefix.Compare(vrps[j].Prefix); c != 0 {
+			return c < 0
+		}
+		if vrps[i].MaxLength != vrps[j].MaxLength {
+			return vrps[i].MaxLength < vrps[j].MaxLength
+		}
+		return vrps[i].ASN < vrps[j].ASN
+	})
+}
+
+func (s *Server) sendAll(w io.Writer) error {
+	s.mu.Lock()
+	vrps := s.vrps
+	session := s.sessionID
+	s.mu.Unlock()
+	if err := WritePDU(w, &CacheResponse{SessionID: session}); err != nil {
+		return err
+	}
+	for _, v := range vrps {
+		if err := WritePDU(w, &IPv4Prefix{Announce: true, VRP: v}); err != nil {
+			return err
+		}
+	}
+	return s.sendEOD(w)
+}
+
+func (s *Server) sendEOD(w io.Writer) error {
+	s.mu.Lock()
+	eod := &EndOfData{
+		SessionID: s.sessionID, Serial: s.serial,
+		Refresh: 3600, Retry: 600, Expire: 7200,
+	}
+	s.mu.Unlock()
+	return WritePDU(w, eod)
+}
+
+// Client performs RTR synchronization against a cache.
+type Client struct {
+	conn io.ReadWriter
+
+	SessionID uint16
+	Serial    uint32
+	VRPs      []VRP
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn io.ReadWriter) *Client { return &Client{conn: conn} }
+
+// Reset performs a Reset Query and collects the full VRP set.
+func (c *Client) Reset() error {
+	if err := WritePDU(c.conn, &ResetQuery{}); err != nil {
+		return err
+	}
+	return c.collect(true)
+}
+
+// Poll performs a Serial Query with the client's current serial. If the
+// cache answers Cache Reset, Poll falls back to a full Reset.
+func (c *Client) Poll() error {
+	if err := WritePDU(c.conn, &SerialQuery{SessionID: c.SessionID, Serial: c.Serial}); err != nil {
+		return err
+	}
+	pdu, err := ReadPDU(c.conn)
+	if err != nil {
+		return err
+	}
+	switch p := pdu.(type) {
+	case *CacheReset:
+		return c.Reset()
+	case *CacheResponse:
+		c.SessionID = p.SessionID
+		return c.collectBody(false)
+	case *ErrorReport:
+		return fmt.Errorf("rtr: cache error %d: %s", p.Code, p.Text)
+	default:
+		return fmt.Errorf("rtr: unexpected %T to serial query", pdu)
+	}
+}
+
+func (c *Client) collect(reset bool) error {
+	pdu, err := ReadPDU(c.conn)
+	if err != nil {
+		return err
+	}
+	cr, ok := pdu.(*CacheResponse)
+	if !ok {
+		if er, isErr := pdu.(*ErrorReport); isErr {
+			return fmt.Errorf("rtr: cache error %d: %s", er.Code, er.Text)
+		}
+		return fmt.Errorf("rtr: expected cache response, got %T", pdu)
+	}
+	c.SessionID = cr.SessionID
+	return c.collectBody(reset)
+}
+
+func (c *Client) collectBody(reset bool) error {
+	if reset {
+		c.VRPs = c.VRPs[:0]
+	}
+	for {
+		pdu, err := ReadPDU(c.conn)
+		if err != nil {
+			return err
+		}
+		switch p := pdu.(type) {
+		case *IPv4Prefix:
+			if p.Announce {
+				c.VRPs = append(c.VRPs, p.VRP)
+			} else {
+				c.VRPs = removeVRP(c.VRPs, p.VRP)
+			}
+		case *EndOfData:
+			c.Serial = p.Serial
+			return nil
+		case *ErrorReport:
+			return fmt.Errorf("rtr: cache error %d: %s", p.Code, p.Text)
+		default:
+			return fmt.Errorf("rtr: unexpected %T in data stream", pdu)
+		}
+	}
+}
+
+func removeVRP(vrps []VRP, v VRP) []VRP {
+	out := vrps[:0]
+	for _, x := range vrps {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Validate runs RFC 6811 origin validation of (prefix, origin) against
+// the client's current VRP set.
+func (c *Client) Validate(p VRPQuery) rpki.Validity {
+	roas := make([]rpki.ROA, 0, 8)
+	for _, v := range c.VRPs {
+		if v.Prefix.Covers(p.Prefix) {
+			roas = append(roas, rpki.ROA{Prefix: v.Prefix, MaxLength: v.MaxLength, ASN: v.ASN})
+		}
+	}
+	return rpki.Validate(p.Prefix, p.Origin, roas)
+}
+
+// VRPQuery is one announcement to validate.
+type VRPQuery struct {
+	Prefix netx.Prefix
+	Origin bgp.ASN
+}

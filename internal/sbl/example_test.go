@@ -1,0 +1,21 @@
+package sbl_test
+
+import (
+	"fmt"
+
+	"dropscope/internal/sbl"
+)
+
+// ExampleClassify runs the Appendix-A keyword process on a record shaped
+// like the paper's Table-2 excerpt SBL502548.
+func ExampleClassify() {
+	cl := sbl.Classify("Snowshoe IP block on Stolen AS62927 ... james.johnson@networxhosting.com")
+	for _, c := range cl.Categories {
+		fmt.Println(c.Name())
+	}
+	fmt.Println("ASNs:", cl.ASNs)
+	// Output:
+	// Hijacked
+	// Snowshoe Spam
+	// ASNs: [AS62927]
+}

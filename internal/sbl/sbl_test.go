@@ -1,0 +1,153 @@
+package sbl
+
+import (
+	"testing"
+
+	"dropscope/internal/bgp"
+)
+
+// The six excerpts of the paper's Table 2, verbatim keywords.
+var table2 = []struct {
+	id   string
+	text string
+	want []Category
+}{
+	{"SBL310721", "AS204139 spammer hosting", []Category{MaliciousHosting}},
+	{"SBL240976", "hijacked IP range ... billing@ahostinginc.com", []Category{Hijacked}},
+	{"SBL502548", "Snowshoe IP block on Stolen AS62927 ... james.johnson@networxhosting.com", []Category{Hijacked, Snowshoe}},
+	{"SBL322513", "Register Of Known Spam Operations ... snowshoe range", []Category{Snowshoe, KnownSpam}},
+	{"SBL294939", "Register Of Known Spam Operations ... illegal netblock hijacking operation", []Category{Hijacked, KnownSpam}},
+	{"SBL325529", "Department of Defense ... Spamhaus believes that this IP address range is being used or is about to be used for the purpose of high volume spam emission.", nil}, // manual review
+}
+
+func TestTable2Classification(t *testing.T) {
+	for _, c := range table2 {
+		cl := Classify(c.text)
+		if c.want == nil {
+			if !cl.NeedsReview || len(cl.Categories) != 0 {
+				t.Errorf("%s: want manual review, got %+v", c.id, cl)
+			}
+			continue
+		}
+		if len(cl.Categories) != len(c.want) {
+			t.Errorf("%s: got %v, want %v", c.id, cl.Categories, c.want)
+			continue
+		}
+		for _, w := range c.want {
+			if !cl.Has(w) {
+				t.Errorf("%s: missing %v in %v", c.id, w, cl.Categories)
+			}
+		}
+	}
+}
+
+func TestHostingContextGuard(t *testing.T) {
+	// 'hosting' in a contact address must not classify by itself.
+	cl := Classify("contact billing@ahostinginc.com for removal")
+	if cl.Has(MaliciousHosting) {
+		t.Errorf("non-malicious hosting matched: %+v", cl)
+	}
+	if !cl.NeedsReview {
+		t.Error("ambiguous hosting should defer to review")
+	}
+	// But combined with another keyword the record classifies without review.
+	cl2 := Classify("hijacked range, contact abuse@webhosting.example")
+	if !cl2.Has(Hijacked) || cl2.NeedsReview {
+		t.Errorf("hijack + incidental hosting: %+v", cl2)
+	}
+	// Bulletproof hosting classifies.
+	cl3 := Classify("bulletproof hosting operation ignoring complaints")
+	if !cl3.Has(MaliciousHosting) || cl3.NeedsReview {
+		t.Errorf("bulletproof hosting: %+v", cl3)
+	}
+}
+
+func TestUnallocatedKeywords(t *testing.T) {
+	for _, text := range []string{"unallocated address space", "announcing a bogon prefix"} {
+		if cl := Classify(text); !cl.Has(Unallocated) {
+			t.Errorf("%q: %+v", text, cl)
+		}
+	}
+}
+
+func TestMultiLabelSorted(t *testing.T) {
+	cl := Classify("snowshoe spam from stolen hijacked unallocated bogon space at a spam hosting outfit, Register of Known Spam Operations")
+	want := []Category{Hijacked, Snowshoe, KnownSpam, MaliciousHosting, Unallocated}
+	if len(cl.Categories) != len(want) {
+		t.Fatalf("got %v", cl.Categories)
+	}
+	for i := range want {
+		if cl.Categories[i] != want[i] {
+			t.Fatalf("order: got %v want %v", cl.Categories, want)
+		}
+	}
+}
+
+func TestExtractASNs(t *testing.T) {
+	cases := []struct {
+		text string
+		want []bgp.ASN
+	}{
+		{"Stolen AS62927 routed via AS50509 and AS62927 again", []bgp.ASN{62927, 50509}},
+		{"no asns here", nil},
+		{"ALIAS123 is not an ASN, but as4134 is", []bgp.ASN{4134}},
+		{"AS alone, AS- too, AS99999999999999 overflows", nil},
+		{"AS0 is reserved", []bgp.ASN{0}},
+	}
+	for _, c := range cases {
+		got := ExtractASNs(c.text)
+		if len(got) != len(c.want) {
+			t.Errorf("%q: got %v, want %v", c.text, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("%q: got %v, want %v", c.text, got, c.want)
+			}
+		}
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	abbr := map[Category]string{
+		Hijacked: "HJ", Snowshoe: "SS", KnownSpam: "KS",
+		MaliciousHosting: "MH", Unallocated: "UA", NoRecord: "NR",
+	}
+	for c, want := range abbr {
+		if c.String() != want {
+			t.Errorf("%v.String() = %q", c.Name(), c.String())
+		}
+		if c.Name() == "Unknown" {
+			t.Errorf("category %v has no name", c)
+		}
+	}
+	if got := len(Categories()); got != 6 {
+		t.Errorf("Categories() = %d entries", got)
+	}
+}
+
+func TestDB(t *testing.T) {
+	db := NewDB()
+	db.Put(Record{ID: "SBL1", Text: "hijacked space"})
+	if db.Len() != 1 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	if cl := db.ClassifyRef("SBL1"); !cl.Has(Hijacked) {
+		t.Errorf("ClassifyRef = %+v", cl)
+	}
+	// Missing and empty refs yield NoRecord.
+	for _, ref := range []string{"", "SBL404"} {
+		cl := db.ClassifyRef(ref)
+		if !cl.Has(NoRecord) || len(cl.Categories) != 1 {
+			t.Errorf("ClassifyRef(%q) = %+v", ref, cl)
+		}
+	}
+	// Deleting the record models post-remediation removal.
+	db.Delete("SBL1")
+	if cl := db.ClassifyRef("SBL1"); !cl.Has(NoRecord) {
+		t.Errorf("after delete: %+v", cl)
+	}
+	if _, ok := db.Get("SBL1"); ok {
+		t.Error("record should be gone")
+	}
+}

@@ -1,0 +1,270 @@
+package scenario
+
+import (
+	"sort"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/irr"
+	"dropscope/internal/netx"
+	"dropscope/internal/rirstats"
+	"dropscope/internal/routeviews"
+	"dropscope/internal/rpki"
+	"dropscope/internal/timex"
+)
+
+// taOf maps a registry to its production trust anchor.
+func taOf(r rirstats.RIR) rpki.TrustAnchor {
+	switch r {
+	case rirstats.Afrinic:
+		return rpki.TAAfrinic
+	case rirstats.APNIC:
+		return rpki.TAAPNIC
+	case rirstats.ARIN:
+		return rpki.TAARIN
+	case rirstats.LACNIC:
+		return rpki.TALACNIC
+	default:
+		return rpki.TARIPE
+	}
+}
+
+// rirByName maps stats-file registry names to RIR values.
+var rirByName = map[string]rirstats.RIR{
+	"afrinic": rirstats.Afrinic,
+	"apnic":   rirstats.APNIC,
+	"arin":    rirstats.ARIN,
+	"lacnic":  rirstats.LACNIC,
+	"ripencc": rirstats.RIPE,
+}
+
+// bgSizeBits draws a background prefix length: mostly /17–/20 with a few
+// larger blocks, giving the /8-equivalent space shares Fig 5 needs once
+// multiplied by the population counts.
+func (g *gen) bgSizeBits() int {
+	switch r := g.rng.Intn(100); {
+	case r < 10:
+		return 16
+	case r < 30:
+		return 17
+	case r < 65:
+		return 18
+	case r < 90:
+		return 19
+	default:
+		return 20
+	}
+}
+
+// preWindowSignedFraction is the share of background prefixes that already
+// had a ROA at window start, on top of the Table-1 "never on DROP"
+// denominators (which count prefixes unsigned at window start). Chosen so
+// signed space grows by the paper's ≈2.4x over the window (Fig 5).
+const preWindowSignedFraction = 0.153
+
+// roaMaxLength draws a ROA maxLength for a prefix: most operators pin
+// maxLength to the prefix length, but a sizable minority (the paper cites
+// Gilad et al.'s maxLength study) allow longer, leaving the gap forgeable.
+func (g *gen) roaMaxLength(p netx.Prefix) int {
+	if g.chance(0.65) || p.Bits() >= 24 {
+		return p.Bits()
+	}
+	if g.chance(0.5) {
+		return p.Bits() + 1
+	}
+	return p.Bits() + 1 + g.rng.Intn(24-p.Bits())
+}
+
+// buildBackground creates the never-listed population: allocated blocks,
+// their announcements, their RPKI uptake, plus the three big unrouted
+// signed organizations and the allocated-but-unrouted unsigned blocks.
+func (g *gen) buildBackground() error {
+	start, end := g.p.Window.First, g.p.Window.Last
+
+	bgNames := make([]string, 0, len(g.p.BackgroundByRIR))
+	for name := range g.p.BackgroundByRIR {
+		bgNames = append(bgNames, name)
+	}
+	sort.Strings(bgNames)
+	for _, name := range bgNames {
+		total := g.p.BackgroundByRIR[name]
+		rir := rirByName[name]
+		n := g.p.scaled(total)
+		baseRate := g.p.BaseSignRate[name]
+		extraPre := int(float64(n) * preWindowSignedFraction / (1 - preWindowSignedFraction))
+		for i := 0; i < n+extraPre; i++ {
+			allocDay := start - timex.Day(200+g.rng.Intn(3000))
+			p, err := g.allocate(rir, g.bgSizeBits(), allocDay)
+			if err != nil {
+				return err
+			}
+			origin := g.operatorAS[g.rng.Intn(len(g.operatorAS))]
+
+			// Announced for the whole window.
+			g.bgpEvents = append(g.bgpEvents, routeviews.Event{
+				Day: start - timex.Day(30+g.rng.Intn(300)), Prefix: p, Tail: []bgp.ASN{origin},
+			})
+
+			// Most routed prefixes have legitimate IRR route objects.
+			if g.chance(0.6) {
+				created := allocDay + timex.Day(g.rng.Intn(200))
+				g.irrEvents = append(g.irrEvents, irrEv{day: created, obj: irr.Route{
+					Prefix: p, Origin: origin, Descr: "operator network",
+					MntBy: "MAINT-OP", Source: "RADB", Created: created, HasDate: true,
+				}.Object()})
+			}
+
+			// A slice of loose-maxLength signers also announce the
+			// maxLength-level specifics (traffic engineering), making
+			// their loose ROAs unforgeable — Gilad et al.'s ~16% safe set.
+			announceSpecifics := func(ml int) {
+				if ml != p.Bits()+1 || !g.chance(0.4) {
+					return
+				}
+				lo, hi := p.Halves()
+				for _, sub := range []netx.Prefix{lo, hi} {
+					g.bgpEvents = append(g.bgpEvents, routeviews.Event{
+						Day: start - timex.Day(10+g.rng.Intn(100)), Prefix: sub, Tail: []bgp.ASN{origin},
+					})
+				}
+			}
+
+			// RPKI uptake.
+			if i >= n {
+				// Extra pre-window-signed prefix (not in Table 1's base).
+				signDay := start - timex.Day(1+g.rng.Intn(600))
+				ml := g.roaMaxLength(p)
+				g.roaEvents = append(g.roaEvents, roaEv{day: signDay, roa: rpki.ROA{
+					Prefix: p, MaxLength: ml, ASN: origin, TA: taOf(rir),
+				}})
+				announceSpecifics(ml)
+			} else if g.chance(baseRate) {
+				// Table 1 base-rate signing during the window.
+				signDay := g.day(start+1, end)
+				ml := g.roaMaxLength(p)
+				g.roaEvents = append(g.roaEvents, roaEv{day: signDay, roa: rpki.ROA{
+					Prefix: p, MaxLength: ml, ASN: origin, TA: taOf(rir),
+				}})
+				announceSpecifics(ml)
+			}
+			g.w.Truth.BackgroundN++
+		}
+	}
+
+	// The three big unrouted-but-signed holdings (§6.2.1): together ~70%
+	// of the signed-unrouted space. Sizes are the paper's /8 equivalents
+	// divided by the scale factor.
+	type bigOrg struct {
+		name    string
+		rir     rirstats.RIR
+		bits    []int // blocks to allocate
+		signDay timex.Day
+		asn     bgp.ASN
+	}
+	// At scale 64: Amazon 3.1/8 -> ~813K addrs (/13+/14+/15),
+	// Prudential 1/8 -> 262K (/14), Alibaba 0.64/8 -> ~168K (/15+/17).
+	orgs := []bigOrg{
+		{"amazon", rirstats.ARIN, []int{13, 14, 15}, timex.MustParseDay("2021-07-15"), 16509},
+		{"prudential", rirstats.ARIN, []int{14}, timex.MustParseDay("2020-03-10"), 2478},
+		{"alibaba", rirstats.APNIC, []int{15, 17}, timex.MustParseDay("2021-11-05"), 45102},
+	}
+	for _, o := range orgs {
+		for _, bits := range o.bits {
+			p, err := g.allocate(o.rir, bits, start-2000)
+			if err != nil {
+				return err
+			}
+			// Signed mid-window with a routable ASN, never announced:
+			// exactly the hijackable posture §6.1 warns about.
+			g.roaEvents = append(g.roaEvents, roaEv{day: o.signDay, roa: rpki.ROA{
+				Prefix: p, MaxLength: p.Bits(), ASN: o.asn, TA: taOf(o.rir),
+			}})
+		}
+	}
+	// Smaller unrouted signed blocks make up the remaining ~30%.
+	for i := 0; i < 14; i++ {
+		rir := rirstats.AllRIRs[i%len(rirstats.AllRIRs)]
+		p, err := g.allocate(rir, 17, start-1500)
+		if err != nil {
+			return err
+		}
+		g.roaEvents = append(g.roaEvents, roaEv{day: g.day(start, end-60), roa: rpki.ROA{
+			Prefix: p, MaxLength: p.Bits(), ASN: g.operatorAS[g.rng.Intn(len(g.operatorAS))], TA: taOf(rir),
+		}})
+	}
+
+	// Allocated, unrouted, unsigned space (Fig 5's ~30 /8s; 60.8% ARIN).
+	// At scale 64 the target is ~7.9M addresses, ARIN ~4.8M.
+	unroutedUnsigned := []struct {
+		rir  rirstats.RIR
+		bits []int
+	}{
+		{rirstats.ARIN, []int{11, 11, 11, 13, 14}}, // ≈6.8M
+		{rirstats.RIPE, []int{12, 14}},             // ≈1.31M
+		{rirstats.APNIC, []int{13, 14}},            // ≈0.79M
+		{rirstats.LACNIC, []int{13}},               // ≈0.52M
+		{rirstats.Afrinic, []int{13, 15}},          // ≈0.66M
+	}
+	for _, uu := range unroutedUnsigned {
+		for _, bits := range uu.bits {
+			if _, err := g.allocate(uu.rir, bits, start-2500); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Unlisted squats: malicious announcements of free-pool space that
+	// never make DROP (the paper's "DROP is a small subset" limitation,
+	// and the source of the ≈30 prefixes peers would filter with the RIR
+	// AS0 TALs in §6.2.2).
+	squatPools := []struct {
+		rir rirstats.RIR
+		n   int
+	}{{rirstats.LACNIC, 9}, {rirstats.APNIC, 8}}
+	for _, sp := range squatPools {
+		for i := 0; i < sp.n; i++ {
+			blk := g.pools[sp.rir][i%3] // stay inside never-allocated blocks
+			sub := netx.PrefixFrom(blk.Addr()+netx.Addr(i)<<(32-18), 18)
+			if !blk.Covers(sub) {
+				sub = netx.PrefixFrom(blk.Addr(), 18)
+			}
+			attacker := g.attackerAS[g.rng.Intn(len(g.attackerAS))]
+			g.bgpEvents = append(g.bgpEvents, routeviews.Event{
+				Day: g.day(start+100, end-200), Prefix: sub, Tail: []bgp.ASN{attacker},
+			})
+			g.w.Truth.UnlistedSquats = append(g.w.Truth.UnlistedSquats, sub)
+		}
+	}
+	return nil
+}
+
+// buildAS0Policy creates the RIR AS0 ROAs for unallocated space under the
+// separate AS0 TALs at each policy date (§2.3.1/§6.2.2).
+func (g *gen) buildAS0Policy() {
+	policies := []struct {
+		rir rirstats.RIR
+		ta  rpki.TrustAnchor
+		day timex.Day
+	}{
+		{rirstats.APNIC, rpki.TAAPNICAS0, g.p.APNICAS0Day},
+		{rirstats.LACNIC, rpki.TALACNICAS0, g.p.LACNICAS0Day},
+	}
+	for _, pol := range policies {
+		allocated := make(map[netx.Prefix]timex.Day)
+		for _, ev := range g.rirStatus {
+			if ev.st == rirstats.Allocated {
+				allocated[ev.p] = ev.day
+			}
+		}
+		for _, blk := range g.pools[pol.rir] {
+			allocDay, becomesAllocated := allocated[blk]
+			if becomesAllocated && allocDay <= pol.day {
+				continue // already gone from the free pool at policy time
+			}
+			roa := rpki.ROA{Prefix: blk, MaxLength: 32, ASN: bgp.AS0, TA: pol.ta}
+			g.roaEvents = append(g.roaEvents, roaEv{day: pol.day, roa: roa})
+			if becomesAllocated {
+				g.roaEvents = append(g.roaEvents, roaEv{day: allocDay, revoke: true, roa: roa})
+			}
+		}
+	}
+}

@@ -1,0 +1,472 @@
+package scenario
+
+import (
+	"fmt"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/irr"
+	"dropscope/internal/netx"
+	"dropscope/internal/rirstats"
+	"dropscope/internal/routeviews"
+	"dropscope/internal/rpki"
+	"dropscope/internal/sbl"
+	"dropscope/internal/timex"
+)
+
+// presentQuota and removedQuota are consumed across the labeled and
+// removed populations; they reproduce Table 1's per-RIR row counts. The
+// three Figure-4 siblings take three LACNIC present slots up front and
+// the operator-AS0 case takes one LACNIC removed slot, so the quotas here
+// are the paper counts minus those.
+func (g *gen) presentDeck() *rirDeck {
+	return g.newDeck(map[string]int{
+		"afrinic": g.p.PresentByRIR["afrinic"],
+		"apnic":   g.p.PresentByRIR["apnic"],
+		"arin":    g.p.PresentByRIR["arin"],
+		"lacnic":  g.p.PresentByRIR["lacnic"] - 3, // 3 siblings placed already
+		"ripencc": g.p.PresentByRIR["ripencc"],
+	})
+}
+
+func (g *gen) removedDeck() *rirDeck {
+	return g.newDeck(g.p.RemovedByRIR)
+}
+
+// buildHijackNamed creates the 130 hijacked listings whose SBL record
+// names the hijacking ASN, including the 57 with fraudulent IRR route
+// objects (§5) and the 2 pre-listing attacker-controlled ROAs (§6.1).
+func (g *gen) buildHijackNamed() error {
+	g.deckPresent = g.presentDeck()
+	g.deckRemoved = g.removedDeck()
+	g.presentSign = g.newQuotaSamplers(g.p.PresentByRIR, g.p.PresentSignRate)
+	g.removedSign = g.newQuotaSamplers(g.p.RemovedByRIR, g.p.RemovedSignRate)
+
+	n := g.p.HijackNamedASN         // 130
+	withIRR := g.p.HijackIRRWithASN // 57
+
+	// The 13 distinct hijacker ASNs that appear in route objects: 5
+	// defunct ASes (used by the AS50509-linked org) + 8 attacker ASes.
+	objASNs := make([]bgp.ASN, 0, 13)
+	objASNs = append(objASNs, g.defunctAS[:5]...)
+	objASNs = append(objASNs, g.attackerAS[2:10]...)
+
+	// ORG-ID plan for the 57: the first 15 belong to ORG-HJ1 (announced
+	// via AS50509 with defunct origins), the next 18 to ORG-HJ2, the next
+	// 16 to ORG-HJ3 (49 across 3 orgs); the last 8 get unique org ids.
+	orgOf := func(i int) string {
+		switch {
+		case i < 15:
+			return "ORG-HJ1"
+		case i < 33:
+			return "ORG-HJ2"
+		case i < 49:
+			return "ORG-HJ3"
+		default:
+			return fmt.Sprintf("ORG-HX%d", i)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		bits := g.pickBits([][2]int{{16, 40}, {17, 50}, {18, 40}})
+		preSigned := i >= n-2 // the last two are the attacker-ROA cases
+		var rir rirstats.RIR
+		var err error
+		if preSigned {
+			rir = rirstats.RIPE
+		} else {
+			rir, err = g.deckPresent.deal()
+			if err != nil {
+				return err
+			}
+		}
+		p, err := g.allocate(rir, bits, g.p.Window.First-timex.Day(1000+g.rng.Intn(4000)))
+		if err != nil {
+			return err
+		}
+		listed := g.day(g.p.Window.First+30, g.p.Window.Last-40)
+
+		lt := &ListingTruth{
+			Prefix: p, Categories: []sbl.Category{sbl.Hijacked},
+			RIR: rir, Added: listed, PreSigned: preSigned,
+		}
+
+		var tail []bgp.ASN
+		var namedASN bgp.ASN
+		hasIRR := i < withIRR
+		if hasIRR && i < 15 {
+			// ORG-HJ1: defunct origin injected via AS50509.
+			namedASN = objASNs[i%5]
+			tail = []bgp.ASN{asHijackVia, namedASN}
+		} else if hasIRR {
+			namedASN = objASNs[5+(i-15)%8]
+			tail = []bgp.ASN{namedASN}
+		} else {
+			namedASN = g.attackerAS[10+g.rng.Intn(10)]
+			tail = []bgp.ASN{namedASN}
+		}
+		lt.NamedASN = namedASN
+
+		// Announcement: shortly before listing. For the 57 IRR cases the
+		// announcement follows the route-object creation within a week
+		// (Figure 3), except two stragglers who created the object more
+		// than a year after announcing.
+		announce := listed - timex.Day(5+g.rng.Intn(21))
+		if hasIRR {
+			late := i == 20 || i == 40 // the HijackIRRLatePair
+			var created timex.Day
+			if late {
+				// The stragglers announced over a year before registering
+				// the object; pin their listing late enough that the whole
+				// sequence stays inside the observation window.
+				listed = g.day(g.p.Window.First+650, g.p.Window.Last-40)
+				lt.Added = listed
+				announce = listed - timex.Day(420+g.rng.Intn(100))
+				created = announce + timex.Day(380+g.rng.Intn(30))
+			} else {
+				created = announce - timex.Day(g.rng.Intn(7)+1)
+			}
+			obj := irr.Route{
+				Prefix: p, Origin: namedASN, Descr: "customer network",
+				MntBy: "MAINT-" + orgOf(i), OrgID: orgOf(i), Source: "RADB",
+				Created: created, HasDate: true,
+			}.Object()
+			g.irrEvents = append(g.irrEvents, irrEv{day: created, obj: obj})
+			// RADb cleanup: most fraudulent objects are removed within a
+			// month after the prefix appears on DROP (§5's 43%).
+			if g.chance(0.80) {
+				g.irrEvents = append(g.irrEvents, irrEv{day: listed + timex.Day(3+g.rng.Intn(27)), del: true, obj: obj})
+			}
+			lt.HasIRR, lt.IRRCreated, lt.IRRHijackASN = true, created, true
+
+			// Five of the 57 targets also had a stale pre-existing entry.
+			if i < 5 {
+				old := irr.Route{
+					Prefix: p, Origin: g.operatorAS[i], Descr: "legacy network",
+					MntBy: "MAINT-LEGACY", OrgID: fmt.Sprintf("ORG-LEG%d", i), Source: "RADB",
+					Created: g.p.Window.First - 2000, HasDate: true,
+				}.Object()
+				g.irrEvents = append(g.irrEvents, irrEv{day: g.p.Window.First - 2000, obj: old})
+			}
+		} else if i < withIRR+29 {
+			// 29 named hijacks have a route object with a different,
+			// unrelated ASN (an old legitimate object).
+			created := g.p.Window.First - timex.Day(500+g.rng.Intn(1500))
+			g.irrEvents = append(g.irrEvents, irrEv{day: created, obj: irr.Route{
+				Prefix: p, Origin: g.operatorAS[g.rng.Intn(len(g.operatorAS))],
+				Descr: "legacy assignment", MntBy: "MAINT-OLD", Source: "RADB",
+				Created: created, HasDate: true,
+			}.Object()})
+			lt.HasIRR, lt.IRRCreated = true, created
+		}
+
+		wd, hasWd := g.announceWindowed(p, tail, announce, listed, g.p.WithdrawHijack)
+		lt.AnnouncedDay, lt.WithdrawnDay, lt.HasWithdrawn = announce, wd, hasWd
+
+		// A few hijacks target space the owner still announces — the
+		// multiple-origin-AS (MOAS) conflict pattern detectors alarm on.
+		if i >= 57 && i < 60 {
+			owner := g.operatorAS[100+i]
+			g.bgpEvents = append(g.bgpEvents, routeviews.Event{
+				Day: g.p.Window.First - timex.Day(200+g.rng.Intn(100)), Prefix: p, Tail: []bgp.ASN{owner},
+			})
+		}
+
+		// The two pre-signed hijacks: the attacker controls the ROA and
+		// re-signs it whenever the BGP origin changes (§6.1).
+		if preSigned {
+			firstROA := rpki.ROA{Prefix: p, MaxLength: p.Bits(), ASN: g.attackerAS[20], TA: taOf(rir)}
+			g.roaEvents = append(g.roaEvents, roaEv{day: announce - 600, roa: firstROA})
+			g.roaEvents = append(g.roaEvents, roaEv{day: announce - 100, revoke: true, roa: firstROA})
+			g.roaEvents = append(g.roaEvents, roaEv{day: announce - 100, roa: rpki.ROA{
+				Prefix: p, MaxLength: p.Bits(), ASN: namedASN, TA: taOf(rir),
+			}})
+		}
+
+		// SBL text: 5 of the named hijacks are dual-labeled snowshoe.
+		ref := g.newSBLRef()
+		lt.SBLRef = ref
+		text := fmt.Sprintf("Hijacked netblock %s on Stolen AS%d; illegal announcement.", p, uint32(namedASN))
+		if i >= 50 && i < 55 {
+			text = fmt.Sprintf("Snowshoe IP block on Stolen AS%d; hijacked range %s.", uint32(namedASN), p)
+			lt.Categories = append(lt.Categories, sbl.Snowshoe)
+		}
+		g.w.SBL.Put(sbl.Record{ID: ref, Text: text})
+		g.addDrop(p, ref, listed, 0, false)
+		g.w.Truth.Listings = append(g.w.Truth.Listings, lt)
+	}
+	return nil
+}
+
+// buildOtherLabeled creates the snowshoe, known-spam, and malicious-
+// hosting listings that remain on DROP.
+func (g *gen) buildOtherLabeled() error {
+	type group struct {
+		n         int
+		preSigned int
+		cats      []sbl.Category
+		sizes     [][2]int
+		textFn    func(p netx.Prefix, asn bgp.ASN) string
+	}
+	groups := []group{
+		{
+			n: 205, preSigned: 23, cats: []sbl.Category{sbl.Snowshoe},
+			sizes: [][2]int{{18, 60}, {19, 100}, {20, 45}},
+			textFn: func(p netx.Prefix, _ bgp.ASN) string {
+				return fmt.Sprintf("Snowshoe spam range %s used for high volume emission from many addresses.", p)
+			},
+		},
+		{
+			n: 10, preSigned: 0, cats: []sbl.Category{sbl.Snowshoe, sbl.KnownSpam},
+			sizes: [][2]int{{19, 1}},
+			textFn: func(p netx.Prefix, _ bgp.ASN) string {
+				return fmt.Sprintf("Register Of Known Spam Operations: snowshoe range %s.", p)
+			},
+		},
+		{
+			n: 32, preSigned: 5, cats: []sbl.Category{sbl.KnownSpam},
+			sizes: [][2]int{{19, 1}},
+			textFn: func(p netx.Prefix, _ bgp.ASN) string {
+				return fmt.Sprintf("Register Of Known Spam Operations: %s under control of a spam operation.", p)
+			},
+		},
+		{
+			n: 60, preSigned: 12, cats: []sbl.Category{sbl.MaliciousHosting},
+			sizes: [][2]int{{18, 30}, {19, 30}},
+			textFn: func(p netx.Prefix, asn bgp.ASN) string {
+				return fmt.Sprintf("AS%d spammer hosting: bulletproof hosting at %s ignoring abuse complaints.", uint32(asn), p)
+			},
+		},
+	}
+
+	for _, grp := range groups {
+		for i := 0; i < grp.n; i++ {
+			preSigned := i < grp.preSigned
+			var rir rirstats.RIR
+			var err error
+			if preSigned {
+				// Pre-signed listings are outside Table 1's rows; deal
+				// them proportionally to the overall population.
+				rir = rirstats.AllRIRs[g.rng.Intn(len(rirstats.AllRIRs))]
+			} else {
+				rir, err = g.deckPresent.deal()
+				if err != nil {
+					return err
+				}
+			}
+			allocDay := g.p.Window.First - timex.Day(500+g.rng.Intn(3000))
+			p, err := g.allocate(rir, g.pickBits(grp.sizes), allocDay)
+			if err != nil {
+				return err
+			}
+			origin := g.operatorAS[g.rng.Intn(len(g.operatorAS))]
+			listed := g.day(g.p.Window.First+20, g.p.Window.Last-30)
+			announce := listed - timex.Day(60+g.rng.Intn(400))
+			wd, hasWd := g.announceWindowed(p, []bgp.ASN{origin}, announce, listed, g.p.WithdrawOther)
+
+			lt := &ListingTruth{
+				Prefix: p, Categories: grp.cats, RIR: rir, Added: listed,
+				AnnouncedDay: announce, WithdrawnDay: wd, HasWithdrawn: hasWd,
+				PreSigned: preSigned,
+			}
+
+			if preSigned {
+				g.roaEvents = append(g.roaEvents, roaEv{day: announce - timex.Day(g.rng.Intn(300)), roa: rpki.ROA{
+					Prefix: p, MaxLength: p.Bits(), ASN: origin, TA: taOf(rir),
+				}})
+			} else if g.presentSign[rir].sample() {
+				// Table 1: still-on-DROP prefixes sign at a low rate.
+				signDay := g.day(listed+30, g.p.Window.Last)
+				g.roaEvents = append(g.roaEvents, roaEv{day: signDay, roa: rpki.ROA{
+					Prefix: p, MaxLength: p.Bits(), ASN: origin, TA: taOf(rir),
+				}})
+				lt.SignedAfter = true
+			}
+
+			// Some operators hold legitimate IRR objects; a slice of them
+			// created within the month before listing contributes to §5's
+			// 31.7% / 32% numbers.
+			switch r := g.rng.Float64(); {
+			case r < 0.13:
+				created := listed - timex.Day(1+g.rng.Intn(28))
+				g.irrEvents = append(g.irrEvents, irrEv{day: created, obj: irr.Route{
+					Prefix: p, Origin: origin, Descr: "hosting network", MntBy: "MAINT-H",
+					Source: "RADB", Created: created, HasDate: true,
+				}.Object()})
+				lt.HasIRR, lt.IRRCreated = true, created
+			case r < 0.26:
+				created := g.p.Window.First - timex.Day(100+g.rng.Intn(900))
+				obj := irr.Route{
+					Prefix: p, Origin: origin, Descr: "service network", MntBy: "MAINT-S",
+					Source: "RADB", Created: created, HasDate: true,
+				}.Object()
+				g.irrEvents = append(g.irrEvents, irrEv{day: created, obj: obj})
+				if g.chance(0.3) {
+					g.irrEvents = append(g.irrEvents, irrEv{day: listed + timex.Day(2+g.rng.Intn(28)), del: true, obj: obj})
+				}
+				lt.HasIRR, lt.IRRCreated = true, created
+			}
+
+			// §4.1: malicious-hosting space gets deallocated by RIRs.
+			if grp.cats[0] == sbl.MaliciousHosting && g.chance(g.p.MalHostDeallocSpace) {
+				deallocDay := listed + timex.Day(30+g.rng.Intn(270))
+				if deallocDay < g.p.Window.Last {
+					g.rirStatus = append(g.rirStatus, statusEv{deallocDay, p, rirstats.Available})
+					g.bgpEvents = append(g.bgpEvents, routeviews.Event{Day: deallocDay, Prefix: p, Tail: []bgp.ASN{origin}, Withdraw: true})
+					lt.Deallocated = true
+				}
+			}
+
+			ref := g.newSBLRef()
+			lt.SBLRef = ref
+			g.w.SBL.Put(sbl.Record{ID: ref, Text: grp.textFn(p, origin)})
+			g.addDrop(p, ref, listed, 0, false)
+			g.w.Truth.Listings = append(g.w.Truth.Listings, lt)
+		}
+	}
+	return nil
+}
+
+// buildRemoved creates the 185 listings Spamhaus removes before window
+// end; their SBL records are deleted, so the analysis sees them as "No
+// SBL Record" (Fig 1's NR category). Table 1's removed rows and §4.2's
+// post-removal signing behavior are produced here.
+func (g *gen) buildRemoved() error {
+	// Hidden ground-truth categories.
+	truthCats := make([][]sbl.Category, 0, 185)
+	for i := 0; i < 60; i++ {
+		truthCats = append(truthCats, []sbl.Category{sbl.Hijacked})
+	}
+	for i := 0; i < 69; i++ {
+		truthCats = append(truthCats, []sbl.Category{sbl.Snowshoe})
+	}
+	for i := 0; i < 35; i++ {
+		truthCats = append(truthCats, []sbl.Category{sbl.MaliciousHosting})
+	}
+	for i := 0; i < 21; i++ {
+		truthCats = append(truthCats, []sbl.Category{sbl.KnownSpam})
+	}
+
+	for i, cats := range truthCats {
+		rir, err := g.deckRemoved.deal()
+		if err != nil {
+			return err
+		}
+		p, err := g.allocate(rir, g.pickBits([][2]int{{17, 60}, {19, 70}, {18, 55}}), g.p.Window.First-timex.Day(800+g.rng.Intn(3000)))
+		if err != nil {
+			return err
+		}
+		listed := g.day(g.p.Window.First+20, g.p.Window.Last-120)
+		removed := listed + timex.Day(60+g.rng.Intn(300))
+		if removed > g.p.Window.Last-7 {
+			removed = g.p.Window.Last - 7
+		}
+
+		hijack := cats[0] == sbl.Hijacked
+		var origin bgp.ASN
+		if hijack {
+			origin = g.attackerAS[g.rng.Intn(len(g.attackerAS))]
+		} else {
+			origin = g.operatorAS[g.rng.Intn(len(g.operatorAS))]
+		}
+
+		lt := &ListingTruth{
+			Prefix: p, Categories: []sbl.Category{sbl.NoRecord}, TruthCats: cats,
+			RIR: rir, Added: listed, Removed: removed, HasRemoved: true,
+		}
+
+		// §4.2: ~11% of removed+signed prefixes were unrouted at listing
+		// time; produce a share of removed listings never routed in the
+		// window.
+		unroutedAtListing := i%9 == 0
+		var announce timex.Day
+		if !unroutedAtListing {
+			announce = listed - timex.Day(30+g.rng.Intn(200))
+			wd, hasWd := g.announceWindowed(p, []bgp.ASN{origin}, announce, listed, g.p.WithdrawOther)
+			lt.AnnouncedDay, lt.WithdrawnDay, lt.HasWithdrawn = announce, wd, hasWd
+		}
+
+		// Table 1 removed-row signing: remediation-driven RPKI adoption.
+		if g.removedSign[rir].sample() {
+			signASN := g.operatorAS[g.rng.Intn(len(g.operatorAS))] // the reclaiming owner
+			if !unroutedAtListing && !g.chance(g.p.SignDifferentASN/(g.p.SignDifferentASN+0.063)) {
+				signASN = origin // occasionally the listing-time origin signs
+			}
+			signDay := removed - timex.Day(g.rng.Intn(45))
+			g.roaEvents = append(g.roaEvents, roaEv{day: signDay, roa: rpki.ROA{
+				Prefix: p, MaxLength: p.Bits(), ASN: signASN, TA: taOf(rir),
+			}})
+			lt.SignedAfter = true
+		}
+
+		// §4.1: 8.8% of removed prefixes were deallocated; half were
+		// removed from DROP within a week of the deallocation.
+		if g.chance(g.p.RemovedDealloc) {
+			var deallocDay timex.Day
+			if g.chance(0.5) {
+				deallocDay = removed - timex.Day(g.rng.Intn(7))
+			} else {
+				deallocDay = removed - timex.Day(8+g.rng.Intn(50))
+			}
+			if deallocDay > listed {
+				g.rirStatus = append(g.rirStatus, statusEv{deallocDay, p, rirstats.Available})
+				lt.Deallocated = true
+			}
+		}
+
+		// Some removed prefixes also carried route objects pre-listing,
+		// filling out §5's coverage.
+		if g.chance(0.25) {
+			created := listed - timex.Day(1+g.rng.Intn(180))
+			obj := irr.Route{
+				Prefix: p, Origin: origin, Descr: "network", MntBy: "MAINT-R",
+				Source: "RADB", Created: created, HasDate: true,
+			}.Object()
+			g.irrEvents = append(g.irrEvents, irrEv{day: created, obj: obj})
+			if g.chance(0.4) {
+				g.irrEvents = append(g.irrEvents, irrEv{day: listed + timex.Day(2+g.rng.Intn(28)), del: true, obj: obj})
+			}
+			lt.HasIRR, lt.IRRCreated = true, created
+		}
+
+		ref := g.newSBLRef()
+		lt.SBLRef = ref
+		// The record existed while listed but Spamhaus deleted it after
+		// remediation; the analysis queries the SBL store after window
+		// end, so the record is simply never present.
+		g.addDrop(p, ref, listed, removed, true)
+		g.w.Truth.Listings = append(g.w.Truth.Listings, lt)
+	}
+	return nil
+}
+
+// buildOperatorAS0Case creates the one DROP prefix an operator remediated
+// by signing an AS0 ROA: 45.65.112.0/22 (§6.2.1).
+func (g *gen) buildOperatorAS0Case() error {
+	p := netx.MustParsePrefix("45.65.112.0/22")
+	listed := timex.MustParseDay("2020-01-28")
+	signed := timex.MustParseDay("2021-05-05")
+	removed := timex.MustParseDay("2021-06-16")
+
+	g.rirManage = append(g.rirManage, manageEv{p, rirstats.LACNIC, rirstats.Available})
+	g.rirStatus = append(g.rirStatus, statusEv{g.p.Window.First - 2000, p, rirstats.Allocated})
+
+	origin := g.operatorAS[7]
+	g.bgpEvents = append(g.bgpEvents,
+		routeviews.Event{Day: listed - 90, Prefix: p, Tail: []bgp.ASN{origin}},
+		routeviews.Event{Day: listed, Prefix: p, Tail: []bgp.ASN{origin}},
+		routeviews.Event{Day: listed + 45, Prefix: p, Tail: []bgp.ASN{origin}, Withdraw: true},
+	)
+	g.roaEvents = append(g.roaEvents, roaEv{day: signed, roa: rpki.ROA{
+		Prefix: p, MaxLength: 32, ASN: bgp.AS0, TA: rpki.TALACNIC,
+	}})
+
+	ref := g.newSBLRef()
+	g.addDrop(p, ref, listed, removed, true)
+	g.w.Truth.Listings = append(g.w.Truth.Listings, &ListingTruth{
+		Prefix: p, SBLRef: ref, Categories: []sbl.Category{sbl.NoRecord},
+		TruthCats: []sbl.Category{sbl.MaliciousHosting},
+		RIR:       rirstats.LACNIC, Added: listed, Removed: removed, HasRemoved: true,
+		AnnouncedDay: listed - 90, SignedAfter: true,
+	})
+	return nil
+}

@@ -1,0 +1,393 @@
+package scenario
+
+import (
+	"fmt"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/irr"
+	"dropscope/internal/netx"
+	"dropscope/internal/rirstats"
+	"dropscope/internal/routeviews"
+	"dropscope/internal/rpki"
+	"dropscope/internal/sbl"
+	"dropscope/internal/timex"
+)
+
+// rirDeck deals RIR assignments according to fixed per-RIR quotas,
+// choosing among remaining quota weighted-random for mixing.
+type rirDeck struct {
+	g      *gen
+	quota  map[rirstats.RIR]int
+	remain int
+}
+
+func (g *gen) newDeck(quota map[string]int) *rirDeck {
+	d := &rirDeck{g: g, quota: make(map[rirstats.RIR]int)}
+	for name, n := range quota {
+		d.quota[rirByName[name]] = n
+		d.remain += n
+	}
+	return d
+}
+
+func (d *rirDeck) take(rir rirstats.RIR) bool {
+	if d.quota[rir] <= 0 {
+		return false
+	}
+	d.quota[rir]--
+	d.remain--
+	return true
+}
+
+func (d *rirDeck) deal() (rirstats.RIR, error) {
+	if d.remain <= 0 {
+		return "", fmt.Errorf("scenario: RIR deck exhausted")
+	}
+	n := d.g.rng.Intn(d.remain)
+	for _, rir := range rirstats.AllRIRs {
+		if q := d.quota[rir]; q > 0 {
+			if n < q {
+				d.quota[rir]--
+				d.remain--
+				return rir, nil
+			}
+			n -= q
+		}
+	}
+	return "", fmt.Errorf("scenario: RIR deck inconsistent")
+}
+
+// newSBLRef mints the next SBL record identifier.
+func (g *gen) newSBLRef() string {
+	g.nextOrdinal++
+	return fmt.Sprintf("SBL%06d", 300000+g.nextOrdinal)
+}
+
+// buildListings generates the full DROP population with all paper-pinned
+// behaviors: announcement/withdrawal, IRR fraud, RPKI signing, SBL text,
+// removal and deallocation.
+func (g *gen) buildListings() error {
+	if err := g.buildIncident(); err != nil {
+		return err
+	}
+	if err := g.buildCaseStudy(); err != nil {
+		return err
+	}
+	if err := g.buildUnallocated(); err != nil {
+		return err
+	}
+	if err := g.buildHijackNamed(); err != nil {
+		return err
+	}
+	if err := g.buildOtherLabeled(); err != nil {
+		return err
+	}
+	if err := g.buildRemoved(); err != nil {
+		return err
+	}
+	return g.buildOperatorAS0Case()
+}
+
+// pickBits draws a prefix length from a weighted table of (bits, weight).
+func (g *gen) pickBits(table [][2]int) int {
+	total := 0
+	for _, e := range table {
+		total += e[1]
+	}
+	n := g.rng.Intn(total)
+	for _, e := range table {
+		if n < e[1] {
+			return e[0]
+		}
+		n -= e[1]
+	}
+	return table[len(table)-1][0]
+}
+
+// addDrop schedules a listing addition (and removal) in the DROP archive.
+func (g *gen) addDrop(p netx.Prefix, ref string, added timex.Day, removed timex.Day, hasRemoved bool) {
+	g.dropAdds[added] = append(g.dropAdds[added], dropChange{p, ref})
+	if hasRemoved {
+		g.dropDels[removed] = append(g.dropDels[removed], p)
+	}
+}
+
+// announceWindowed emits an announcement and, with probability pWithdraw,
+// a withdrawal within 30 days of the listing day. Returns the withdrawal
+// day (0 if none).
+func (g *gen) announceWindowed(p netx.Prefix, tail []bgp.ASN, announce timex.Day, listed timex.Day, pWithdraw float64) (timex.Day, bool) {
+	g.bgpEvents = append(g.bgpEvents, routeviews.Event{Day: announce, Prefix: p, Tail: tail})
+	if announce < listed {
+		// Re-announce on the listing day: a no-op refresh for ordinary
+		// peers, but it lets DROP-filtering peers drop the route the day
+		// the prefix is listed.
+		g.bgpEvents = append(g.bgpEvents, routeviews.Event{Day: listed, Prefix: p, Tail: tail})
+	}
+	if g.chance(pWithdraw) {
+		wd := listed + timex.Day(1+g.rng.Intn(29))
+		g.bgpEvents = append(g.bgpEvents, routeviews.Event{Day: wd, Prefix: p, Tail: tail, Withdraw: true})
+		return wd, true
+	}
+	return 0, false
+}
+
+// --- AFRINIC incidents --------------------------------------------------
+
+var incidentDays = []string{"2019-11-20", "2021-07-14"}
+
+func (g *gen) buildIncident() error {
+	sizes := make([]int, 0, g.p.IncidentListings)
+	for i := 0; i < g.p.IncidentListings; i++ {
+		switch {
+		case i < 2:
+			sizes = append(sizes, 12)
+		case i < 12:
+			sizes = append(sizes, 13)
+		default:
+			sizes = append(sizes, 14)
+		}
+	}
+	fraudAS := g.attackerAS[0]
+	cluster1 := timex.MustParseDay(incidentDays[0])
+	cluster2 := timex.MustParseDay(incidentDays[1])
+	for i, bits := range sizes {
+		listed := cluster1
+		if i >= 25 {
+			listed = cluster2
+		}
+		p, err := g.allocate(rirstats.Afrinic, bits, g.p.Window.First-3000)
+		if err != nil {
+			return err
+		}
+		ref := g.newSBLRef()
+		text := fmt.Sprintf("Hijacked legacy netblock %s. Stolen through fraudulent "+
+			"resource transfers; announced by AS%d.", p, uint32(fraudAS))
+		g.w.SBL.Put(sbl.Record{ID: ref, Text: text})
+		g.addDrop(p, ref, listed, 0, false)
+
+		// Fraud org held IRR route objects long before listing (this is
+		// what pushes §5's space coverage to ~69%).
+		created := listed - timex.Day(200+g.rng.Intn(400))
+		g.irrEvents = append(g.irrEvents, irrEv{day: created, obj: irr.Route{
+			Prefix: p, Origin: fraudAS, Descr: "transferred netblock",
+			MntBy: "MAINT-INCIDENT", OrgID: "ORG-INCIDENT", Source: "RADB",
+			Created: created, HasDate: true,
+		}.Object()})
+
+		announce := listed - timex.Day(150+g.rng.Intn(500))
+		// Incident space stays announced: these were fraudulently
+		// *acquired*, not briefly squatted.
+		wd, hasWd := g.announceWindowed(p, []bgp.ASN{fraudAS}, announce, listed, 0.1)
+
+		g.w.Truth.Listings = append(g.w.Truth.Listings, &ListingTruth{
+			Prefix: p, SBLRef: ref, Categories: []sbl.Category{sbl.Hijacked},
+			RIR: rirstats.Afrinic, Added: listed, Incident: true, NamedASN: fraudAS,
+			AnnouncedDay: announce, WithdrawnDay: wd, HasWithdrawn: hasWd,
+			IRRCreated: created, HasIRR: true,
+		})
+	}
+	return nil
+}
+
+// --- Figure 4 case study -------------------------------------------------
+
+func (g *gen) buildCaseStudy() error {
+	w := &g.w.Truth.CaseStudy
+	w.Prefix = netx.MustParsePrefix("132.255.0.0/22")
+	w.OwnerAS, w.OwnerVia, w.HijackVia = asOwner, asOwnerVia, asHijackVia
+	w.ListedDay = timex.MustParseDay("2022-03-04")
+	w.HijackDay = timex.MustParseDay("2020-12-10")
+	hijack2 := timex.MustParseDay("2021-06-10")
+
+	type sib struct {
+		pfx      string
+		historic bgp.ASN // 0 = unrouted for many years
+		via      bgp.ASN
+		hijacked timex.Day
+		listed   bool
+	}
+	sibs := []sib{
+		{"187.19.64.0/20", 28129, 3549, w.HijackDay, true},
+		{"187.110.192.0/20", 0, 0, w.HijackDay, false}, // origin AS19361 in 2018
+		{"191.7.224.0/19", 263330, 16735, w.HijackDay, true},
+		{"200.150.240.0/20", 0, 0, hijack2, false}, // no origination for 15 yrs
+		{"200.189.64.0/20", 0, 0, hijack2, true},
+		{"200.202.80.0/20", 0, 0, hijack2, false}, // origin AS19361 in 2018
+	}
+
+	// The signed /22: owner announced it via AS21575 until July 2020.
+	mainPfx := w.Prefix
+	g.rirManage = append(g.rirManage, manageEv{mainPfx, rirstats.LACNIC, rirstats.Available})
+	g.rirStatus = append(g.rirStatus, statusEv{g.p.Window.First - 3000, mainPfx, rirstats.Allocated})
+	g.roaEvents = append(g.roaEvents, roaEv{day: g.p.Window.First - 400, roa: rpki.ROA{
+		Prefix: mainPfx, MaxLength: 22, ASN: asOwner, TA: rpki.TALACNIC,
+	}})
+	g.bgpEvents = append(g.bgpEvents,
+		routeviews.Event{Day: g.p.Window.First - 600, Prefix: mainPfx, Tail: []bgp.ASN{asOwner}},
+		routeviews.Event{Day: timex.MustParseDay("2020-07-15"), Prefix: mainPfx, Tail: []bgp.ASN{asOwner}, Withdraw: true},
+		// December 2020: hijacker re-originates with the ROA's ASN via
+		// AS50509 — the announcement is RPKI-valid (§6.1).
+		routeviews.Event{Day: w.HijackDay, Prefix: mainPfx, Tail: []bgp.ASN{asHijackVia, asOwner}},
+	)
+	refMain := g.newSBLRef()
+	g.w.SBL.Put(sbl.Record{ID: refMain, Text: fmt.Sprintf(
+		"Hijacked network range %s. Stolen routing through a Russian transit despite a valid ROA.",
+		mainPfx)})
+	g.addDrop(mainPfx, refMain, w.ListedDay, 0, false)
+	// Still announced on the listing day; refresh so filtering peers react.
+	g.bgpEvents = append(g.bgpEvents, routeviews.Event{Day: w.ListedDay, Prefix: mainPfx, Tail: []bgp.ASN{asHijackVia, asOwner}})
+	g.w.Truth.Listings = append(g.w.Truth.Listings, &ListingTruth{
+		Prefix: mainPfx, SBLRef: refMain, Categories: []sbl.Category{sbl.Hijacked},
+		RIR: rirstats.LACNIC, Added: w.ListedDay, NamedASN: asHijackVia,
+		AnnouncedDay: w.HijackDay, PreSigned: true,
+	})
+
+	// Siblings.
+	for _, s := range sibs {
+		p := netx.MustParsePrefix(s.pfx)
+		w.Siblings = append(w.Siblings, p)
+		g.rirManage = append(g.rirManage, manageEv{p, rirstats.LACNIC, rirstats.Available})
+		g.rirStatus = append(g.rirStatus, statusEv{g.p.Window.First - 3000, p, rirstats.Allocated})
+		if s.historic != 0 {
+			// Historic origination visible at window start, withdrawn
+			// before the hijack.
+			g.bgpEvents = append(g.bgpEvents,
+				routeviews.Event{Day: g.p.Window.First - 300, Prefix: p, Tail: []bgp.ASN{s.historic}},
+				routeviews.Event{Day: g.day(g.p.Window.First+30, timex.MustParseDay("2019-09-01")), Prefix: p, Tail: []bgp.ASN{s.historic}, Withdraw: true},
+			)
+		}
+		// Hijacker announces with the spoofed owner origin via AS50509.
+		g.bgpEvents = append(g.bgpEvents, routeviews.Event{
+			Day: s.hijacked, Prefix: p, Tail: []bgp.ASN{asHijackVia, asOwner},
+		})
+		if s.listed {
+			ref := g.newSBLRef()
+			g.w.SBL.Put(sbl.Record{ID: ref, Text: fmt.Sprintf(
+				"Hijacked unrouted netblock %s, stolen origin announced via a Russian transit.", p)})
+			g.addDrop(p, ref, w.ListedDay, 0, false)
+			g.bgpEvents = append(g.bgpEvents, routeviews.Event{Day: w.ListedDay, Prefix: p, Tail: []bgp.ASN{asHijackVia, asOwner}})
+			g.w.Truth.Listings = append(g.w.Truth.Listings, &ListingTruth{
+				Prefix: p, SBLRef: ref, Categories: []sbl.Category{sbl.Hijacked},
+				RIR: rirstats.LACNIC, Added: w.ListedDay, NamedASN: asOwner,
+				AnnouncedDay: s.hijacked,
+			})
+		}
+	}
+	return nil
+}
+
+// --- unallocated squats (Figure 6) --------------------------------------
+
+func (g *gen) buildUnallocated() error {
+	dist := []struct {
+		rir rirstats.RIR
+		n   int
+	}{
+		{rirstats.LACNIC, 19}, {rirstats.Afrinic, 12},
+		{rirstats.APNIC, 4}, {rirstats.RIPE, 3}, {rirstats.ARIN, 2},
+	}
+	total := 0
+	for _, d := range dist {
+		total += d.n
+	}
+	if total != g.p.UnallocListings {
+		return fmt.Errorf("scenario: unallocated distribution sums %d, want %d", total, g.p.UnallocListings)
+	}
+
+	irrUAAssigned := false
+	for _, d := range dist {
+		blocks := g.pools[d.rir]
+		for i := 0; i < d.n; i++ {
+			// Sub-prefixes of never-allocated pool blocks (indexes >= 3);
+			// eight /17s fit per /14 block.
+			blk := blocks[3+(i/8)%(len(blocks)-3)]
+			sub := netx.PrefixFrom(blk.Addr()+netx.Addr(i%8)<<(32-17), 17)
+
+			var listed timex.Day
+			switch d.rir {
+			case rirstats.LACNIC:
+				// Clustered: some before, most after the LACNIC AS0 policy.
+				if i < 7 {
+					listed = g.day(g.p.Window.First+60, g.p.LACNICAS0Day-30)
+				} else {
+					listed = g.day(g.p.LACNICAS0Day+10, g.p.Window.Last-30)
+				}
+			case rirstats.Afrinic:
+				listed = g.day(g.p.Window.First+30, g.p.Window.Last-30)
+			case rirstats.APNIC:
+				if i < 2 {
+					listed = g.day(g.p.Window.First+30, g.p.APNICAS0Day-30)
+				} else {
+					listed = g.day(g.p.APNICAS0Day+10, g.p.Window.Last-30)
+				}
+			default:
+				listed = g.day(g.p.Window.First+30, g.p.Window.Last-30)
+			}
+
+			attacker := g.attackerAS[1+g.rng.Intn(len(g.attackerAS)-1)]
+			announce := listed - timex.Day(5+g.rng.Intn(56))
+			wd, hasWd := g.announceWindowed(sub, []bgp.ASN{attacker}, announce, listed, g.p.WithdrawUnalloc)
+
+			ref := g.newSBLRef()
+			g.w.SBL.Put(sbl.Record{ID: ref, Text: fmt.Sprintf(
+				"Unallocated address space %s announced by AS%d; bogon route used for spam emission.",
+				sub, uint32(attacker))})
+			g.addDrop(sub, ref, listed, 0, false)
+
+			lt := &ListingTruth{
+				Prefix: sub, SBLRef: ref, Categories: []sbl.Category{sbl.Unallocated},
+				RIR: d.rir, Added: listed, NamedASN: attacker,
+				AnnouncedDay: announce, WithdrawnDay: wd, HasWithdrawn: hasWd,
+			}
+
+			// One unallocated prefix had an IRR route object (§5).
+			if !irrUAAssigned && d.rir == rirstats.LACNIC {
+				created := announce - timex.Day(3+g.rng.Intn(4))
+				g.irrEvents = append(g.irrEvents, irrEv{day: created, obj: irr.Route{
+					Prefix: sub, Origin: attacker, Descr: "transit customer",
+					MntBy: "MAINT-SQUAT", OrgID: "ORG-SQUAT", Source: "RADB",
+					Created: created, HasDate: true,
+				}.Object()})
+				lt.HasIRR, lt.IRRCreated = true, created
+				irrUAAssigned = true
+			}
+			g.w.Truth.Listings = append(g.w.Truth.Listings, lt)
+		}
+	}
+	return nil
+}
+
+// quotaSampler yields exactly quota hits over total samples, spread
+// uniformly, so per-RIR signing counts land on Table 1's numbers instead
+// of drifting with Bernoulli noise.
+type quotaSampler struct {
+	g            *gen
+	total, quota int
+	seen, hit    int
+}
+
+func (q *quotaSampler) sample() bool {
+	remaining := q.total - q.seen
+	q.seen++
+	if remaining <= 0 || q.hit >= q.quota {
+		return false
+	}
+	if q.g.rng.Float64() < float64(q.quota-q.hit)/float64(remaining) {
+		q.hit++
+		return true
+	}
+	return false
+}
+
+// newQuotaSamplers builds one sampler per RIR from population counts and
+// target rates.
+func (g *gen) newQuotaSamplers(counts map[string]int, rates map[string]float64) map[rirstats.RIR]*quotaSampler {
+	out := make(map[rirstats.RIR]*quotaSampler)
+	for name, n := range counts {
+		rate := rates[name]
+		out[rirByName[name]] = &quotaSampler{
+			g: g, total: n, quota: int(rate*float64(n) + 0.5),
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package timex
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDayRoundTrip(t *testing.T) {
+	d := DateDay(2019, time.June, 5)
+	if d.String() != "2019-06-05" {
+		t.Errorf("String = %q", d.String())
+	}
+	if d.Compact() != "20190605" {
+		t.Errorf("Compact = %q", d.Compact())
+	}
+	y, m, dd := d.Date()
+	if y != 2019 || m != time.June || dd != 5 {
+		t.Errorf("Date = %d-%v-%d", y, m, dd)
+	}
+}
+
+func TestDayArithmetic(t *testing.T) {
+	d := DateDay(2020, time.February, 28)
+	if (d + 1).String() != "2020-02-29" { // leap year
+		t.Errorf("leap day: %v", (d + 1).String())
+	}
+	if (d + 2).String() != "2020-03-01" {
+		t.Errorf("after leap: %v", (d + 2).String())
+	}
+	jan1 := DateDay(2020, time.January, 1)
+	dec31 := DateDay(2019, time.December, 31)
+	if jan1-dec31 != 1 {
+		t.Errorf("year boundary diff = %d", jan1-dec31)
+	}
+}
+
+func TestParseDayFormats(t *testing.T) {
+	for _, s := range []string{"2022-03-30", "20220330"} {
+		d, err := ParseDay(s)
+		if err != nil {
+			t.Fatalf("ParseDay(%q): %v", s, err)
+		}
+		if d != DateDay(2022, time.March, 30) {
+			t.Errorf("ParseDay(%q) = %v", s, d)
+		}
+	}
+	for _, s := range []string{"", "2022/03/30", "20220399", "2022-13-01", "abc"} {
+		if _, err := ParseDay(s); err == nil {
+			t.Errorf("ParseDay(%q) should fail", s)
+		}
+	}
+}
+
+func TestDayPropertyRoundTrip(t *testing.T) {
+	f := func(n int16) bool {
+		d := DateDay(2000, time.January, 1) + Day(int32(n)) // ±~90 years around 2000
+		back, err := ParseDay(d.String())
+		if err != nil || back != d {
+			return false
+		}
+		back2, err := ParseDay(d.Compact())
+		return err == nil && back2 == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromTime(t *testing.T) {
+	// 23:59 UTC is still the same day; a timezone east of UTC may not be.
+	tt := time.Date(2021, time.July, 4, 23, 59, 0, 0, time.UTC)
+	if FromTime(tt) != DateDay(2021, time.July, 4) {
+		t.Error("FromTime UTC truncation")
+	}
+	east := time.FixedZone("east", 3*3600)
+	tt2 := time.Date(2021, time.July, 5, 1, 0, 0, 0, east) // 22:00 Jul 4 UTC
+	if FromTime(tt2) != DateDay(2021, time.July, 4) {
+		t.Error("FromTime should convert to UTC first")
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := Range{DateDay(2019, time.June, 5), DateDay(2019, time.June, 9)}
+	if r.Days() != 5 {
+		t.Errorf("Days = %d", r.Days())
+	}
+	if !r.Contains(r.First) || !r.Contains(r.Last) {
+		t.Error("Contains endpoints")
+	}
+	if r.Contains(r.First-1) || r.Contains(r.Last+1) {
+		t.Error("Contains outside")
+	}
+	var visited []Day
+	r.Each(func(d Day) bool {
+		visited = append(visited, d)
+		return true
+	})
+	if len(visited) != 5 || visited[0] != r.First || visited[4] != r.Last {
+		t.Errorf("Each visited %v", visited)
+	}
+	// Early stop.
+	n := 0
+	r.Each(func(Day) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("Each early stop visited %d", n)
+	}
+	inverted := Range{r.Last, r.First}
+	if inverted.Days() != 0 {
+		t.Error("inverted range should have 0 days")
+	}
+}

@@ -1,0 +1,20 @@
+package timex_test
+
+import (
+	"fmt"
+
+	"dropscope/internal/timex"
+)
+
+// ExampleDay shows day arithmetic across archive formats: the paper's
+// study window and the two date spellings the archives use.
+func ExampleDay() {
+	first := timex.MustParseDay("2019-06-05")
+	last := timex.MustParseDay("20220330") // RIR-stats compact form
+
+	fmt.Println(int(last-first)+1, "days")
+	fmt.Println(first.Compact(), "..", last.String())
+	// Output:
+	// 1030 days
+	// 20190605 .. 2022-03-30
+}

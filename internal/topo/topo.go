@@ -1,0 +1,252 @@
+// Package topo models an AS-level Internet topology with customer-
+// provider and peer-peer relationships and computes valley-free
+// (Gao-Rexford) best paths from every AS toward an injection point.
+// The routeviews package uses these paths to synthesize the AS paths
+// that collector peers would report for each announcement.
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"dropscope/internal/bgp"
+)
+
+// Rel is a business relationship between two ASes.
+type Rel uint8
+
+// Relationship kinds.
+const (
+	// ProviderOf: the first AS is the provider of the second.
+	ProviderOf Rel = iota
+	// PeerWith: settlement-free peering.
+	PeerWith
+)
+
+// Graph is an AS-level topology. The zero value is empty and ready to use.
+type Graph struct {
+	providers map[bgp.ASN][]bgp.ASN // customer -> providers
+	customers map[bgp.ASN][]bgp.ASN // provider -> customers
+	peers     map[bgp.ASN][]bgp.ASN
+	asns      map[bgp.ASN]bool
+}
+
+func (g *Graph) init() {
+	if g.asns == nil {
+		g.providers = make(map[bgp.ASN][]bgp.ASN)
+		g.customers = make(map[bgp.ASN][]bgp.ASN)
+		g.peers = make(map[bgp.ASN][]bgp.ASN)
+		g.asns = make(map[bgp.ASN]bool)
+	}
+}
+
+// AddAS registers an AS with no links (isolated until linked).
+func (g *Graph) AddAS(a bgp.ASN) {
+	g.init()
+	g.asns[a] = true
+}
+
+// Link records a relationship between a and b. For ProviderOf, a is the
+// provider and b the customer. Duplicate links are idempotent.
+func (g *Graph) Link(a, b bgp.ASN, rel Rel) error {
+	if a == b {
+		return fmt.Errorf("topo: self link on %s", a)
+	}
+	g.init()
+	g.asns[a], g.asns[b] = true, true
+	switch rel {
+	case ProviderOf:
+		if !contains(g.customers[a], b) {
+			g.customers[a] = append(g.customers[a], b)
+			g.providers[b] = append(g.providers[b], a)
+		}
+	case PeerWith:
+		if !contains(g.peers[a], b) {
+			g.peers[a] = append(g.peers[a], b)
+			g.peers[b] = append(g.peers[b], a)
+		}
+	default:
+		return fmt.Errorf("topo: unknown relationship %d", rel)
+	}
+	return nil
+}
+
+func contains(s []bgp.ASN, v bgp.ASN) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Has reports whether the AS is part of the graph.
+func (g *Graph) Has(a bgp.ASN) bool { return g.asns[a] }
+
+// Len returns the number of ASes.
+func (g *Graph) Len() int { return len(g.asns) }
+
+// ASes returns all ASes in ascending order.
+func (g *Graph) ASes() []bgp.ASN {
+	out := make([]bgp.ASN, 0, len(g.asns))
+	for a := range g.asns {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// routeKind orders route preference: customer-learned beats peer-learned
+// beats provider-learned (Gao-Rexford export economics).
+type routeKind uint8
+
+const (
+	fromNone routeKind = iota
+	fromProvider
+	fromPeer
+	fromCustomer
+	fromSelf
+)
+
+type best struct {
+	kind routeKind
+	path []bgp.ASN // from this AS to the injector, inclusive
+}
+
+// better reports whether candidate (kind, path) beats current b.
+func (b best) better(kind routeKind, path []bgp.ASN) bool {
+	if kind != b.kind {
+		return kind > b.kind
+	}
+	if len(path) != len(b.path) {
+		return len(path) < len(b.path)
+	}
+	// Deterministic tie-break: lexicographically smaller path wins.
+	for i := range path {
+		if path[i] != b.path[i] {
+			return path[i] < b.path[i]
+		}
+	}
+	return false
+}
+
+// PathsFrom computes every AS's valley-free best path toward injector.
+// The returned map gives, for each AS that can reach the injector, the
+// AS-level path starting at that AS and ending at injector. The injector
+// maps to the single-element path [injector].
+//
+// Propagation follows Gao-Rexford: routes learned from customers are
+// exported to everyone; routes learned from peers or providers are
+// exported only to customers. Preference: customer > peer > provider,
+// then shortest path, then lowest next hop.
+func (g *Graph) PathsFrom(injector bgp.ASN) map[bgp.ASN][]bgp.ASN {
+	g.init()
+	if !g.asns[injector] {
+		return nil
+	}
+	state := map[bgp.ASN]best{injector: {kind: fromSelf, path: []bgp.ASN{injector}}}
+
+	// Stage 1: customer routes climb provider chains. Iterate to fixpoint
+	// (the provider DAG may be deep); each AS adopts the best
+	// customer-learned route.
+	changed := true
+	for changed {
+		changed = false
+		for asn, st := range state {
+			if st.kind < fromCustomer {
+				continue // only customer-learned/self routes climb
+			}
+			for _, prov := range g.providers[asn] {
+				cand := append([]bgp.ASN{prov}, st.path...)
+				if cur, ok := state[prov]; !ok || cur.better(fromCustomer, cand) {
+					state[prov] = best{kind: fromCustomer, path: cand}
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Stage 2: one peer hop. Any AS holding a customer/self route exports
+	// it to its peers.
+	peerAdds := make(map[bgp.ASN]best)
+	for asn, st := range state {
+		if st.kind < fromCustomer {
+			continue
+		}
+		for _, peer := range g.peers[asn] {
+			cand := append([]bgp.ASN{peer}, st.path...)
+			if cur, ok := state[peer]; ok && !cur.better(fromPeer, cand) {
+				continue
+			}
+			if prev, ok := peerAdds[peer]; ok && !prev.better(fromPeer, cand) {
+				continue
+			}
+			peerAdds[peer] = best{kind: fromPeer, path: cand}
+		}
+	}
+	for asn, st := range peerAdds {
+		if cur, ok := state[asn]; !ok || cur.better(st.kind, st.path) {
+			state[asn] = st
+		}
+	}
+
+	// Stage 3: routes descend customer cones. Everyone exports their best
+	// route to customers; iterate to fixpoint.
+	changed = true
+	for changed {
+		changed = false
+		for asn, st := range state {
+			for _, cust := range g.customers[asn] {
+				cand := append([]bgp.ASN{cust}, st.path...)
+				cur, ok := state[cust]
+				if !ok || cur.better(fromProvider, cand) {
+					state[cust] = best{kind: fromProvider, path: cand}
+					changed = true
+				}
+			}
+		}
+	}
+
+	out := make(map[bgp.ASN][]bgp.ASN, len(state))
+	for asn, st := range state {
+		out[asn] = st.path
+	}
+	return out
+}
+
+// CustomerCone returns the set of ASes reachable from a by walking only
+// provider→customer edges, including a itself — the AS-rank notion of an
+// AS's customer cone. Cone size is the standard proxy for how much of the
+// Internet an AS can send hijacked routes to from "below".
+func (g *Graph) CustomerCone(a bgp.ASN) []bgp.ASN {
+	g.init()
+	if !g.asns[a] {
+		return nil
+	}
+	seen := map[bgp.ASN]bool{a: true}
+	queue := []bgp.ASN{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, c := range g.customers[cur] {
+			if !seen[c] {
+				seen[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+	out := make([]bgp.ASN, 0, len(seen))
+	for asn := range seen {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PathBetween returns the valley-free best path from src toward injector,
+// if one exists.
+func (g *Graph) PathBetween(src, injector bgp.ASN) ([]bgp.ASN, bool) {
+	paths := g.PathsFrom(injector)
+	p, ok := paths[src]
+	return p, ok
+}

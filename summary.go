@@ -1,0 +1,102 @@
+package dropscope
+
+import (
+	"dropscope/internal/netx"
+	"dropscope/internal/rirstats"
+	"dropscope/internal/sbl"
+)
+
+// Summary flattens the headline numbers of a Results into a JSON-friendly
+// structure for dashboards and regression tracking. Rates are fractions
+// in [0, 1]; address space is in /8 equivalents of the scaled world.
+type Summary struct {
+	TotalListings  int            `json:"total_listings"`
+	WithSBLRecord  int            `json:"with_sbl_record"`
+	MultiLabel     int            `json:"multi_label"`
+	CategoryCounts map[string]int `json:"category_counts"`
+
+	WithdrawnWithin30    float64 `json:"withdrawn_within_30d"`
+	WithdrawnHijacked    float64 `json:"withdrawn_hijacked"`
+	WithdrawnUnallocated float64 `json:"withdrawn_unallocated"`
+	FilteringPeers       int     `json:"filtering_peers"`
+
+	SignRateNever   float64            `json:"sign_rate_never_on_drop"`
+	SignRateRemoved float64            `json:"sign_rate_removed"`
+	SignRatePresent float64            `json:"sign_rate_present"`
+	SignRateByRIR   map[string]float64 `json:"sign_rate_never_by_rir"`
+
+	IRRCoveredFraction      float64 `json:"irr_covered_fraction"`
+	IRRCoveredSpaceFraction float64 `json:"irr_covered_space_fraction"`
+	HijackerASNObjects      int     `json:"hijacker_asn_objects"`
+	DistinctHijackerASNs    int     `json:"distinct_hijacker_asns"`
+
+	PreSignedHijacks int    `json:"pre_signed_hijacks"`
+	RPKIValidHijack  bool   `json:"rpki_valid_hijack_found"`
+	CasePrefix       string `json:"case_prefix,omitempty"`
+
+	PercentRoutedStart float64 `json:"pct_signed_space_routed_start"`
+	PercentRoutedEnd   float64 `json:"pct_signed_space_routed_end"`
+	SignedUnrouted8s   float64 `json:"signed_unrouted_slash8_eq"`
+
+	UnallocatedListings int `json:"unallocated_listings"`
+	FilterableAtEnd     int `json:"as0_filterable_at_end"`
+
+	ROVHijacksAccepted int `json:"rov_hijacks_accepted"`
+	ROVHijacksBlocked  int `json:"rov_hijacks_blocked"`
+	PathEndCaught      int `json:"pathend_hijacks_caught"`
+	SerialHijackers    int `json:"serial_hijacker_profiles"`
+}
+
+// Summary computes the flat summary from full results.
+func (r Results) Summary() Summary {
+	s := Summary{
+		TotalListings:  r.Fig1.TotalPrefixes,
+		WithSBLRecord:  r.Fig1.WithRecord,
+		MultiLabel:     r.Fig1.OverlapPrefixes,
+		CategoryCounts: make(map[string]int),
+
+		WithdrawnWithin30:    r.Fig2.WithdrawnWithin30,
+		WithdrawnHijacked:    r.Fig2.WithdrawnByCategory[sbl.Hijacked],
+		WithdrawnUnallocated: r.Fig2.WithdrawnByCategory[sbl.Unallocated],
+		FilteringPeers:       len(r.Fig2.FilteringPeers),
+
+		SignRateByRIR: make(map[string]float64),
+
+		IRRCoveredFraction:      r.Sec5.CoveredFraction,
+		IRRCoveredSpaceFraction: r.Sec5.CoveredSpaceFraction,
+		HijackerASNObjects:      r.Sec5.WithHijackerASNObject,
+		DistinctHijackerASNs:    r.Sec5.DistinctHijackerASNs,
+
+		PreSignedHijacks: len(r.Fig4.PreSigned),
+
+		UnallocatedListings: len(r.Fig6.Events),
+		FilterableAtEnd:     r.Fig6.FilterableAtEnd,
+
+		ROVHijacksAccepted: r.ROV.HijacksAccepted,
+		ROVHijacksBlocked:  r.ROV.HijacksBlocked,
+		PathEndCaught:      r.PathEnd.HijacksInvalid,
+		SerialHijackers:    len(r.Hijackers),
+	}
+	for _, row := range r.Fig1.Rows {
+		s.CategoryCounts[row.Category.Name()] = row.Exclusive + row.Additional
+	}
+	never, removed, present := r.Table1.Overall()
+	s.SignRateNever = never.Rate()
+	s.SignRateRemoved = removed.Rate()
+	s.SignRatePresent = present.Rate()
+	for _, rir := range rirstats.AllRIRs {
+		s.SignRateByRIR[string(rir)] = r.Table1.Never[rir].Rate()
+	}
+	for _, h := range r.Fig4.PreSigned {
+		if h.RPKIValidHijack {
+			s.RPKIValidHijack = true
+			s.CasePrefix = h.Prefix.String()
+		}
+	}
+	if n := len(r.Fig5.Samples); n > 0 {
+		s.PercentRoutedStart = r.Fig5.Samples[0].PercentRouted()
+		s.PercentRoutedEnd = r.Fig5.Samples[n-1].PercentRouted()
+		s.SignedUnrouted8s = netx.SlashEquivalents(r.Fig5.Samples[n-1].SignedUnrouted, 8)
+	}
+	return s
+}

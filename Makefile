@@ -1,0 +1,28 @@
+# Convenience wrappers over scripts/check.sh — the same commands CI runs
+# (.github/workflows/ci.yml), so a green `make all` locally means a green
+# gate.
+.PHONY: all build vet fmt test race bench fuzz
+
+all:
+	scripts/check.sh all
+
+build:
+	scripts/check.sh build
+
+vet:
+	scripts/check.sh vet
+
+fmt:
+	scripts/check.sh fmt
+
+test:
+	scripts/check.sh test
+
+race:
+	scripts/check.sh race
+
+bench:
+	scripts/check.sh bench
+
+fuzz:
+	scripts/check.sh fuzz

@@ -172,6 +172,52 @@ func BenchmarkTable2SBLClassify(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineNew measures pipeline construction — dominated by
+// per-collector RIB reassembly — serially and with the bounded
+// GOMAXPROCS worker pool. The two paths produce identical pipelines
+// (TestParallelNewMatchesSerial); this benchmark tracks what the
+// parallelism buys.
+func BenchmarkPipelineNew(b *testing.B) {
+	ds := benchPipeline(b).Dataset()
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := analysis.NewSerial(ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := analysis.New(ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkResultsParallel measures the full experiment suite through the
+// serial runner and through the dependency-aware fan-out scheduler.
+func BenchmarkResultsParallel(b *testing.B) {
+	_ = benchPipeline(b)
+	s := benchStudy
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := s.ResultsSerial()
+			if r.Fig1.TotalPrefixes != 712 {
+				b.Fatal("wrong population")
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := s.Results()
+			if r.Fig1.TotalPrefixes != 712 {
+				b.Fatal("wrong population")
+			}
+		}
+	})
+}
+
 // BenchmarkEndToEnd measures the full study: world generation, archive
 // emission, RIB reassembly, and every experiment.
 func BenchmarkEndToEnd(b *testing.B) {

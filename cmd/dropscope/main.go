@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	dropscope [-scale N] [-seed N] [-load DIR] [-save DIR] [-json]
+//	dropscope [-scale N] [-seed N] [-load DIR] [-save DIR] [-json] [-serial] [-workers N]
+//
+// By default RIB loading and the experiment suite run in parallel across
+// the available CPUs; -serial forces the single-threaded reference path
+// and -workers caps the experiment fan-out (0 = GOMAXPROCS). Both paths
+// print byte-identical reports.
 package main
 
 import (
@@ -18,11 +23,13 @@ import (
 
 func main() {
 	var (
-		scale  = flag.Int("scale", 64, "background population divisor (1 = paper-size populations)")
-		seed   = flag.Int64("seed", 1, "deterministic world seed")
-		load   = flag.String("load", "", "load archives from this directory instead of generating")
-		save   = flag.String("save", "", "after generating, persist archives to this directory")
-		asJSON = flag.Bool("json", false, "emit the machine-readable summary instead of the text report")
+		scale   = flag.Int("scale", 64, "background population divisor (1 = paper-size populations)")
+		seed    = flag.Int64("seed", 1, "deterministic world seed")
+		load    = flag.String("load", "", "load archives from this directory instead of generating")
+		save    = flag.String("save", "", "after generating, persist archives to this directory")
+		asJSON  = flag.Bool("json", false, "emit the machine-readable summary instead of the text report")
+		serial  = flag.Bool("serial", false, "disable all parallelism: serial RIB loading and experiment execution")
+		workers = flag.Int("workers", 0, "experiment fan-out bound (0 = GOMAXPROCS, 1 = serial experiments)")
 	)
 	flag.Parse()
 
@@ -36,6 +43,8 @@ func main() {
 	)
 	if *load != "" {
 		study, err = dropscope.LoadStudy(*load, cfg)
+	} else if *serial {
+		study, err = dropscope.NewStudySerial(cfg)
 	} else {
 		study, err = dropscope.NewStudy(cfg)
 	}
@@ -50,7 +59,12 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "archives written to %s\n", *save)
 	}
-	results := study.Results()
+	var results dropscope.Results
+	if *serial {
+		results = study.ResultsSerial()
+	} else {
+		results = study.ResultsWithConcurrency(*workers)
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -1,0 +1,60 @@
+package dropscope
+
+import (
+	"bytes"
+	"testing"
+)
+
+func renderBytes(t *testing.T, r Results) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestResultsDeterministic is the regression guard for the parallel
+// pipeline: two runs of the parallel path over the same study must render
+// byte-identically, which is only true while the sorted-collector merge
+// and full-key sort ordering hold.
+func TestResultsDeterministic(t *testing.T) {
+	s := study(t)
+	first := renderBytes(t, s.Results())
+	second := renderBytes(t, s.Results())
+	if !bytes.Equal(first, second) {
+		t.Fatalf("two parallel Results runs rendered differently (%d vs %d bytes)",
+			len(first), len(second))
+	}
+}
+
+// TestResultsSerialMatchesParallel checks the escape hatch and the
+// parallel scheduler agree byte for byte, across several worker bounds.
+func TestResultsSerialMatchesParallel(t *testing.T) {
+	s := study(t)
+	serial := renderBytes(t, s.ResultsSerial())
+	for _, workers := range []int{0, 2, 3, 16} {
+		parallel := renderBytes(t, s.ResultsWithConcurrency(workers))
+		if !bytes.Equal(serial, parallel) {
+			t.Fatalf("workers=%d: parallel render diverged from serial (%d vs %d bytes)",
+				workers, len(parallel), len(serial))
+		}
+	}
+}
+
+// TestSerialAndParallelStudiesAgree builds two whole studies — one loaded
+// serially end to end, one with every parallel path enabled — and checks
+// the rendered reports match. This covers the full pipeline: concurrent
+// RIB loading, sorted-collector merge, and the experiment fan-out.
+func TestSerialAndParallelStudiesAgree(t *testing.T) {
+	parallel := study(t)
+	serialStudy, err := NewStudySerial(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := renderBytes(t, parallel.Results())
+	want := renderBytes(t, serialStudy.ResultsSerial())
+	if !bytes.Equal(got, want) {
+		t.Fatal("parallel study render diverged from an independently built serial study")
+	}
+}

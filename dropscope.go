@@ -47,17 +47,31 @@ type Study struct {
 }
 
 // NewStudy generates a world and builds the analysis pipeline over its
-// archives.
+// archives. Per-collector RIB reassembly fans out across
+// runtime.GOMAXPROCS(0) workers; the result is identical to
+// NewStudySerial's (collector RIBs merge in sorted name order whatever
+// the schedule).
 func NewStudy(cfg Config) (*Study, error) {
+	return newStudy(cfg, 0)
+}
+
+// NewStudySerial is NewStudy with the RIB-loading worker pool disabled:
+// everything runs on the calling goroutine. It is the construction-time
+// counterpart of ResultsSerial.
+func NewStudySerial(cfg Config) (*Study, error) {
+	return newStudy(cfg, 1)
+}
+
+func newStudy(cfg Config, workers int) (*Study, error) {
 	w, err := scenario.Generate(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("dropscope: generate: %w", err)
 	}
-	p, err := analysis.New(analysis.Dataset{
+	p, err := analysis.NewWithConcurrency(analysis.Dataset{
 		Window: cfg.Window,
 		DROP:   w.DROP, SBL: w.SBL, IRR: w.IRR, RPKI: w.RPKI, RIR: w.RIR,
 		MRT: w.MRT,
-	})
+	}, workers)
 	if err != nil {
 		return nil, fmt.Errorf("dropscope: pipeline: %w", err)
 	}
@@ -118,31 +132,35 @@ type Results struct {
 	MOAS      analysis.MOASReport
 }
 
-// Results runs every experiment.
+// Results runs every experiment, fanning the independent ones out across
+// up to runtime.GOMAXPROCS(0) goroutines. Experiments are pure functions
+// of the (immutable) pipeline, and the scheduler orders the few that read
+// another's output — currently only the path-end counterfactual, which
+// consumes Figure 4's case-study prefix — so the returned Results is
+// byte-for-byte identical to ResultsSerial's.
 func (s *Study) Results() Results {
-	p := s.Pipeline
-	return Results{
-		Fig1:    p.Fig1Classification(),
-		Fig2:    p.Fig2Visibility(),
-		Dealloc: p.DeallocAnalysis(),
-		Table1:  p.Table1RPKIUptake(),
-		Sec5:    p.Sec5IRR(),
-		Fig4:    p.Fig4RPKIValidHijacks(),
-		Fig5:    p.Fig5ROAStatus(),
-		Fig6:    p.Fig6UnallocatedTimeline(),
-		Fig7:    p.Fig7FreePools(),
-		Table2:  p.Table2SBLBreakdown(),
-
-		ROV:       p.ROVCounterfactual(),
-		AS0WhatIf: p.AS0WhatIf(),
-		MaxLength: p.MaxLengthAnalysis(),
-		PathEnd:   p.PathEndCounterfactual(),
-		Hijackers: p.SerialHijackers(3, 0.5, 365),
-		MOAS:      p.MOASSweep(),
-	}
+	return runExperiments(s.Pipeline, 0)
 }
 
-// Render writes every table and figure as text to w.
+// ResultsSerial runs every experiment sequentially on the calling
+// goroutine — the single-threaded escape hatch for profiling, debugging,
+// or embedding in an environment where spawning goroutines is unwelcome.
+// Output is identical to Results.
+func (s *Study) ResultsSerial() Results {
+	return runExperiments(s.Pipeline, 1)
+}
+
+// ResultsWithConcurrency runs every experiment with an explicit worker
+// bound: <= 0 means runtime.GOMAXPROCS(0), 1 is ResultsSerial.
+func (s *Study) ResultsWithConcurrency(workers int) Results {
+	return runExperiments(s.Pipeline, workers)
+}
+
+// Render writes every table and figure as text to w. Rendering is a pure
+// function of the Results value: because the parallel and serial
+// execution paths produce identical Results (see Results and
+// ResultsSerial), the rendered report is byte-identical regardless of how
+// the experiments were scheduled.
 func (r Results) Render(w io.Writer) error {
 	return renderAll(w, r)
 }

@@ -7,7 +7,10 @@ package analysis
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"dropscope/internal/bgp"
 	"dropscope/internal/drop"
@@ -62,21 +65,49 @@ type Pipeline struct {
 // New builds the pipeline: loads every collector's MRT stream into a RIB
 // index, extracts DROP listing events, classifies SBL records, and
 // annotates listings with registry and allocation state.
+//
+// The per-collector RIB reassembly — the dominant cost — runs on a
+// bounded pool of runtime.GOMAXPROCS(0) workers; the per-collector
+// results are merged in sorted collector order, so the built pipeline is
+// identical to the serial path's byte for byte. Use NewSerial (or
+// NewWithConcurrency with workers = 1) to load on the calling goroutine
+// only.
 func New(ds Dataset) (*Pipeline, error) {
+	return NewWithConcurrency(ds, 0)
+}
+
+// NewSerial is New with the RIB-loading worker pool disabled: every
+// collector loads sequentially on the calling goroutine. It exists as the
+// single-threaded escape hatch and as the reference the parallel path is
+// benchmarked and differentially tested against.
+func NewSerial(ds Dataset) (*Pipeline, error) {
+	return NewWithConcurrency(ds, 1)
+}
+
+// NewWithConcurrency is New with an explicit worker bound. workers <= 0
+// means runtime.GOMAXPROCS(0); workers == 1 loads serially. Whatever the
+// bound, results are deterministic: collector RIBs merge in sorted name
+// order.
+func NewWithConcurrency(ds Dataset, workers int) (*Pipeline, error) {
 	if ds.DROP == nil || ds.SBL == nil || ds.IRR == nil || ds.RPKI == nil || ds.RIR == nil {
 		return nil, fmt.Errorf("analysis: incomplete dataset")
 	}
 	p := &Pipeline{ds: ds}
 
-	p.Index = rib.NewIndex()
 	collectors := make([]string, 0, len(ds.MRT))
 	for name := range ds.MRT {
 		collectors = append(collectors, name)
 	}
 	sort.Strings(collectors)
-	for _, name := range collectors {
-		if err := p.Index.Load(name, ds.MRT[name]); err != nil {
-			return nil, fmt.Errorf("analysis: %s: %w", name, err)
+
+	ribs, err := loadCollectors(ds.MRT, collectors, workers)
+	if err != nil {
+		return nil, err
+	}
+	p.Index = rib.NewIndex()
+	for _, c := range ribs {
+		if err := p.Index.Merge(c); err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", c.Collector(), err)
 		}
 	}
 	p.Index.Close(ds.Window.Last)
@@ -91,6 +122,69 @@ func New(ds Dataset) (*Pipeline, error) {
 	}
 	p.markIncidents()
 	return p, nil
+}
+
+// loadCollectors reassembles each collector's RIB, fanning the work out
+// over a bounded pool. Error propagation is errgroup-style: the first
+// failure stops workers from claiming further collectors, in-flight loads
+// drain, and the error reported is the erroring collector earliest in
+// sorted order — the same one the serial path would have surfaced.
+func loadCollectors(streams map[string][]mrt.Record, collectors []string, workers int) ([]*rib.CollectorRIB, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(collectors) {
+		workers = len(collectors)
+	}
+	ribs := make([]*rib.CollectorRIB, len(collectors))
+	errs := make([]error, len(collectors))
+
+	if workers <= 1 {
+		for i, name := range collectors {
+			c, err := rib.LoadCollector(name, streams[name])
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %s: %w", name, err)
+			}
+			ribs[i] = c
+		}
+		return ribs, nil
+	}
+
+	var (
+		next   atomic.Int64 // next unclaimed collector index
+		failed atomic.Bool  // set on first error; stops new claims
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(collectors) || failed.Load() {
+					return
+				}
+				name := collectors[i]
+				c, err := rib.LoadCollector(name, streams[name])
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				ribs[i] = c
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Workers claim indices in increasing order, so the lowest-index error
+	// matches what serial loading would have hit first.
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", collectors[i], err)
+		}
+	}
+	return ribs, nil
 }
 
 // markIncidents identifies the AFRINIC-incident prefixes the way the

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"dropscope/internal/bgp"
+	"dropscope/internal/netx"
 	"dropscope/internal/pathend"
 	"dropscope/internal/sbl"
 	"dropscope/internal/timex"
@@ -27,8 +28,18 @@ type PathEndImpact struct {
 // PathEndCounterfactual builds path-end records from the first 30 days of
 // the window — each origin authorizes the neighbors it then used — and
 // validates every non-incident hijacked listing's announcement path on
-// its listing day.
+// its listing day. It re-derives the case-study prefix by running the
+// Figure-4 analysis; callers that already have it (the parallel Results
+// scheduler) use PathEndWithCase instead.
 func (p *Pipeline) PathEndCounterfactual() PathEndImpact {
+	return p.PathEndWithCase(p.Fig4RPKIValidHijacks().CasePrefix)
+}
+
+// PathEndWithCase is PathEndCounterfactual with the case-study prefix
+// (Fig4.CasePrefix) supplied by the caller, skipping the embedded Fig4
+// recomputation. A zero prefix simply never matches, leaving
+// CaseStudyCaught false.
+func (p *Pipeline) PathEndWithCase(casePrefix netx.Prefix) PathEndImpact {
 	var out PathEndImpact
 	table := pathend.NewTable()
 
@@ -67,7 +78,6 @@ func (p *Pipeline) PathEndCounterfactual() PathEndImpact {
 	}
 
 	// Validation of hijack announcements.
-	caseStudy := p.Fig4RPKIValidHijacks()
 	for _, l := range p.NonIncident() {
 		if !l.Has(sbl.Hijacked) {
 			continue
@@ -83,7 +93,7 @@ func (p *Pipeline) PathEndCounterfactual() PathEndImpact {
 		switch table.Validate(path) {
 		case pathend.Invalid:
 			out.HijacksInvalid++
-			if l.Prefix == caseStudy.CasePrefix {
+			if l.Prefix == casePrefix {
 				out.CaseStudyCaught = true
 			}
 		case pathend.Valid:

@@ -8,6 +8,17 @@
 // followed by RIB_IPV4_UNICAST records) and then replaying the interleaved
 // BGP4MP update stream. Routes are tracked as day-resolution presence
 // intervals per (prefix, peer).
+//
+// # Concurrency
+//
+// Reassembly parallelizes per collector: LoadCollector builds one
+// collector's state with no shared references, so any number of
+// LoadCollector calls may run concurrently. Merging CollectorRIBs into an
+// Index and calling Close must happen on a single goroutine; merging in a
+// fixed collector order yields an Index identical to serial loading in
+// that order. After Close the Index is immutable (Close also builds the
+// covering-query trie that was previously built lazily), so every query
+// method is safe for unlimited concurrent readers.
 package rib
 
 import (
@@ -48,14 +59,18 @@ type prefixHist struct {
 	byPeer map[int][]span // peer id -> closed and open spans, in time order
 }
 
-// Index is the reassembled multi-collector view.
+// Index is the reassembled multi-collector view. Build it either by
+// calling Load per collector, or by merging independently built
+// CollectorRIBs with Merge; the two paths produce identical indexes when
+// collectors arrive in the same order. After Close the Index is immutable
+// and safe for concurrent readers.
 type Index struct {
 	peers   []PeerRef
 	peerIDs map[PeerRef]int
 	// peerTables maps collector name -> MRT peer index -> global peer id.
 	peerTables map[string][]int
 	prefixes   map[netx.Prefix]*prefixHist
-	trie       netx.Trie[*prefixHist] // for covering queries; built lazily
+	trie       netx.Trie[*prefixHist] // for covering queries; built at Close
 	trieBuilt  bool
 	closed     bool
 }
@@ -96,53 +111,146 @@ func (ix *Index) hist(p netx.Prefix) *prefixHist {
 	return h
 }
 
-// Load consumes one collector's MRT record stream: a PEER_INDEX_TABLE
-// declares the peer set, RIB_IPV4_UNICAST records seed routes, and
-// BGP4MP messages open and close presence intervals. Records must be in
-// timestamp order within the stream.
-func (ix *Index) Load(collector string, recs []mrt.Record) error {
-	if ix.closed {
-		return fmt.Errorf("rib: index already closed")
+// CollectorRIB is one collector's independently reassembled state. It is
+// self-contained — peer ids are collector-local and nothing references the
+// destination Index — so LoadCollector calls for different collectors may
+// run on concurrent goroutines, with the results merged afterwards in a
+// deterministic order via (*Index).Merge.
+type CollectorRIB struct {
+	collector string
+	peers     []PeerRef
+	peerIDs   map[PeerRef]int
+	table     []int // MRT peer index -> local peer id; nil until the index table
+	prefixes  map[netx.Prefix]*prefixHist
+}
+
+// Collector returns the collector name the RIB was loaded from.
+func (c *CollectorRIB) Collector() string { return c.collector }
+
+// NumPrefixes returns the number of distinct prefixes the collector saw.
+func (c *CollectorRIB) NumPrefixes() int { return len(c.prefixes) }
+
+func (c *CollectorRIB) peerID(ref PeerRef) int {
+	if id, ok := c.peerIDs[ref]; ok {
+		return id
+	}
+	id := len(c.peers)
+	c.peers = append(c.peers, ref)
+	c.peerIDs[ref] = id
+	return id
+}
+
+func (c *CollectorRIB) hist(p netx.Prefix) *prefixHist {
+	h, ok := c.prefixes[p]
+	if !ok {
+		h = &prefixHist{byPeer: make(map[int][]span)}
+		c.prefixes[p] = h
+	}
+	return h
+}
+
+// LoadCollector consumes one collector's MRT record stream into a
+// standalone CollectorRIB: a PEER_INDEX_TABLE declares the peer set,
+// RIB_IPV4_UNICAST records seed routes, and BGP4MP messages open and close
+// presence intervals. Records must be in timestamp order within the
+// stream.
+func LoadCollector(collector string, recs []mrt.Record) (*CollectorRIB, error) {
+	c := &CollectorRIB{
+		collector: collector,
+		peerIDs:   make(map[PeerRef]int),
+		prefixes:  make(map[netx.Prefix]*prefixHist),
 	}
 	for _, rec := range recs {
 		switch r := rec.(type) {
 		case *mrt.PeerIndexTable:
 			table := make([]int, len(r.Peers))
 			for i, p := range r.Peers {
-				table[i] = ix.peerID(PeerRef{Collector: collector, Addr: p.Addr, AS: p.AS})
+				table[i] = c.peerID(PeerRef{Collector: collector, Addr: p.Addr, AS: p.AS})
 			}
-			ix.peerTables[collector] = table
+			c.table = table
 		case *mrt.RIBPrefix:
-			table := ix.peerTables[collector]
-			if table == nil {
-				return fmt.Errorf("rib: %s: RIB record before peer index table", collector)
+			if c.table == nil {
+				return nil, fmt.Errorf("rib: %s: RIB record before peer index table", collector)
 			}
 			day := timex.FromTime(r.When)
-			h := ix.hist(r.Prefix)
+			h := c.hist(r.Prefix)
 			for _, e := range r.Entries {
-				if int(e.PeerIndex) >= len(table) {
-					return fmt.Errorf("rib: %s: peer index %d out of range", collector, e.PeerIndex)
+				if int(e.PeerIndex) >= len(c.table) {
+					return nil, fmt.Errorf("rib: %s: peer index %d out of range", collector, e.PeerIndex)
 				}
-				ix.open(h, table[e.PeerIndex], day, e.Attrs.Path)
+				openSpan(h, c.table[e.PeerIndex], day, e.Attrs.Path)
 			}
 		case *mrt.BGP4MPMessage:
 			day := timex.FromTime(r.When)
-			pid := ix.peerID(PeerRef{Collector: collector, Addr: r.PeerAddr, AS: r.PeerAS})
+			pid := c.peerID(PeerRef{Collector: collector, Addr: r.PeerAddr, AS: r.PeerAS})
 			for _, p := range r.Update.Withdrawn {
-				ix.close(ix.hist(p), pid, day)
+				closeSpan(c.hist(p), pid, day)
 			}
 			for _, p := range r.Update.NLRI {
-				ix.open(ix.hist(p), pid, day, r.Update.Attrs.Path)
+				openSpan(c.hist(p), pid, day, r.Update.Attrs.Path)
 			}
 		default:
-			return fmt.Errorf("rib: unsupported record %T", rec)
+			return nil, fmt.Errorf("rib: unsupported record %T", rec)
+		}
+	}
+	return c, nil
+}
+
+// Merge folds one collector's state into the index, remapping the
+// collector-local peer ids onto the global peer space. Span slices are
+// handed off, not copied, so the CollectorRIB must not be used afterwards.
+// Merge is not itself safe for concurrent use — call it from one goroutine,
+// in sorted collector order for results identical to serial Load calls.
+func (ix *Index) Merge(c *CollectorRIB) error {
+	if ix.closed {
+		return fmt.Errorf("rib: index already closed")
+	}
+	// Remap local ids to global ones. Peer refs are collector-scoped, so
+	// collisions only occur when the same collector is merged twice; reuse
+	// the existing id then, as serial loading would.
+	remap := make([]int, len(c.peers))
+	for lid, ref := range c.peers {
+		remap[lid] = ix.peerID(ref)
+	}
+	if c.table != nil {
+		table := make([]int, len(c.table))
+		for i, lid := range c.table {
+			table[i] = remap[lid]
+		}
+		ix.peerTables[c.collector] = table
+	}
+	for p, ch := range c.prefixes {
+		h := ix.hist(p)
+		for lid, spans := range ch.byPeer {
+			gid := remap[lid]
+			if existing, ok := h.byPeer[gid]; ok {
+				h.byPeer[gid] = append(existing, spans...)
+			} else {
+				h.byPeer[gid] = spans
+			}
 		}
 	}
 	return nil
 }
 
-// open starts (or re-points) the peer's route for the prefix.
-func (ix *Index) open(h *prefixHist, pid int, day timex.Day, path bgp.ASPath) {
+// Load consumes one collector's MRT record stream: a PEER_INDEX_TABLE
+// declares the peer set, RIB_IPV4_UNICAST records seed routes, and
+// BGP4MP messages open and close presence intervals. Records must be in
+// timestamp order within the stream. Load is the serial path; it is
+// exactly LoadCollector followed by Merge.
+func (ix *Index) Load(collector string, recs []mrt.Record) error {
+	if ix.closed {
+		return fmt.Errorf("rib: index already closed")
+	}
+	c, err := LoadCollector(collector, recs)
+	if err != nil {
+		return err
+	}
+	return ix.Merge(c)
+}
+
+// openSpan starts (or re-points) the peer's route for the prefix.
+func openSpan(h *prefixHist, pid int, day timex.Day, path bgp.ASPath) {
 	spans := h.byPeer[pid]
 	origin, _ := path.Origin()
 	neighbor, _ := path.First()
@@ -160,8 +268,8 @@ func (ix *Index) open(h *prefixHist, pid int, day timex.Day, path bgp.ASPath) {
 	h.byPeer[pid] = append(spans, span{From: day, To: openEnd, Origin: origin, Neighbor: neighbor, Path: path})
 }
 
-// close ends the peer's open route for the prefix, if any.
-func (ix *Index) close(h *prefixHist, pid int, day timex.Day) {
+// closeSpan ends the peer's open route for the prefix, if any.
+func closeSpan(h *prefixHist, pid int, day timex.Day) {
 	spans := h.byPeer[pid]
 	if n := len(spans); n > 0 && spans[n-1].To == openEnd {
 		spans[n-1].To = day
@@ -174,6 +282,9 @@ func (ix *Index) close(h *prefixHist, pid int, day timex.Day) {
 // Close finalizes the index. Routes still installed are treated as
 // remaining installed through end. Queries before Close see open routes
 // as present at any later day, so Close is optional but recommended.
+// Close also builds the covering-query trie eagerly, leaving the index
+// fully immutable: after Close every query method is safe for concurrent
+// readers.
 func (ix *Index) Close(end timex.Day) {
 	for _, h := range ix.prefixes {
 		for pid, spans := range h.byPeer {
@@ -185,6 +296,7 @@ func (ix *Index) Close(end timex.Day) {
 			h.byPeer[pid] = spans
 		}
 	}
+	ix.buildTrie()
 	ix.closed = true
 }
 
@@ -317,17 +429,30 @@ func (ix *Index) OriginTimeline(p netx.Prefix) []OriginSpan {
 	if !ok {
 		return nil
 	}
+	pids := make([]int, 0, len(h.byPeer))
+	for pid := range h.byPeer {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
 	var all []OriginSpan
-	for _, spans := range h.byPeer {
-		for _, s := range spans {
+	for _, pid := range pids {
+		for _, s := range h.byPeer[pid] {
 			all = append(all, OriginSpan{From: s.From, To: s.To, Origin: s.Origin, Transit: transitOf(s.Path)})
 		}
 	}
+	// Full-key comparison: ties must order identically however the spans
+	// arrived, or merged timelines would depend on map iteration order.
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].From != all[j].From {
 			return all[i].From < all[j].From
 		}
-		return all[i].Origin < all[j].Origin
+		if all[i].Origin != all[j].Origin {
+			return all[i].Origin < all[j].Origin
+		}
+		if all[i].Transit != all[j].Transit {
+			return all[i].Transit < all[j].Transit
+		}
+		return all[i].To < all[j].To
 	})
 	var merged []OriginSpan
 	for _, s := range all {
@@ -374,7 +499,9 @@ func (ix *Index) FirstObserved(p netx.Prefix) (timex.Day, bool) {
 	return first, found
 }
 
-// buildTrie indexes prefix histories for covering/overlap queries.
+// buildTrie indexes prefix histories for covering/overlap queries. Close
+// calls it eagerly so the post-Close index has no lazily initialized
+// state; before Close it still runs on demand (single-goroutine only).
 func (ix *Index) buildTrie() {
 	if ix.trieBuilt {
 		return

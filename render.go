@@ -12,6 +12,10 @@ import (
 	"dropscope/internal/sbl"
 )
 
+// renderAll writes each section in a fixed order. It reads only the
+// Results value — never the pipeline — so it is deterministic over a
+// given Results, whether that was produced by the parallel scheduler or
+// the serial runner.
 func renderAll(w io.Writer, r Results) error {
 	renderers := []func(io.Writer, Results) error{
 		renderFig1, renderFig2, renderTable1, renderSec5, renderFig4,

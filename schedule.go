@@ -1,0 +1,91 @@
+package dropscope
+
+import (
+	"runtime"
+	"sync"
+
+	"dropscope/internal/analysis"
+)
+
+// experiment is one unit of the Results fan-out: a named analysis that
+// fills exactly one set of Results fields, plus the experiments whose
+// outputs it reads. Almost every experiment is independent — the one real
+// dependency today is PathEnd, which consumes Fig4's case-study prefix.
+type experiment struct {
+	name string
+	deps []string
+	run  func(p *analysis.Pipeline, r *Results)
+}
+
+// experiments lists every table and figure in serial (declaration) order.
+// Dependencies must appear before their dependents so the serial runner
+// can execute the slice front to back.
+func experiments() []experiment {
+	return []experiment{
+		{name: "Fig1", run: func(p *analysis.Pipeline, r *Results) { r.Fig1 = p.Fig1Classification() }},
+		{name: "Fig2", run: func(p *analysis.Pipeline, r *Results) { r.Fig2 = p.Fig2Visibility() }},
+		{name: "Dealloc", run: func(p *analysis.Pipeline, r *Results) { r.Dealloc = p.DeallocAnalysis() }},
+		{name: "Table1", run: func(p *analysis.Pipeline, r *Results) { r.Table1 = p.Table1RPKIUptake() }},
+		{name: "Sec5", run: func(p *analysis.Pipeline, r *Results) { r.Sec5 = p.Sec5IRR() }},
+		{name: "Fig4", run: func(p *analysis.Pipeline, r *Results) { r.Fig4 = p.Fig4RPKIValidHijacks() }},
+		{name: "Fig5", run: func(p *analysis.Pipeline, r *Results) { r.Fig5 = p.Fig5ROAStatus() }},
+		{name: "Fig6", run: func(p *analysis.Pipeline, r *Results) { r.Fig6 = p.Fig6UnallocatedTimeline() }},
+		{name: "Fig7", run: func(p *analysis.Pipeline, r *Results) { r.Fig7 = p.Fig7FreePools() }},
+		{name: "Table2", run: func(p *analysis.Pipeline, r *Results) { r.Table2 = p.Table2SBLBreakdown() }},
+		{name: "ROV", run: func(p *analysis.Pipeline, r *Results) { r.ROV = p.ROVCounterfactual() }},
+		{name: "AS0WhatIf", run: func(p *analysis.Pipeline, r *Results) { r.AS0WhatIf = p.AS0WhatIf() }},
+		{name: "MaxLength", run: func(p *analysis.Pipeline, r *Results) { r.MaxLength = p.MaxLengthAnalysis() }},
+		{name: "PathEnd", deps: []string{"Fig4"},
+			run: func(p *analysis.Pipeline, r *Results) { r.PathEnd = p.PathEndWithCase(r.Fig4.CasePrefix) }},
+		{name: "Hijackers", run: func(p *analysis.Pipeline, r *Results) { r.Hijackers = p.SerialHijackers(3, 0.5, 365) }},
+		{name: "MOAS", run: func(p *analysis.Pipeline, r *Results) { r.MOAS = p.MOASSweep() }},
+	}
+}
+
+// runExperiments executes the experiment graph over the pipeline.
+// workers <= 0 means runtime.GOMAXPROCS(0); workers == 1 runs everything
+// sequentially on the calling goroutine in declaration order.
+//
+// The parallel scheduler starts one goroutine per experiment, gated on
+// its dependencies' completion channels, with a semaphore bounding how
+// many run at once. Every experiment writes a distinct Results field and
+// the pipeline is immutable after construction, so no locking is needed
+// beyond the completion signals; the final WaitGroup join publishes all
+// writes to the caller. Because every experiment is a pure function of
+// the pipeline, the assembled Results — and anything rendered from it —
+// is byte-identical whichever path runs.
+func runExperiments(p *analysis.Pipeline, workers int) Results {
+	exps := experiments()
+	var r Results
+	if workers == 1 {
+		for _, e := range exps {
+			e.run(p, &r)
+		}
+		return r
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	done := make(map[string]chan struct{}, len(exps))
+	for _, e := range exps {
+		done[e.name] = make(chan struct{})
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, e := range exps {
+		wg.Add(1)
+		go func(e experiment) {
+			defer wg.Done()
+			for _, d := range e.deps {
+				<-done[d]
+			}
+			sem <- struct{}{}
+			e.run(p, &r)
+			close(done[e.name])
+			<-sem
+		}(e)
+	}
+	wg.Wait()
+	return r
+}

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# check.sh — the single source of truth for every repo check. CI
+# (.github/workflows/ci.yml) and the Makefile both run these commands, so
+# local runs and the gate stay in lockstep.
+#
+# Usage: scripts/check.sh [build|vet|fmt|test|race|bench|fuzz|all]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Every native fuzz target in the repo, one "package target" pair per
+# line. `go test -fuzz` accepts a single target per invocation, hence the
+# loop in fuzz().
+FUZZ_TARGETS="
+internal/bgp FuzzDecodeUpdate
+internal/bgp FuzzReadMessage
+internal/drop FuzzParse
+internal/irr FuzzParse
+internal/irr FuzzParseJournal
+internal/mrt FuzzReader
+internal/netx FuzzParsePrefix
+internal/netx FuzzParseAddr
+internal/rirstats FuzzParseFile
+internal/rpki FuzzParseSnapshotCSV
+internal/rtr FuzzReadPDU
+"
+
+build() { go build ./...; }
+
+vet() { go vet ./...; }
+
+fmt() {
+  local out
+  out="$(gofmt -l .)"
+  if [ -n "$out" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$out" >&2
+    return 1
+  fi
+}
+
+test_() { go test ./...; }
+
+race() { go test -race ./...; }
+
+# bench compiles and runs every benchmark exactly once — a smoke guard
+# for bench_test.go, not a measurement. CI uploads the output as the
+# BENCH_* trajectory artifact.
+bench() { go test -bench=. -benchtime=1x -run='^$' ./...; }
+
+# fuzz runs each seed corpus plus FUZZ_SMOKE_TIME (default 10s) of new
+# inputs per target.
+fuzz() {
+  local t="${FUZZ_SMOKE_TIME:-10s}"
+  echo "$FUZZ_TARGETS" | while read -r pkg target; do
+    [ -z "$pkg" ] && continue
+    echo "--- fuzz $pkg $target ($t)"
+    go test -run='^$' -fuzz="^${target}\$" -fuzztime="$t" "./$pkg"
+  done
+}
+
+all() { build; vet; fmt; test_; race; bench; }
+
+case "${1:-all}" in
+  build) build ;;
+  vet) vet ;;
+  fmt) fmt ;;
+  test) test_ ;;
+  race) race ;;
+  bench) bench ;;
+  fuzz) fuzz ;;
+  all) all ;;
+  *)
+    echo "usage: $0 [build|vet|fmt|test|race|bench|fuzz|all]" >&2
+    exit 2
+    ;;
+esac

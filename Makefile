@@ -1,7 +1,7 @@
 # Convenience wrappers over scripts/check.sh — the same commands CI runs
 # (.github/workflows/ci.yml), so a green `make all` locally means a green
 # gate.
-.PHONY: all build vet fmt test race bench fuzz
+.PHONY: all build vet fmt test race bench fuzz faults
 
 all:
 	scripts/check.sh all
@@ -26,3 +26,6 @@ bench:
 
 fuzz:
 	scripts/check.sh fuzz
+
+faults:
+	scripts/check.sh faults

@@ -4,11 +4,18 @@
 //
 // Usage:
 //
-//	dropscope [-scale N] [-seed N] [-load DIR] [-save DIR] [-json] [-serial] [-workers N]
+//	dropscope [-scale N] [-seed N] [-load DIR] [-save DIR] [-json] [-serial] [-workers N] [-strict] [-max-skip N]
 //
 // By default RIB loading and the experiment suite run in parallel across
 // the available CPUs; -serial forces the single-threaded reference path
 // and -workers caps the experiment fan-out (0 = GOMAXPROCS). Both paths
+// print byte-identical reports.
+//
+// Archives loaded with -load are read leniently: corrupt records and
+// malformed lines are skipped and counted, collectors damaged beyond the
+// -max-skip budget are quarantined, and the report gains a data-health
+// section. -strict instead fails on the first damaged record, naming its
+// record index and byte offset. Over undamaged archives the two modes
 // print byte-identical reports.
 package main
 
@@ -30,6 +37,8 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit the machine-readable summary instead of the text report")
 		serial  = flag.Bool("serial", false, "disable all parallelism: serial RIB loading and experiment execution")
 		workers = flag.Int("workers", 0, "experiment fan-out bound (0 = GOMAXPROCS, 1 = serial experiments)")
+		strict  = flag.Bool("strict", false, "with -load: fail on the first corrupt record instead of skipping leniently")
+		maxSkip = flag.Int("max-skip", 0, "with -load: per-collector skip budget before quarantine (0 = default 100, negative = unlimited)")
 	)
 	flag.Parse()
 
@@ -42,7 +51,11 @@ func main() {
 		err   error
 	)
 	if *load != "" {
-		study, err = dropscope.LoadStudy(*load, cfg)
+		opts := dropscope.IngestOptions{Strict: *strict, MaxSkip: *maxSkip}
+		if *serial {
+			opts.Workers = 1
+		}
+		study, err = dropscope.LoadStudyWithOptions(*load, cfg, opts)
 	} else if *serial {
 		study, err = dropscope.NewStudySerial(cfg)
 	} else {

@@ -58,3 +58,29 @@ func TestSerialAndParallelStudiesAgree(t *testing.T) {
 		t.Fatal("parallel study render diverged from an independently built serial study")
 	}
 }
+
+// TestDamagedStudySerialMatchesParallel extends the determinism guard to
+// the quarantine path: over the same damaged archives and the same skip
+// budget, a fully serial lenient build and a fully parallel one must
+// render byte-identically — skip counts, quarantine decisions, and the
+// data-health section included.
+func TestDamagedStudySerialMatchesParallel(t *testing.T) {
+	dir, _ := writeDamagedArchives(t, 2)
+	serialStudy, err := LoadStudyWithOptions(dir, smallConfig(), IngestOptions{Workers: 1, MaxSkip: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelStudy, err := LoadStudyWithOptions(dir, smallConfig(), IngestOptions{MaxSkip: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderBytes(t, serialStudy.ResultsSerial())
+	got := renderBytes(t, parallelStudy.Results())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("damaged-archive renders diverged between serial and parallel builds (%d vs %d bytes)",
+			len(got), len(want))
+	}
+	if !bytes.Contains(want, []byte("Data health")) {
+		t.Error("damaged-archive render lacks the data-health section")
+	}
+}

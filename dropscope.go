@@ -30,6 +30,7 @@ import (
 
 	"dropscope/internal/analysis"
 	"dropscope/internal/archive"
+	"dropscope/internal/ingest"
 	"dropscope/internal/scenario"
 )
 
@@ -80,16 +81,59 @@ func newStudy(cfg Config, workers int) (*Study, error) {
 
 // LoadStudy builds the pipeline from archives previously written with
 // (*Study).WriteArchives — the file-based path a downstream user takes
-// with their own data.
+// with their own data. It is strict: the first corrupt record or
+// malformed line fails the load. Use LoadStudyWithOptions to run over
+// damaged archives.
 func LoadStudy(dir string, cfg Config) (*Study, error) {
-	b, err := archive.Load(dir)
+	return LoadStudyWithOptions(dir, cfg, IngestOptions{Strict: true})
+}
+
+// IngestOptions configures how LoadStudyWithOptions reads archives and
+// builds the pipeline.
+type IngestOptions struct {
+	// Strict fails the load on the first corrupt MRT record or malformed
+	// text line, with the record index and byte offset in the error. The
+	// default (false) reads leniently: damage is skipped and counted per
+	// source, and a collector whose skip count exceeds MaxSkip is
+	// quarantined while the study proceeds without it.
+	Strict bool
+	// MaxSkip is the per-collector skip budget in lenient mode. 0 means
+	// ingest.DefaultMaxSkip (100); negative means unlimited.
+	MaxSkip int
+	// Workers bounds the RIB-loading pool: <= 0 means
+	// runtime.GOMAXPROCS(0), 1 loads serially.
+	Workers int
+}
+
+// LoadStudyWithOptions is LoadStudy under explicit ingest options. After
+// a lenient load, per-source skip accounting and quarantine decisions
+// are available via the pipeline's Health and appear in the rendered
+// report's data-health section; over undamaged archives the lenient
+// path's output is byte-identical to the strict path's.
+func LoadStudyWithOptions(dir string, cfg Config, opts IngestOptions) (*Study, error) {
+	var (
+		b   *archive.Bundle
+		h   *ingest.Health
+		err error
+	)
+	if opts.Strict {
+		b, err = archive.Load(dir)
+	} else {
+		h = ingest.NewHealth()
+		b, err = archive.LoadWithHealth(dir, h)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("dropscope: load: %w", err)
 	}
-	p, err := analysis.New(analysis.Dataset{
+	p, err := analysis.NewWithOptions(analysis.Dataset{
 		Window: cfg.Window,
 		DROP:   b.DROP, SBL: b.SBL, IRR: b.IRR, RPKI: b.RPKI, RIR: b.RIR,
 		MRT: b.MRT,
+	}, analysis.Options{
+		Workers: opts.Workers,
+		Lenient: !opts.Strict,
+		MaxSkip: opts.MaxSkip,
+		Health:  h,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dropscope: pipeline: %w", err)
@@ -130,6 +174,13 @@ type Results struct {
 	PathEnd   analysis.PathEndImpact
 	Hijackers []analysis.HijackerProfile
 	MOAS      analysis.MOASReport
+
+	// Health is the ingest accounting of a lenient build: per-source
+	// records, classified skips, and quarantined collectors. It is zero
+	// (Clean) after a strict build or a lenient build over undamaged
+	// archives, and the rendered report gains a data-health section only
+	// when it is not.
+	Health ingest.Report
 }
 
 // Results runs every experiment, fanning the independent ones out across

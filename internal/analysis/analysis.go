@@ -14,6 +14,7 @@ import (
 
 	"dropscope/internal/bgp"
 	"dropscope/internal/drop"
+	"dropscope/internal/ingest"
 	"dropscope/internal/irr"
 	"dropscope/internal/mrt"
 	"dropscope/internal/netx"
@@ -60,6 +61,30 @@ type Pipeline struct {
 	ds       Dataset
 	Index    *rib.Index
 	Listings []*Listing
+	// Health accumulates ingest accounting when the pipeline was built
+	// leniently (Options.Lenient); nil after a strict build.
+	Health *ingest.Health
+}
+
+// Options configures how New builds the pipeline.
+type Options struct {
+	// Workers bounds the RIB-loading pool. <= 0 means
+	// runtime.GOMAXPROCS(0); 1 loads serially.
+	Workers int
+	// Lenient tolerates damaged collectors: instead of the first
+	// unappliable record failing the build, records are skipped and
+	// counted, and a collector whose skip count exceeds MaxSkip is
+	// quarantined — dropped from the merge — while the study proceeds
+	// with the remaining collectors.
+	Lenient bool
+	// MaxSkip is the per-collector skip budget in lenient mode. 0 means
+	// ingest.DefaultMaxSkip; negative means unlimited.
+	MaxSkip int
+	// Health receives per-source accounting in lenient mode. When nil, a
+	// fresh accumulator is created (exposed as Pipeline.Health). Pass the
+	// same Health the archive was loaded with so decode-stage skips count
+	// toward each collector's budget.
+	Health *ingest.Health
 }
 
 // New builds the pipeline: loads every collector's MRT stream into a RIB
@@ -89,10 +114,30 @@ func NewSerial(ds Dataset) (*Pipeline, error) {
 // bound, results are deterministic: collector RIBs merge in sorted name
 // order.
 func NewWithConcurrency(ds Dataset, workers int) (*Pipeline, error) {
+	return NewWithOptions(ds, Options{Workers: workers})
+}
+
+// NewWithOptions is New under explicit build options. A strict build
+// (the default) fails on the first unappliable record, exactly as New
+// does; a lenient build skips and counts damage per collector,
+// quarantines collectors beyond their skip budget, and records
+// everything in Pipeline.Health. Whatever the options, collector RIBs
+// merge in sorted name order, so serial and parallel builds over the
+// same (possibly damaged) dataset are identical.
+func NewWithOptions(ds Dataset, opts Options) (*Pipeline, error) {
 	if ds.DROP == nil || ds.SBL == nil || ds.IRR == nil || ds.RPKI == nil || ds.RIR == nil {
 		return nil, fmt.Errorf("analysis: incomplete dataset")
 	}
 	p := &Pipeline{ds: ds}
+	if opts.Lenient {
+		if opts.Health == nil {
+			opts.Health = ingest.NewHealth()
+		}
+		if opts.MaxSkip == 0 {
+			opts.MaxSkip = ingest.DefaultMaxSkip
+		}
+		p.Health = opts.Health
+	}
 
 	collectors := make([]string, 0, len(ds.MRT))
 	for name := range ds.MRT {
@@ -100,12 +145,15 @@ func NewWithConcurrency(ds Dataset, workers int) (*Pipeline, error) {
 	}
 	sort.Strings(collectors)
 
-	ribs, err := loadCollectors(ds.MRT, collectors, workers)
+	ribs, err := loadCollectors(ds.MRT, collectors, opts)
 	if err != nil {
 		return nil, err
 	}
 	p.Index = rib.NewIndex()
 	for _, c := range ribs {
+		if c == nil {
+			continue // quarantined
+		}
 		if err := p.Index.Merge(c); err != nil {
 			return nil, fmt.Errorf("analysis: %s: %w", c.Collector(), err)
 		}
@@ -129,7 +177,15 @@ func NewWithConcurrency(ds Dataset, workers int) (*Pipeline, error) {
 // failure stops workers from claiming further collectors, in-flight loads
 // drain, and the error reported is the erroring collector earliest in
 // sorted order — the same one the serial path would have surfaced.
-func loadCollectors(streams map[string][]mrt.Record, collectors []string, workers int) ([]*rib.CollectorRIB, error) {
+//
+// In lenient mode a collector never errors: its unappliable records are
+// skipped and counted, and if the skip total (decode-stage skips already
+// on its Source plus semantic skips added here) exceeds the budget, the
+// collector is quarantined — its slot stays nil. Each quarantine
+// decision depends only on that collector's own stream, so worker count
+// cannot change the outcome.
+func loadCollectors(streams map[string][]mrt.Record, collectors []string, opts Options) ([]*rib.CollectorRIB, error) {
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -139,9 +195,36 @@ func loadCollectors(streams map[string][]mrt.Record, collectors []string, worker
 	ribs := make([]*rib.CollectorRIB, len(collectors))
 	errs := make([]error, len(collectors))
 
+	loadOne := func(name string) (*rib.CollectorRIB, error) {
+		if !opts.Lenient {
+			return rib.LoadCollector(name, streams[name])
+		}
+		recs := streams[name]
+		src := opts.Health.Source("mrt/" + name)
+		if src.Records == 0 && src.Skipped() == 0 {
+			// The stream arrived in memory without passing through a
+			// lenient decode; every record present counts as accepted.
+			src.Accept(uint64(len(recs)))
+		}
+		if overBudget(src, opts.MaxSkip) {
+			// Decode-stage damage alone exhausted the budget.
+			src.Quarantine(budgetNote(src, opts.MaxSkip))
+			return nil, nil
+		}
+		c, err := rib.LoadCollectorHealth(name, recs, src)
+		if err != nil {
+			return nil, err
+		}
+		if overBudget(src, opts.MaxSkip) {
+			src.Quarantine(budgetNote(src, opts.MaxSkip))
+			return nil, nil
+		}
+		return c, nil
+	}
+
 	if workers <= 1 {
 		for i, name := range collectors {
-			c, err := rib.LoadCollector(name, streams[name])
+			c, err := loadOne(name)
 			if err != nil {
 				return nil, fmt.Errorf("analysis: %s: %w", name, err)
 			}
@@ -164,8 +247,7 @@ func loadCollectors(streams map[string][]mrt.Record, collectors []string, worker
 				if i >= len(collectors) || failed.Load() {
 					return
 				}
-				name := collectors[i]
-				c, err := rib.LoadCollector(name, streams[name])
+				c, err := loadOne(collectors[i])
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -185,6 +267,25 @@ func loadCollectors(streams map[string][]mrt.Record, collectors []string, worker
 		}
 	}
 	return ribs, nil
+}
+
+// overBudget reports whether the source's skip total exceeds the budget.
+// A negative budget means unlimited.
+func overBudget(src *ingest.Source, budget int) bool {
+	return budget >= 0 && src.Skipped() > uint64(budget)
+}
+
+func budgetNote(src *ingest.Source, budget int) string {
+	return fmt.Sprintf("%d skips exceed budget %d", src.Skipped(), budget)
+}
+
+// HealthReport summarizes the ingest accounting of a lenient build. A
+// strict build returns a zero (clean) report.
+func (p *Pipeline) HealthReport() ingest.Report {
+	if p.Health == nil {
+		return ingest.Report{}
+	}
+	return p.Health.Report()
 }
 
 // markIncidents identifies the AFRINIC-incident prefixes the way the

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"dropscope/internal/drop"
+	"dropscope/internal/ingest"
 	"dropscope/internal/irr"
 	"dropscope/internal/mrt"
 	"dropscope/internal/rirstats"
@@ -66,26 +67,42 @@ func Write(dir string, b *Bundle) error {
 	return writeRIRStats(filepath.Join(dir, "rirstats"), b.RIR)
 }
 
-// Load reads a bundle previously persisted with Write.
+// Load reads a bundle previously persisted with Write. Any corrupt
+// record or malformed line fails the load; use LoadWithHealth to read
+// damaged archives.
 func Load(dir string) (*Bundle, error) {
+	return load(dir, nil)
+}
+
+// LoadWithHealth is the lenient variant of Load: corrupt MRT records and
+// malformed text lines are skipped rather than fatal, with every skip
+// classified per source in h (source names are archive-relative paths
+// like "mrt/rv1" or "drop/20190605.txt"). The caller decides afterwards
+// — from h's per-source counters — whether any source is too damaged to
+// use. h must not be nil.
+func LoadWithHealth(dir string, h *ingest.Health) (*Bundle, error) {
+	return load(dir, h)
+}
+
+func load(dir string, h *ingest.Health) (*Bundle, error) {
 	b := &Bundle{SBL: sbl.NewDB(), DROP: drop.NewArchive(), IRR: &irr.DB{}, RPKI: &rpki.Archive{}, RIR: &rirstats.Timeline{}}
 	var err error
-	if b.MRT, err = loadMRT(filepath.Join(dir, "mrt")); err != nil {
+	if b.MRT, err = loadMRT(filepath.Join(dir, "mrt"), h); err != nil {
 		return nil, err
 	}
-	if err = loadDROP(filepath.Join(dir, "drop"), b.DROP); err != nil {
+	if err = loadDROP(filepath.Join(dir, "drop"), b.DROP, h); err != nil {
 		return nil, err
 	}
-	if err = loadSBL(filepath.Join(dir, "sbl", "records.txt"), b.SBL); err != nil {
+	if err = loadSBL(filepath.Join(dir, "sbl", "records.txt"), b.SBL, h); err != nil {
 		return nil, err
 	}
-	if err = loadIRR(filepath.Join(dir, "irr", "journal.rpsl"), b.IRR); err != nil {
+	if err = loadIRR(filepath.Join(dir, "irr", "journal.rpsl"), b.IRR, h); err != nil {
 		return nil, err
 	}
-	if err = loadRPKI(filepath.Join(dir, "rpki"), b.RPKI); err != nil {
+	if err = loadRPKI(filepath.Join(dir, "rpki"), b.RPKI, h); err != nil {
 		return nil, err
 	}
-	if err = loadRIRStats(filepath.Join(dir, "rirstats"), b.RIR); err != nil {
+	if err = loadRIRStats(filepath.Join(dir, "rirstats"), b.RIR, h); err != nil {
 		return nil, err
 	}
 	return b, nil
@@ -123,7 +140,7 @@ func writeMRT(dir string, streams map[string][]mrt.Record) error {
 	return nil
 }
 
-func loadMRT(dir string) (map[string][]mrt.Record, error) {
+func loadMRT(dir string, h *ingest.Health) (map[string][]mrt.Record, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -137,12 +154,17 @@ func loadMRT(dir string) (map[string][]mrt.Record, error) {
 		if err != nil {
 			return nil, err
 		}
-		recs, err := mrt.ReadAll(bufio.NewReader(f))
+		collector := strings.TrimSuffix(e.Name(), ".mrt")
+		var opts []mrt.Option
+		if h != nil {
+			opts = []mrt.Option{mrt.Lenient(), mrt.WithSource(h.Source("mrt/" + collector))}
+		}
+		recs, err := mrt.ReadAll(bufio.NewReader(f), opts...)
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("archive: %s: %w", e.Name(), err)
 		}
-		out[strings.TrimSuffix(e.Name(), ".mrt")] = recs
+		out[collector] = recs
 	}
 	return out, nil
 }
@@ -167,17 +189,23 @@ func writeDROP(dir string, a *drop.Archive) error {
 	return nil
 }
 
-func loadDROP(dir string, a *drop.Archive) error {
+func loadDROP(dir string, a *drop.Archive, h *ingest.Health) error {
 	days, err := snapshotDays(dir, ".txt")
 	if err != nil {
 		return err
 	}
 	for _, day := range days {
-		f, err := os.Open(filepath.Join(dir, day.Compact()+".txt"))
+		name := day.Compact() + ".txt"
+		f, err := os.Open(filepath.Join(dir, name))
 		if err != nil {
 			return err
 		}
-		entries, err := drop.Parse(f)
+		var entries []drop.Entry
+		if h != nil {
+			entries, err = drop.ParseHealth(f, h.Source("drop/"+name))
+		} else {
+			entries, err = drop.Parse(f)
+		}
 		f.Close()
 		if err != nil {
 			return err
@@ -218,52 +246,30 @@ func snapshotDays(dir, ext string) ([]timex.Day, error) {
 
 // --- SBL ----------------------------------------------------------------
 
-// The SBL store format: "@<ID>" then the record text until the next '@'.
+// The store format ("@<ID>" then the record text until the next '@')
+// lives in the sbl package; the archive layer only handles the files.
 func writeSBL(path string, db *sbl.DB) error {
-	ids := db.IDs()
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	bw := bufio.NewWriter(f)
-	for _, id := range ids {
-		rec, _ := db.Get(id)
-		fmt.Fprintf(bw, "@%s\n%s\n", rec.ID, rec.Text)
+	err = sbl.WriteStore(f, db)
+	if cerr := f.Close(); err == nil {
+		err = cerr
 	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return err
 }
 
-func loadSBL(path string, db *sbl.DB) error {
+func loadSBL(path string, db *sbl.DB, h *ingest.Health) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	var id string
-	var text []string
-	flush := func() {
-		if id != "" {
-			db.Put(sbl.Record{ID: id, Text: strings.Join(text, "\n")})
-		}
+	if h != nil {
+		return sbl.ParseStoreHealth(f, db, h.Source("sbl/records.txt"))
 	}
-	for sc.Scan() {
-		line := sc.Text()
-		if strings.HasPrefix(line, "@") {
-			flush()
-			id = line[1:]
-			text = text[:0]
-			continue
-		}
-		text = append(text, line)
-	}
-	flush()
-	return sc.Err()
+	return sbl.ParseStore(f, db)
 }
 
 // --- IRR ----------------------------------------------------------------
@@ -280,12 +286,17 @@ func writeIRR(path string, db *irr.DB) error {
 	return err
 }
 
-func loadIRR(path string, db *irr.DB) error {
+func loadIRR(path string, db *irr.DB, h *ingest.Health) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	parsed, err := irr.ParseJournal(raw)
+	var parsed *irr.DB
+	if h != nil {
+		parsed, err = irr.ParseJournalHealth(raw, h.Source("irr/journal.rpsl"))
+	} else {
+		parsed, err = irr.ParseJournal(raw)
+	}
 	if err != nil {
 		return err
 	}
@@ -312,18 +323,24 @@ func writeRPKI(dir string, a *rpki.Archive) error {
 	return nil
 }
 
-func loadRPKI(dir string, a *rpki.Archive) error {
+func loadRPKI(dir string, a *rpki.Archive, h *ingest.Health) error {
 	days, err := snapshotDays(dir, ".csv")
 	if err != nil {
 		return err
 	}
 	prev := make(map[rpki.ROA]bool)
 	for _, day := range days {
-		f, err := os.Open(filepath.Join(dir, day.Compact()+".csv"))
+		name := day.Compact() + ".csv"
+		f, err := os.Open(filepath.Join(dir, name))
 		if err != nil {
 			return err
 		}
-		roas, err := rpki.ParseSnapshotCSV(f)
+		var roas []rpki.ROA
+		if h != nil {
+			roas, err = rpki.ParseSnapshotCSVHealth(f, h.Source("rpki/"+name))
+		} else {
+			roas, err = rpki.ParseSnapshotCSV(f)
+		}
 		f.Close()
 		if err != nil {
 			return err
@@ -406,7 +423,7 @@ func writeRIRStats(dir string, t *rirstats.Timeline) error {
 	return nil
 }
 
-func loadRIRStats(dir string, t *rirstats.Timeline) error {
+func loadRIRStats(dir string, t *rirstats.Timeline, h *ingest.Health) error {
 	days, err := snapshotDays(dir, "")
 	if err != nil {
 		return err
@@ -420,11 +437,17 @@ func loadRIRStats(dir string, t *rirstats.Timeline) error {
 		ddir := filepath.Join(dir, day.Compact())
 		var recs []rirstats.Record
 		for _, rir := range rirstats.AllRIRs {
-			f, err := os.Open(filepath.Join(ddir, fmt.Sprintf("delegated-%s-extended", rir)))
+			name := fmt.Sprintf("delegated-%s-extended", rir)
+			f, err := os.Open(filepath.Join(ddir, name))
 			if err != nil {
 				return err
 			}
-			rs, err := rirstats.ParseFile(f)
+			var rs []rirstats.Record
+			if h != nil {
+				rs, err = rirstats.ParseFileHealth(f, h.Source("rirstats/"+day.Compact()+"/"+name))
+			} else {
+				rs, err = rirstats.ParseFile(f)
+			}
 			f.Close()
 			if err != nil {
 				return err

@@ -136,7 +136,7 @@ func TestSBLRecordWithAtSignInText(t *testing.T) {
 		t.Fatal(err)
 	}
 	db := sbl.NewDB()
-	if err := loadSBL(path, db); err != nil {
+	if err := loadSBL(path, db, nil); err != nil {
 		t.Fatal(err)
 	}
 	rec, ok := db.Get("SBL1")

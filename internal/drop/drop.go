@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"dropscope/internal/ingest"
 	"dropscope/internal/netx"
 	"dropscope/internal/timex"
 )
@@ -44,8 +45,20 @@ func Write(w io.Writer, day timex.Day, entries []Entry) error {
 }
 
 // Parse reads a DROP snapshot in the published format. Comment lines
-// (starting with ';') are skipped.
+// (starting with ';') are skipped. The first malformed line fails the
+// parse; use ParseHealth to quarantine bad lines instead.
 func Parse(r io.Reader) ([]Entry, error) {
+	return parse(r, nil)
+}
+
+// ParseHealth is the lenient variant of Parse: a line that does not
+// parse is skipped and counted on src rather than failing the snapshot.
+// Accepted entries are also counted on src.
+func ParseHealth(r io.Reader, src *ingest.Source) ([]Entry, error) {
+	return parse(r, src)
+}
+
+func parse(r io.Reader, src *ingest.Source) ([]Entry, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	var out []Entry
@@ -63,10 +76,17 @@ func Parse(r io.Reader) ([]Entry, error) {
 		}
 		p, err := netx.ParsePrefix(line)
 		if err != nil {
+			if src != nil {
+				src.Skip(ingest.BadLine)
+				continue
+			}
 			return nil, fmt.Errorf("drop: line %d: %v", lineNo, err)
 		}
 		e.Prefix = p
 		out = append(out, e)
+		if src != nil {
+			src.Accept(1)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

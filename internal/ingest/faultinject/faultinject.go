@@ -1,0 +1,129 @@
+// Package faultinject corrupts byte streams deterministically so the
+// ingest layer's fault tolerance can be tested reproducibly: truncation,
+// bit flips, MRT length-field lies, and garbage interleave. Every fault
+// is a pure function of the Injector's seed — the same seed over the
+// same input always yields the same damaged bytes, across platforms and
+// Go versions (the generator is a self-contained splitmix64, not
+// math/rand).
+//
+// All methods copy their input; the original slice is never mutated.
+package faultinject
+
+import "encoding/binary"
+
+// Injector is a seeded fault source. The zero value is usable but every
+// zero-seeded Injector produces the same faults; use New with distinct
+// seeds for distinct damage.
+type Injector struct {
+	state uint64
+}
+
+// New returns an Injector with the given seed.
+func New(seed uint64) *Injector { return &Injector{state: seed} }
+
+// next advances the splitmix64 state and returns the next value.
+func (in *Injector) next() uint64 {
+	in.state += 0x9E3779B97F4A7C15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n). n must be positive.
+func (in *Injector) intn(n int) int {
+	return int(in.next() % uint64(n))
+}
+
+// Truncate cuts b at a pseudo-random point in [min(keepAtLeast, len(b)),
+// len(b)), modeling a dump whose transfer died mid-record.
+func (in *Injector) Truncate(b []byte, keepAtLeast int) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	if keepAtLeast > len(b) {
+		keepAtLeast = len(b)
+	}
+	cut := keepAtLeast
+	if span := len(b) - keepAtLeast; span > 0 {
+		cut += in.intn(span)
+	}
+	return append([]byte(nil), b[:cut]...)
+}
+
+// FlipBits flips n pseudo-random bits anywhere in b.
+func (in *Injector) FlipBits(b []byte, n int) []byte {
+	out := append([]byte(nil), b...)
+	if len(out) == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		out[in.intn(len(out))] ^= 1 << in.intn(8)
+	}
+	return out
+}
+
+// Interleave inserts n runs of up to maxRun garbage bytes at
+// pseudo-random offsets, modeling foreign data spliced into an archive.
+func (in *Injector) Interleave(b []byte, n, maxRun int) []byte {
+	out := append([]byte(nil), b...)
+	for i := 0; i < n; i++ {
+		runLen := 1 + in.intn(maxRun)
+		run := make([]byte, runLen)
+		for j := range run {
+			run[j] = byte(in.next())
+		}
+		at := in.intn(len(out) + 1)
+		out = append(out[:at:at], append(run, out[at:]...)...)
+	}
+	return out
+}
+
+// mrtHeaderLen is the fixed MRT common header size (RFC 6396 §2): a
+// 4-byte timestamp, 2-byte type, 2-byte subtype, 4-byte body length.
+const mrtHeaderLen = 12
+
+// mrtRecordOffsets walks the MRT length-prefixed framing of b and
+// returns the byte offset of every complete record header.
+func mrtRecordOffsets(b []byte) []int {
+	var offs []int
+	off := 0
+	for off+mrtHeaderLen <= len(b) {
+		length := int(binary.BigEndian.Uint32(b[off+8:]))
+		next := off + mrtHeaderLen + length
+		if next > len(b) {
+			break
+		}
+		offs = append(offs, off)
+		off = next
+	}
+	return offs
+}
+
+// LieLengths corrupts the length field of up to n pseudo-randomly chosen
+// MRT record headers, inflating each by 1..maxLie bytes — the framing
+// lie that makes a reader swallow the following records as body.
+func (in *Injector) LieLengths(b []byte, n, maxLie int) []byte {
+	out := append([]byte(nil), b...)
+	offs := mrtRecordOffsets(out)
+	if len(offs) == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		off := offs[in.intn(len(offs))]
+		length := binary.BigEndian.Uint32(out[off+8:])
+		binary.BigEndian.PutUint32(out[off+8:], length+uint32(1+in.intn(maxLie)))
+	}
+	return out
+}
+
+// DamageMRT applies the package's full repertoire to an MRT stream: a
+// few length lies, a garbage interleave, a burst of bit flips, and a
+// trailing truncation. The damage is heavy enough that a lenient reader
+// must skip records and a strict reader must fail.
+func (in *Injector) DamageMRT(b []byte) []byte {
+	out := in.LieLengths(b, 2, 4096)
+	out = in.Interleave(out, 3, 64)
+	out = in.FlipBits(out, 40)
+	return in.Truncate(out, len(out)*9/10)
+}

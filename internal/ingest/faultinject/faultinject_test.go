@@ -1,0 +1,112 @@
+package faultinject
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// sampleStream builds a fake MRT stream of n records with small bodies —
+// enough structure for the framing-aware faults without importing mrt.
+func sampleStream(n int) []byte {
+	var b []byte
+	for i := 0; i < n; i++ {
+		var hdr [12]byte
+		binary.BigEndian.PutUint32(hdr[0:], 1559692800+uint32(i))
+		binary.BigEndian.PutUint16(hdr[4:], 13)
+		binary.BigEndian.PutUint16(hdr[6:], 2)
+		body := bytes.Repeat([]byte{byte(i)}, 20+i%7)
+		binary.BigEndian.PutUint32(hdr[8:], uint32(len(body)))
+		b = append(b, hdr[:]...)
+		b = append(b, body...)
+	}
+	return b
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	in1, in2 := New(42), New(42)
+	src := sampleStream(50)
+	if !bytes.Equal(in1.DamageMRT(src), in2.DamageMRT(src)) {
+		t.Error("same seed produced different damage")
+	}
+	if bytes.Equal(New(1).DamageMRT(src), New(2).DamageMRT(src)) {
+		t.Error("different seeds produced identical damage")
+	}
+}
+
+func TestInputNeverMutated(t *testing.T) {
+	src := sampleStream(20)
+	orig := append([]byte(nil), src...)
+	in := New(7)
+	in.Truncate(src, 10)
+	in.FlipBits(src, 32)
+	in.Interleave(src, 4, 16)
+	in.LieLengths(src, 3, 100)
+	in.DamageMRT(src)
+	if !bytes.Equal(src, orig) {
+		t.Error("injector mutated its input")
+	}
+}
+
+func TestTruncateBounds(t *testing.T) {
+	in := New(3)
+	src := sampleStream(10)
+	for i := 0; i < 100; i++ {
+		out := in.Truncate(src, 24)
+		if len(out) < 24 || len(out) >= len(src)+1 {
+			t.Fatalf("truncate length %d out of [24, %d)", len(out), len(src))
+		}
+	}
+	if got := in.Truncate(nil, 5); got != nil {
+		t.Errorf("truncate(nil) = %v", got)
+	}
+}
+
+func TestFlipBitsChangesExactBits(t *testing.T) {
+	in := New(9)
+	src := sampleStream(10)
+	out := in.FlipBits(src, 5)
+	diff := 0
+	for i := range src {
+		for b := src[i] ^ out[i]; b != 0; b &= b - 1 {
+			diff++
+		}
+	}
+	// Collisions can cancel flips in pairs, so parity and bound both hold.
+	if diff == 0 || diff > 5 {
+		t.Errorf("flipped bits = %d", diff)
+	}
+}
+
+func TestInterleaveGrows(t *testing.T) {
+	in := New(11)
+	src := sampleStream(5)
+	out := in.Interleave(src, 3, 8)
+	if len(out) <= len(src) || len(out) > len(src)+3*8 {
+		t.Errorf("interleave length %d from %d", len(out), len(src))
+	}
+}
+
+func TestLieLengthsCorruptsFraming(t *testing.T) {
+	in := New(13)
+	src := sampleStream(30)
+	out := in.LieLengths(src, 2, 64)
+	if bytes.Equal(src, out) {
+		t.Error("length lie changed nothing")
+	}
+	if len(out) != len(src) {
+		t.Errorf("length lie resized the stream: %d vs %d", len(out), len(src))
+	}
+	// The walk must see fewer (or shifted) records once a length lies.
+	if got, want := len(mrtRecordOffsets(out)), len(mrtRecordOffsets(src)); got >= want {
+		t.Errorf("record walk after lie found %d records, want < %d", got, want)
+	}
+}
+
+func TestRecordWalkStopsAtPartialRecord(t *testing.T) {
+	src := sampleStream(4)
+	offs := mrtRecordOffsets(src[:len(src)-3])
+	if len(offs) != 3 {
+		t.Errorf("offsets over truncated stream = %d, want 3", len(offs))
+	}
+}

@@ -1,0 +1,105 @@
+package ingest
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestSourceCountersAndCoverage(t *testing.T) {
+	var s Source
+	if got := s.Coverage(); got != 1 {
+		t.Errorf("untouched coverage = %v", got)
+	}
+	s.Accept(8)
+	s.Skip(Truncated)
+	s.Skip(Corrupt)
+	if s.Records != 8 || s.Skipped() != 2 {
+		t.Errorf("records=%d skipped=%d", s.Records, s.Skipped())
+	}
+	if got := s.Coverage(); got != 0.8 {
+		t.Errorf("coverage = %v", got)
+	}
+	if s.Clean() {
+		t.Error("source with skips reported clean")
+	}
+	if got := s.Skips.String(); got != "truncated=1 corrupt=1" {
+		t.Errorf("skips string = %q", got)
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	var a, b Counters
+	a.Add(BadLine)
+	b.Add(BadLine)
+	b.Add(Unsupported)
+	a.Merge(b)
+	if a[BadLine] != 2 || a[Unsupported] != 1 || a.Total() != 3 {
+		t.Errorf("merged = %v", a)
+	}
+}
+
+func TestHealthReportDeterministicOrder(t *testing.T) {
+	h := NewHealth()
+	h.Source("mrt/rv2").Accept(5)
+	h.Source("drop/a.txt").Skip(BadLine)
+	h.Source("mrt/rv1").Quarantine("skip budget exhausted")
+
+	r := h.Report()
+	if len(r.Sources) != 3 {
+		t.Fatalf("sources = %d", len(r.Sources))
+	}
+	for i, want := range []string{"drop/a.txt", "mrt/rv1", "mrt/rv2"} {
+		if r.Sources[i].Name != want {
+			t.Errorf("source[%d] = %q, want %q", i, r.Sources[i].Name, want)
+		}
+	}
+	if r.TotalRecords != 5 || r.TotalSkipped != 1 {
+		t.Errorf("totals = %d/%d", r.TotalRecords, r.TotalSkipped)
+	}
+	if len(r.Quarantined) != 1 || r.Quarantined[0] != "mrt/rv1" {
+		t.Errorf("quarantined = %v", r.Quarantined)
+	}
+	if r.Clean() {
+		t.Error("damaged report claims clean")
+	}
+	if !(Report{}).Clean() {
+		t.Error("zero report should be clean")
+	}
+}
+
+func TestHealthConcurrentSourceLookup(t *testing.T) {
+	h := NewHealth()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := h.Source("mrt/shared-registry-" + string(rune('a'+i%4)))
+			_ = src.Name
+		}(i)
+	}
+	wg.Wait()
+	if got := len(h.Sources()); got != 4 {
+		t.Errorf("distinct sources = %d", got)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	h := NewHealth()
+	src := h.Source("mrt/rv3")
+	src.Accept(10)
+	src.Skip(Corrupt)
+	src.Quarantine("too much damage")
+	raw, err := json.Marshal(h.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Sources[0].Skips[Corrupt] != 1 || !back.Sources[0].Quarantined {
+		t.Errorf("round trip = %+v", back.Sources[0])
+	}
+}

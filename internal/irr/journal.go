@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"dropscope/internal/ingest"
 	"dropscope/internal/timex"
 )
 
@@ -33,10 +34,30 @@ func (db *DB) WriteJournal(w io.Writer) error {
 }
 
 // ParseJournal reads the format WriteJournal emits, replaying it into a
-// fresh database.
+// fresh database. The first malformed entry fails the parse; use
+// ParseJournalHealth to quarantine bad entries instead.
 func ParseJournal(raw []byte) (*DB, error) {
+	return parseJournal(raw, nil)
+}
+
+// ParseJournalHealth is the lenient variant of ParseJournal: a journal
+// entry that cannot be parsed or replayed is skipped and counted on src
+// rather than failing the journal. Replayed entries are also counted on
+// src.
+func ParseJournalHealth(raw []byte, src *ingest.Source) (*DB, error) {
+	return parseJournal(raw, src)
+}
+
+func parseJournal(raw []byte, src *ingest.Source) (*DB, error) {
 	db := &DB{}
 	chunks := strings.Split(string(raw), "%")
+	skip := func(err error) error {
+		if src != nil {
+			src.Skip(ingest.BadLine)
+			return nil
+		}
+		return err
+	}
 	for _, chunk := range chunks {
 		chunk = strings.TrimSpace(chunk)
 		if chunk == "" {
@@ -44,22 +65,37 @@ func ParseJournal(raw []byte) (*DB, error) {
 		}
 		nl := strings.IndexByte(chunk, '\n')
 		if nl < 0 {
-			return nil, fmt.Errorf("irr: malformed journal entry %q", chunk)
+			if err := skip(fmt.Errorf("irr: malformed journal entry %q", chunk)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		header := strings.Fields(chunk[:nl])
 		if len(header) != 2 {
-			return nil, fmt.Errorf("irr: malformed journal header %q", chunk[:nl])
+			if err := skip(fmt.Errorf("irr: malformed journal header %q", chunk[:nl])); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		day, err := timex.ParseDay(header[1])
 		if err != nil {
-			return nil, err
+			if err := skip(err); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		objs, err := Parse(strings.NewReader(chunk[nl+1:]))
 		if err != nil {
-			return nil, err
+			if err := skip(err); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if len(objs) != 1 {
-			return nil, fmt.Errorf("irr: journal entry with %d objects", len(objs))
+			if err := skip(fmt.Errorf("irr: journal entry with %d objects", len(objs))); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		switch header[0] {
 		case "ADD":
@@ -70,7 +106,13 @@ func ParseJournal(raw []byte) (*DB, error) {
 			err = fmt.Errorf("irr: unknown journal op %q", header[0])
 		}
 		if err != nil {
-			return nil, err
+			if err := skip(err); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if src != nil {
+			src.Accept(1)
 		}
 	}
 	return db, nil

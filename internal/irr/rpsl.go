@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"dropscope/internal/bgp"
+	"dropscope/internal/ingest"
 	"dropscope/internal/netx"
 	"dropscope/internal/timex"
 )
@@ -154,8 +155,22 @@ func parseASN(s string) (bgp.ASN, error) {
 }
 
 // Parse reads a stream of RPSL objects: "name: value" lines, '+' or
-// whitespace continuation, '#' comments, blank-line separators.
+// whitespace continuation, '#' comments, blank-line separators. The
+// first malformed line fails the parse; use ParseHealth to quarantine
+// bad lines instead.
 func Parse(r io.Reader) ([]*Object, error) {
+	return parse(r, nil)
+}
+
+// ParseHealth is the lenient variant of Parse: a line that is not a
+// well-formed attribute or continuation is skipped and counted on src
+// rather than failing the stream. Completed objects are also counted on
+// src.
+func ParseHealth(r io.Reader, src *ingest.Source) ([]*Object, error) {
+	return parse(r, src)
+}
+
+func parse(r io.Reader, src *ingest.Source) ([]*Object, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	var objs []*Object
@@ -164,8 +179,18 @@ func Parse(r io.Reader) ([]*Object, error) {
 	flush := func() {
 		if cur != nil && len(cur.Attrs) > 0 {
 			objs = append(objs, cur)
+			if src != nil {
+				src.Accept(1)
+			}
 		}
 		cur = nil
+	}
+	skip := func(format string, args ...interface{}) error {
+		if src != nil {
+			src.Skip(ingest.BadLine)
+			return nil
+		}
+		return fmt.Errorf(format, args...)
 	}
 	for sc.Scan() {
 		lineNo++
@@ -180,7 +205,10 @@ func Parse(r io.Reader) ([]*Object, error) {
 		// Continuation: leading whitespace or '+'.
 		if line[0] == ' ' || line[0] == '\t' || line[0] == '+' {
 			if cur == nil || len(cur.Attrs) == 0 {
-				return nil, fmt.Errorf("irr: line %d: continuation without attribute", lineNo)
+				if err := skip("irr: line %d: continuation without attribute", lineNo); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			last := &cur.Attrs[len(cur.Attrs)-1]
 			last.Value += " " + strings.TrimSpace(strings.TrimPrefix(line, "+"))
@@ -188,11 +216,17 @@ func Parse(r io.Reader) ([]*Object, error) {
 		}
 		colon := strings.IndexByte(line, ':')
 		if colon <= 0 {
-			return nil, fmt.Errorf("irr: line %d: malformed attribute %q", lineNo, line)
+			if err := skip("irr: line %d: malformed attribute %q", lineNo, line); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		name := strings.TrimSpace(line[:colon])
 		if name == "" {
-			return nil, fmt.Errorf("irr: line %d: empty attribute name", lineNo)
+			if err := skip("irr: line %d: empty attribute name", lineNo); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if cur == nil {
 			cur = &Object{}

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"io"
 	"testing"
+
+	"dropscope/internal/ingest"
+	"dropscope/internal/ingest/faultinject"
 )
 
 func FuzzReader(f *testing.F) {
@@ -30,6 +33,52 @@ func FuzzReader(f *testing.F) {
 			if werr := NewWriter(&out).Write(rec); werr != nil {
 				t.Fatalf("re-encode failed: %v", werr)
 			}
+		}
+	})
+}
+
+// FuzzReaderLenient drives the resynchronizing reader over arbitrary
+// bytes. The invariants: it never panics, with an unlimited skip budget
+// the only terminal condition is io.EOF, the record count is bounded by
+// the framing (one header per 12 bytes), and the skip count is bounded
+// by the input length — every skip consumes at least one byte, so the
+// loop always terminates.
+func FuzzReaderLenient(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write(samplePeerIndex())
+	_ = w.Write(sampleRIB())
+	_ = w.Write(sampleBGP4MP())
+	clean := buf.Bytes()
+	f.Add(clean)
+	f.Add(faultinject.New(1).DamageMRT(clean))
+	f.Add(faultinject.New(2).DamageMRT(clean))
+	f.Add(faultinject.New(3).FlipBits(clean, 64))
+	f.Add(faultinject.New(4).Interleave(clean, 5, 32))
+	f.Add([]byte{})
+	f.Add(make([]byte, 24))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := &ingest.Source{Name: "fuzz"}
+		r := NewReader(bytes.NewReader(data), Lenient(), WithSource(src))
+		records := 0
+		for {
+			_, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("lenient reader returned non-EOF error: %v", err)
+			}
+			records++
+		}
+		if records > len(data)/12 {
+			t.Fatalf("%d records from %d bytes", records, len(data))
+		}
+		if r.Skipped() > len(data)+1 {
+			t.Fatalf("%d skips from %d bytes", r.Skipped(), len(data))
+		}
+		if int(src.Records) != records || src.Skipped() != uint64(r.Skipped()) {
+			t.Fatalf("source counters diverged: %+v vs %d/%d", src, records, r.Skipped())
 		}
 	})
 }

@@ -6,6 +6,13 @@
 // Reader streams records from an io.Reader without slurping the file;
 // Writer is its inverse. Both operate on the same typed records, so a
 // write→read round trip is lossless.
+//
+// The Reader has two modes. Strict (the default) fails on the first
+// malformed record with an error carrying the record index and byte
+// offset. Lenient — enabled with the Lenient option — resynchronizes
+// past corrupt, truncated, and unsupported records, counting and
+// classifying every skip, so a damaged archive still yields all of its
+// decodable records.
 package mrt
 
 import (
@@ -16,6 +23,7 @@ import (
 	"time"
 
 	"dropscope/internal/bgp"
+	"dropscope/internal/ingest"
 	"dropscope/internal/netx"
 )
 
@@ -202,63 +210,271 @@ func be32a(b []byte, v uint32) []byte {
 	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
+// maxRecord caps a single record body so a lying length field cannot
+// force an arbitrary allocation.
+const maxRecord = 1 << 24
+
 // Reader streams MRT records from an io.Reader.
 type Reader struct {
 	r   io.Reader
 	buf []byte
+
+	off int64 // absolute offset of the next unread byte
+	rec int   // index of the next record to be attempted
+
+	// pending holds a header pre-read during resynchronization; Next
+	// consumes it before reading fresh bytes.
+	pending    [12]byte
+	hasPending bool
+
+	lenient  bool
+	maxSkips int
+	skipped  int
+	src      *ingest.Source
 }
 
-// NewReader returns a Reader consuming r.
-func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+// Option configures a Reader.
+type Option func(*Reader)
 
-// Next returns the next record, or io.EOF at a clean end of stream.
+// Lenient switches the Reader to fault-tolerant mode: corrupt,
+// truncated, and unsupported records are counted and skipped — scanning
+// forward for the next plausible record header when the framing itself
+// is damaged — instead of aborting the stream.
+func Lenient() Option { return func(r *Reader) { r.lenient = true } }
+
+// MaxSkips bounds how many records a lenient Reader may skip before it
+// gives up with an error; n <= 0 (the default) means unlimited.
+func MaxSkips(n int) Option { return func(r *Reader) { r.maxSkips = n } }
+
+// WithSource attaches an ingest health accumulator: every accepted
+// record and every classified skip is counted into src.
+func WithSource(src *ingest.Source) Option { return func(r *Reader) { r.src = src } }
+
+// NewReader returns a Reader consuming r. With no options the Reader is
+// strict: the first malformed record fails with an error carrying the
+// record index and byte offset.
+func NewReader(r io.Reader, opts ...Option) *Reader {
+	rd := &Reader{r: r}
+	for _, o := range opts {
+		o(rd)
+	}
+	return rd
+}
+
+// Skipped returns how many records the Reader has skipped so far (always
+// 0 in strict mode, where the first bad record aborts instead).
+func (r *Reader) Skipped() int { return r.skipped }
+
+// Offset returns the absolute byte offset of the next unread byte.
+func (r *Reader) Offset() int64 { return r.off }
+
+// recordError is a classified per-record failure. It carries the record
+// index and starting byte offset, wraps the underlying cause (so
+// errors.Is sees ErrTruncated / ErrUnsupported), and tells the lenient
+// loop how to recover.
+type recordError struct {
+	Record int
+	Offset int64
+	Reason ingest.Reason
+	resync bool     // framing untrustworthy: scan forward for the next header
+	atEOF  bool     // stream exhausted mid-record: nothing left to recover
+	hdr    [12]byte // the implausible header, seeding the resync scan
+	err    error
+}
+
+func (e *recordError) Error() string {
+	return fmt.Sprintf("mrt: record %d at offset %#x: %v", e.Record, e.Offset, e.err)
+}
+
+func (e *recordError) Unwrap() error { return e.err }
+
+// Next returns the next record, or io.EOF at the end of the stream.
+//
+// In strict mode any malformed record aborts with a *recordError-backed
+// error naming the record index and byte offset; errors.Is with
+// ErrTruncated and ErrUnsupported keeps working through the wrapping. In
+// lenient mode Next skips past damage — classifying each skip, scanning
+// byte-wise for the next plausible header when the framing lied — and
+// only ever returns a record, io.EOF, or a skip-budget-exhausted error
+// when a MaxSkips bound is set.
 func (r *Reader) Next() (Record, error) {
-	var hdr [12]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+	for {
+		rec, err := r.next()
+		if err == nil {
+			if r.src != nil {
+				r.src.Accept(1)
+			}
+			return rec, nil
+		}
 		if err == io.EOF {
 			return nil, io.EOF
 		}
-		return nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+		re := err.(*recordError)
+		if !r.lenient {
+			return nil, re
+		}
+		r.skipped++
+		if r.src != nil {
+			r.src.Skip(re.Reason)
+		}
+		if r.maxSkips > 0 && r.skipped > r.maxSkips {
+			return nil, fmt.Errorf("mrt: skip budget %d exhausted: %w", r.maxSkips, re)
+		}
+		if re.atEOF {
+			return nil, io.EOF
+		}
+		if re.resync && !r.resync(re.hdr) {
+			return nil, io.EOF
+		}
 	}
+}
+
+// readHeader returns the next record's starting offset and 12-byte
+// header, consuming a pending resync header first. A clean end of stream
+// is io.EOF; a partial header is a truncated-at-EOF record error.
+func (r *Reader) readHeader() (int64, [12]byte, error) {
+	if r.hasPending {
+		r.hasPending = false
+		return r.off - 12, r.pending, nil
+	}
+	start := r.off
+	var hdr [12]byte
+	n, err := io.ReadFull(r.r, hdr[:])
+	r.off += int64(n)
+	if err == io.EOF {
+		return start, hdr, io.EOF
+	}
+	if err != nil {
+		return start, hdr, &recordError{
+			Record: r.rec, Offset: start, Reason: ingest.Truncated, atEOF: true,
+			err: fmt.Errorf("%w: header: %v", ErrTruncated, err),
+		}
+	}
+	return start, hdr, nil
+}
+
+// next decodes one record. Its only non-nil errors are io.EOF and
+// *recordError.
+func (r *Reader) next() (Record, error) {
+	start, hdr, err := r.readHeader()
+	if err != nil {
+		return nil, err
+	}
+	idx := r.rec
+	r.rec++
 	ts := time.Unix(int64(binary.BigEndian.Uint32(hdr[0:])), 0).UTC()
 	typ := binary.BigEndian.Uint16(hdr[4:])
 	sub := binary.BigEndian.Uint16(hdr[6:])
 	length := binary.BigEndian.Uint32(hdr[8:])
-	const maxRecord = 1 << 24
 	if length > maxRecord {
-		return nil, fmt.Errorf("mrt: record length %d exceeds cap", length)
+		return nil, &recordError{
+			Record: idx, Offset: start, Reason: ingest.Corrupt, resync: true, hdr: hdr,
+			err: fmt.Errorf("record length %d exceeds cap", length),
+		}
 	}
 	if cap(r.buf) < int(length) {
 		r.buf = make([]byte, length)
 	}
 	body := r.buf[:length]
-	if _, err := io.ReadFull(r.r, body); err != nil {
-		return nil, fmt.Errorf("%w: body: %v", ErrTruncated, err)
+	n, err := io.ReadFull(r.r, body)
+	r.off += int64(n)
+	if err != nil {
+		return nil, &recordError{
+			Record: idx, Offset: start, Reason: ingest.Truncated, atEOF: true,
+			err: fmt.Errorf("%w: body: %v", ErrTruncated, err),
+		}
 	}
 
 	// Each decoder returns a concrete pointer; convert to the Record
 	// interface only on success so a failed decode yields an untyped nil.
+	// Decode failures leave the stream at the next record boundary (the
+	// body was fully consumed), so the lenient loop continues in place.
+	var rec Record
 	switch {
 	case typ == TypeTableDumpV2 && sub == SubtypePeerIndexTable:
-		rec, err := decodePeerIndexTable(ts, body)
-		if err != nil {
-			return nil, err
-		}
-		return rec, nil
+		rec, err = convert(decodePeerIndexTable(ts, body))
 	case typ == TypeTableDumpV2 && sub == SubtypeRIBIPv4Unicast:
-		rec, err := decodeRIBPrefix(ts, body)
-		if err != nil {
-			return nil, err
-		}
-		return rec, nil
+		rec, err = convert(decodeRIBPrefix(ts, body))
 	case typ == TypeBGP4MP && sub == SubtypeBGP4MPMessageAS4:
-		rec, err := decodeBGP4MP(ts, body)
-		if err != nil {
-			return nil, err
-		}
-		return rec, nil
+		rec, err = convert(decodeBGP4MP(ts, body))
 	default:
-		return nil, fmt.Errorf("%w: type %d subtype %d", ErrUnsupported, typ, sub)
+		return nil, &recordError{
+			Record: idx, Offset: start, Reason: ingest.Unsupported,
+			err: fmt.Errorf("%w: type %d subtype %d", ErrUnsupported, typ, sub),
+		}
+	}
+	if err != nil {
+		reason := ingest.Corrupt
+		if errors.Is(err, ErrTruncated) {
+			reason = ingest.Truncated
+		}
+		return nil, &recordError{Record: idx, Offset: start, Reason: reason, err: err}
+	}
+	return rec, nil
+}
+
+// convert narrows a concrete decode result to the Record interface
+// without producing a typed-nil Record on error.
+func convert[T Record](rec T, err error) (Record, error) {
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// knownTypeSubtypes are the (type, subtype) pairs this package decodes —
+// the resynchronization scan only locks onto one of these.
+var knownTypeSubtypes = map[[2]uint16]bool{
+	{TypeTableDumpV2, SubtypePeerIndexTable}: true,
+	{TypeTableDumpV2, SubtypeRIBIPv4Unicast}: true,
+	{TypeBGP4MP, SubtypeBGP4MPMessageAS4}:    true,
+}
+
+// Timestamp sanity bounds for resynchronization only: RouteViews started
+// publishing MRT in the late 1990s, so anything outside [1990, 2100) in
+// the timestamp field is treated as garbage when hunting for a header.
+const (
+	resyncMinUnix = 631152000  // 1990-01-01
+	resyncMaxUnix = 4102444800 // 2100-01-01
+)
+
+// plausibleHeader reports whether hdr could start a real record: a
+// decodable (type, subtype), an in-cap length, and a sane timestamp.
+func plausibleHeader(hdr [12]byte) bool {
+	ts := binary.BigEndian.Uint32(hdr[0:])
+	typ := binary.BigEndian.Uint16(hdr[4:])
+	sub := binary.BigEndian.Uint16(hdr[6:])
+	length := binary.BigEndian.Uint32(hdr[8:])
+	return knownTypeSubtypes[[2]uint16{typ, sub}] &&
+		length <= maxRecord &&
+		ts >= resyncMinUnix && ts < resyncMaxUnix
+}
+
+// resync slides a 12-byte window — seeded with the implausible header's
+// own bytes, so the scan effectively restarts one byte past the failed
+// record's start — until the window holds a plausible record header,
+// which it leaves pending for the next read. It reports false when the
+// stream ends first. The seed header is never plausible (that is what
+// triggered the resync), so each call consumes at least one byte and a
+// lenient Reader always terminates.
+func (r *Reader) resync(window [12]byte) bool {
+	for {
+		var b [1]byte
+		n, err := r.r.Read(b[:])
+		if n == 0 {
+			if err == nil {
+				continue
+			}
+			return false
+		}
+		r.off++
+		copy(window[:], window[1:])
+		window[11] = b[0]
+		if plausibleHeader(window) {
+			r.pending = window
+			r.hasPending = true
+			return true
+		}
 	}
 }
 
@@ -376,9 +592,14 @@ func decodeBGP4MP(ts time.Time, b []byte) (*BGP4MPMessage, error) {
 	return m, nil
 }
 
-// ReadAll drains r, returning every record. Errors other than io.EOF abort.
-func ReadAll(r io.Reader) ([]Record, error) {
-	mr := NewReader(r)
+// ReadAll drains r, returning every record decoded before the stream
+// ended. Its contract is partial-result: on error the returned slice
+// still holds every record successfully parsed up to that point, so a
+// caller hitting a truncated archive keeps the good prefix — check the
+// slice even when err != nil. Options are forwarded to the underlying
+// Reader; with Lenient() the error can only be a skip-budget overrun.
+func ReadAll(r io.Reader, opts ...Option) ([]Record, error) {
+	mr := NewReader(r, opts...)
 	var out []Record
 	for {
 		rec, err := mr.Next()

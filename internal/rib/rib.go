@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"dropscope/internal/bgp"
+	"dropscope/internal/ingest"
 	"dropscope/internal/mrt"
 	"dropscope/internal/netx"
 	"dropscope/internal/timex"
@@ -153,8 +154,22 @@ func (c *CollectorRIB) hist(p netx.Prefix) *prefixHist {
 // standalone CollectorRIB: a PEER_INDEX_TABLE declares the peer set,
 // RIB_IPV4_UNICAST records seed routes, and BGP4MP messages open and close
 // presence intervals. Records must be in timestamp order within the
-// stream.
+// stream. The first record that cannot be applied fails the load; use
+// LoadCollectorHealth to skip and count such records instead.
 func LoadCollector(collector string, recs []mrt.Record) (*CollectorRIB, error) {
+	return loadCollector(collector, recs, nil)
+}
+
+// LoadCollectorHealth is the lenient variant of LoadCollector: records
+// that decoded but cannot be applied (a RIB entry before any peer index
+// table, a peer index beyond the table, an unsupported record type) are
+// skipped and classified on src rather than failing the whole collector.
+// src must not be nil and must not be shared with a concurrent loader.
+func LoadCollectorHealth(collector string, recs []mrt.Record, src *ingest.Source) (*CollectorRIB, error) {
+	return loadCollector(collector, recs, src)
+}
+
+func loadCollector(collector string, recs []mrt.Record, src *ingest.Source) (*CollectorRIB, error) {
 	c := &CollectorRIB{
 		collector: collector,
 		peerIDs:   make(map[PeerRef]int),
@@ -170,15 +185,27 @@ func LoadCollector(collector string, recs []mrt.Record) (*CollectorRIB, error) {
 			c.table = table
 		case *mrt.RIBPrefix:
 			if c.table == nil {
+				if src != nil {
+					src.Skip(ingest.Corrupt)
+					continue
+				}
 				return nil, fmt.Errorf("rib: %s: RIB record before peer index table", collector)
 			}
 			day := timex.FromTime(r.When)
 			h := c.hist(r.Prefix)
+			bad := false
 			for _, e := range r.Entries {
 				if int(e.PeerIndex) >= len(c.table) {
+					if src != nil {
+						bad = true
+						continue
+					}
 					return nil, fmt.Errorf("rib: %s: peer index %d out of range", collector, e.PeerIndex)
 				}
 				openSpan(h, c.table[e.PeerIndex], day, e.Attrs.Path)
+			}
+			if bad {
+				src.Skip(ingest.Corrupt)
 			}
 		case *mrt.BGP4MPMessage:
 			day := timex.FromTime(r.When)
@@ -190,6 +217,10 @@ func LoadCollector(collector string, recs []mrt.Record) (*CollectorRIB, error) {
 				openSpan(c.hist(p), pid, day, r.Update.Attrs.Path)
 			}
 		default:
+			if src != nil {
+				src.Skip(ingest.Unsupported)
+				continue
+			}
 			return nil, fmt.Errorf("rib: unsupported record %T", rec)
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dropscope/internal/ingest"
 	"dropscope/internal/netx"
 	"dropscope/internal/timex"
 )
@@ -125,12 +126,32 @@ func WriteFile(w io.Writer, registry RIR, day timex.Day, recs []Record) error {
 }
 
 // ParseFile reads a delegated-extended stats file, returning its records.
-// Summary and version lines are validated and skipped.
+// Summary and version lines are validated and skipped. The first
+// malformed line fails the parse; use ParseFileHealth to quarantine bad
+// lines instead.
 func ParseFile(r io.Reader) ([]Record, error) {
+	return parseFile(r, nil)
+}
+
+// ParseFileHealth is the lenient variant of ParseFile: a malformed line
+// is skipped and counted on src rather than failing the file. Accepted
+// records are also counted on src.
+func ParseFileHealth(r io.Reader, src *ingest.Source) ([]Record, error) {
+	return parseFile(r, src)
+}
+
+func parseFile(r io.Reader, src *ingest.Source) ([]Record, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	var out []Record
 	lineNo := 0
+	skip := func(format string, args ...interface{}) error {
+		if src != nil {
+			src.Skip(ingest.BadLine)
+			return nil
+		}
+		return fmt.Errorf(format, args...)
+	}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -148,7 +169,10 @@ func ParseFile(r io.Reader) ([]Record, error) {
 			continue // summary line
 		}
 		if len(fields) < 7 {
-			return nil, fmt.Errorf("rirstats: line %d: %d fields", lineNo, len(fields))
+			if err := skip("rirstats: line %d: %d fields", lineNo, len(fields)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if fields[2] != "ipv4" {
 			continue // this pipeline is IPv4-only
@@ -158,21 +182,33 @@ func ParseFile(r io.Reader) ([]Record, error) {
 		rec.CC = fields[1]
 		start, err := netx.ParseAddr(fields[3])
 		if err != nil {
-			return nil, fmt.Errorf("rirstats: line %d: %v", lineNo, err)
+			if err := skip("rirstats: line %d: %v", lineNo, err); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		rec.Start = start
 		rec.Count, err = strconv.ParseUint(fields[4], 10, 64)
 		if err != nil || rec.Count == 0 {
-			return nil, fmt.Errorf("rirstats: line %d: bad count %q", lineNo, fields[4])
+			if err := skip("rirstats: line %d: bad count %q", lineNo, fields[4]); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if rec.Count > (1<<32)-uint64(rec.Start) {
-			return nil, fmt.Errorf("rirstats: line %d: range %s+%d exceeds the address space",
-				lineNo, rec.Start, rec.Count)
+			if err := skip("rirstats: line %d: range %s+%d exceeds the address space",
+				lineNo, rec.Start, rec.Count); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if fields[5] != "" {
 			d, err := timex.ParseDay(fields[5])
 			if err != nil {
-				return nil, fmt.Errorf("rirstats: line %d: %v", lineNo, err)
+				if err := skip("rirstats: line %d: %v", lineNo, err); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			rec.Date = d
 		}
@@ -181,6 +217,9 @@ func ParseFile(r io.Reader) ([]Record, error) {
 			rec.OpaqueID = fields[7]
 		}
 		out = append(out, rec)
+		if src != nil {
+			src.Accept(1)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"dropscope/internal/bgp"
+	"dropscope/internal/ingest"
 	"dropscope/internal/netx"
 	"dropscope/internal/timex"
 )
@@ -309,12 +310,32 @@ func (a *Archive) WriteSnapshotCSV(w io.Writer, d timex.Day) error {
 }
 
 // ParseSnapshotCSV reads a snapshot in the format WriteSnapshotCSV emits.
-// The trust anchor is recovered from the URI's first path component.
+// The trust anchor is recovered from the URI's first path component. The
+// first malformed line fails the parse; use ParseSnapshotCSVHealth to
+// quarantine bad lines instead.
 func ParseSnapshotCSV(r io.Reader) ([]ROA, error) {
+	return parseSnapshotCSV(r, nil)
+}
+
+// ParseSnapshotCSVHealth is the lenient variant of ParseSnapshotCSV: a
+// malformed line is skipped and counted on src rather than failing the
+// snapshot. Accepted ROAs are also counted on src.
+func ParseSnapshotCSVHealth(r io.Reader, src *ingest.Source) ([]ROA, error) {
+	return parseSnapshotCSV(r, src)
+}
+
+func parseSnapshotCSV(r io.Reader, src *ingest.Source) ([]ROA, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	var out []ROA
 	first := true
+	skip := func(err error) error {
+		if src != nil {
+			src.Skip(ingest.BadLine)
+			return nil
+		}
+		return err
+	}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
@@ -328,28 +349,46 @@ func ParseSnapshotCSV(r io.Reader) ([]ROA, error) {
 		}
 		fields := strings.Split(line, ",")
 		if len(fields) < 4 {
-			return nil, fmt.Errorf("rpki: malformed CSV line %q", line)
+			if err := skip(fmt.Errorf("rpki: malformed CSV line %q", line)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		var roa ROA
 		roa.TA = taFromURI(fields[0])
 		asnStr := strings.TrimPrefix(strings.TrimSpace(fields[1]), "AS")
 		asn, err := strconv.ParseUint(asnStr, 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("rpki: bad ASN %q", fields[1])
+			if err := skip(fmt.Errorf("rpki: bad ASN %q", fields[1])); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		roa.ASN = bgp.ASN(asn)
 		roa.Prefix, err = netx.ParsePrefix(strings.TrimSpace(fields[2]))
 		if err != nil {
-			return nil, err
+			if err := skip(err); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		roa.MaxLength, err = strconv.Atoi(strings.TrimSpace(fields[3]))
 		if err != nil {
-			return nil, fmt.Errorf("rpki: bad maxLength %q", fields[3])
+			if err := skip(fmt.Errorf("rpki: bad maxLength %q", fields[3])); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if err := roa.Validate(); err != nil {
-			return nil, err
+			if err := skip(err); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		out = append(out, roa)
+		if src != nil {
+			src.Accept(1)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -6,10 +6,14 @@
 package sbl
 
 import (
+	"bufio"
+	"fmt"
+	"io"
 	"sort"
 	"strings"
 
 	"dropscope/internal/bgp"
+	"dropscope/internal/ingest"
 )
 
 // Category is one of the paper's six DROP prefix categories (§3.1).
@@ -237,4 +241,66 @@ func (db *DB) IDs() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// WriteStore serializes the database in the flat store format the
+// archive layer persists: an "@<ID>" header line, then the record text
+// until the next header. Records are emitted in sorted ID order.
+func WriteStore(w io.Writer, db *DB) error {
+	bw := bufio.NewWriter(w)
+	for _, id := range db.IDs() {
+		rec, _ := db.Get(id)
+		if _, err := fmt.Fprintf(bw, "@%s\n%s\n", rec.ID, rec.Text); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseStore reads the format WriteStore emits into db. Text before the
+// first "@" header belongs to no record and is dropped; use
+// ParseStoreHealth to have such lines counted.
+func ParseStore(r io.Reader, db *DB) error {
+	return parseStore(r, db, nil)
+}
+
+// ParseStoreHealth is the accounting variant of ParseStore: stored
+// records are counted on src, and orphan lines preceding the first
+// record header are counted as skipped.
+func ParseStoreHealth(r io.Reader, db *DB, src *ingest.Source) error {
+	return parseStore(r, db, src)
+}
+
+func parseStore(r io.Reader, db *DB, src *ingest.Source) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var id string
+	var text []string
+	flush := func() {
+		if id != "" {
+			db.Put(Record{ID: id, Text: strings.Join(text, "\n")})
+			if src != nil {
+				src.Accept(1)
+			}
+		}
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "@") {
+			flush()
+			id = line[1:]
+			text = text[:0]
+			continue
+		}
+		if id == "" {
+			// Orphan text before any record header.
+			if src != nil && strings.TrimSpace(line) != "" {
+				src.Skip(ingest.BadLine)
+			}
+			continue
+		}
+		text = append(text, line)
+	}
+	flush()
+	return sc.Err()
 }

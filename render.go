@@ -30,7 +30,48 @@ func renderAll(w io.Writer, r Results) error {
 			return err
 		}
 	}
+	// The data-health section appears only when ingest saw damage, so a
+	// lenient run over clean archives renders byte-identically to strict.
+	if !r.Health.Clean() {
+		if err := renderHealth(w, r); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// renderHealth reports what lenient ingest skipped and quarantined.
+// Clean sources are omitted; totals cover every source.
+func renderHealth(w io.Writer, r Results) error {
+	t := report.NewTable("Data health — lenient ingest",
+		"Source", "Records", "Skips", "Coverage", "Status")
+	for _, s := range r.Health.Sources {
+		if s.Skips.Total() == 0 && !s.Quarantined {
+			continue
+		}
+		status := "degraded"
+		if s.Quarantined {
+			status = "QUARANTINED"
+			if s.Note != "" {
+				status += " (" + s.Note + ")"
+			}
+		}
+		t.RawRow(s.Name,
+			fmt.Sprint(s.Records),
+			s.Skips.String(),
+			fmt.Sprintf("%.3f", s.Coverage),
+			status,
+		)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "total records: %d; total skipped: %d; quarantined collectors: %d\n",
+		r.Health.TotalRecords, r.Health.TotalSkipped, len(r.Health.Quarantined))
+	return err
 }
 
 func renderFig1(w io.Writer, r Results) error {

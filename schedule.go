@@ -57,6 +57,7 @@ func experiments() []experiment {
 func runExperiments(p *analysis.Pipeline, workers int) Results {
 	exps := experiments()
 	var r Results
+	r.Health = p.HealthReport()
 	if workers == 1 {
 		for _, e := range exps {
 			e.run(p, &r)

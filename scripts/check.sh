@@ -3,7 +3,7 @@
 # (.github/workflows/ci.yml) and the Makefile both run these commands, so
 # local runs and the gate stay in lockstep.
 #
-# Usage: scripts/check.sh [build|vet|fmt|test|race|bench|fuzz|all]
+# Usage: scripts/check.sh [build|vet|fmt|test|race|bench|fuzz|faults|all]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +17,7 @@ internal/drop FuzzParse
 internal/irr FuzzParse
 internal/irr FuzzParseJournal
 internal/mrt FuzzReader
+internal/mrt FuzzReaderLenient
 internal/netx FuzzParsePrefix
 internal/netx FuzzParseAddr
 internal/rirstats FuzzParseFile
@@ -58,6 +59,16 @@ fuzz() {
   done
 }
 
+# faults runs the fault-tolerance suite end to end: the ingest health
+# accounting and deterministic fault-injection harness, the lenient
+# (resynchronizing) MRT reader, and the damaged-archive acceptance tests
+# (collector quarantine, strict-mode offsets, serial-vs-parallel
+# determinism over damage).
+faults() {
+  go test ./internal/ingest/...
+  go test -run 'Lenient|Strict|Damaged' ./internal/mrt .
+}
+
 all() { build; vet; fmt; test_; race; bench; }
 
 case "${1:-all}" in
@@ -68,9 +79,10 @@ case "${1:-all}" in
   race) race ;;
   bench) bench ;;
   fuzz) fuzz ;;
+  faults) faults ;;
   all) all ;;
   *)
-    echo "usage: $0 [build|vet|fmt|test|race|bench|fuzz|all]" >&2
+    echo "usage: $0 [build|vet|fmt|test|race|bench|fuzz|faults|all]" >&2
     exit 2
     ;;
 esac

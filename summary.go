@@ -45,6 +45,30 @@ type Summary struct {
 	ROVHijacksBlocked  int `json:"rov_hijacks_blocked"`
 	PathEndCaught      int `json:"pathend_hijacks_caught"`
 	SerialHijackers    int `json:"serial_hijacker_profiles"`
+
+	// DataHealth is present only when lenient ingest saw damage, so
+	// summaries of clean runs are unchanged byte for byte.
+	DataHealth *HealthSummary `json:"data_health,omitempty"`
+}
+
+// HealthSummary is the JSON view of a lenient run's ingest accounting.
+// Sources lists only damaged or quarantined sources; the totals cover
+// every source.
+type HealthSummary struct {
+	TotalRecords uint64         `json:"total_records"`
+	TotalSkipped uint64         `json:"total_skipped"`
+	Quarantined  []string       `json:"quarantined,omitempty"`
+	Sources      []SourceHealth `json:"sources"`
+}
+
+// SourceHealth is one damaged source's accounting.
+type SourceHealth struct {
+	Name        string  `json:"name"`
+	Records     uint64  `json:"records"`
+	Skipped     uint64  `json:"skipped"`
+	Coverage    float64 `json:"coverage"`
+	Quarantined bool    `json:"quarantined,omitempty"`
+	Note        string  `json:"note,omitempty"`
 }
 
 // Summary computes the flat summary from full results.
@@ -97,6 +121,27 @@ func (r Results) Summary() Summary {
 		s.PercentRoutedStart = r.Fig5.Samples[0].PercentRouted()
 		s.PercentRoutedEnd = r.Fig5.Samples[n-1].PercentRouted()
 		s.SignedUnrouted8s = netx.SlashEquivalents(r.Fig5.Samples[n-1].SignedUnrouted, 8)
+	}
+	if !r.Health.Clean() {
+		hs := &HealthSummary{
+			TotalRecords: r.Health.TotalRecords,
+			TotalSkipped: r.Health.TotalSkipped,
+			Quarantined:  r.Health.Quarantined,
+		}
+		for _, src := range r.Health.Sources {
+			if src.Skips.Total() == 0 && !src.Quarantined {
+				continue
+			}
+			hs.Sources = append(hs.Sources, SourceHealth{
+				Name:        src.Name,
+				Records:     src.Records,
+				Skipped:     src.Skips.Total(),
+				Coverage:    src.Coverage,
+				Quarantined: src.Quarantined,
+				Note:        src.Note,
+			})
+		}
+		s.DataHealth = hs
 	}
 	return s
 }

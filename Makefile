@@ -1,7 +1,7 @@
 # Convenience wrappers over scripts/check.sh — the same commands CI runs
 # (.github/workflows/ci.yml), so a green `make all` locally means a green
 # gate.
-.PHONY: all build vet fmt test race bench fuzz faults
+.PHONY: all build vet fmt test race bench fuzz faults chaos
 
 all:
 	scripts/check.sh all
@@ -29,3 +29,6 @@ fuzz:
 
 faults:
 	scripts/check.sh faults
+
+chaos:
+	scripts/check.sh chaos

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	rtrd -archive DIR -day 2022-03-30 [-listen 127.0.0.1:8282] [-as0]
+//	     [-refresh 3600] [-retry 600] [-expire 7200]
 package main
 
 import (
@@ -25,6 +26,9 @@ func main() {
 		dayStr  = flag.String("day", "2022-03-30", "serve the VRP snapshot of this day")
 		listen  = flag.String("listen", "127.0.0.1:8282", "listen address")
 		withAS0 = flag.Bool("as0", false, "include the APNIC/LACNIC AS0 TALs")
+		refresh = flag.Uint("refresh", uint(rtr.DefaultIntervals.Refresh), "End Of Data refresh interval, seconds")
+		retry   = flag.Uint("retry", uint(rtr.DefaultIntervals.Retry), "End Of Data retry interval, seconds")
+		expire  = flag.Uint("expire", uint(rtr.DefaultIntervals.Expire), "End Of Data expire interval, seconds")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -51,6 +55,9 @@ func main() {
 	}
 	fmt.Printf("rtrd: serving %d VRPs (snapshot %s) on %s\n", len(vrps), day, ln.Addr())
 	srv := rtr.NewServer(1, vrps)
+	srv.SetIntervals(rtr.Intervals{
+		Refresh: uint32(*refresh), Retry: uint32(*retry), Expire: uint32(*expire),
+	})
 	if err := srv.Serve(ln); err != nil {
 		fatal(err)
 	}

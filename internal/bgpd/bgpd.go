@@ -4,6 +4,12 @@
 // NOTIFICATION-based teardown. It is the live-session counterpart of the
 // archived MRT data: a collector built on this package hears the same
 // updates a RouteViews collector records.
+//
+// Sessions are defensive about sick peers: every write carries a
+// deadline so a stalled peer cannot block the keepalive loop or an
+// UPDATE send forever (ErrWriteTimeout), and a clock-driven hold-timer
+// watchdog tears a silent session down with a Hold Timer Expired
+// NOTIFICATION (ErrHoldExpired), per RFC 4271 §6.5.
 package bgpd
 
 import (
@@ -11,10 +17,12 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dropscope/internal/bgp"
 	"dropscope/internal/netx"
+	"dropscope/internal/session"
 )
 
 // Config parameterizes one side of a session.
@@ -26,6 +34,13 @@ type Config struct {
 	// HoldTime proposed in the OPEN; the session uses min(ours, theirs).
 	// Zero proposes 90s. RFC 4271 requires 0 or >= 3.
 	HoldTime time.Duration
+	// WriteTimeout bounds every write to the peer, mirroring the
+	// hold-time read deadline; zero derives it from the negotiated
+	// hold time. A write that misses it fails with ErrWriteTimeout.
+	WriteTimeout time.Duration
+	// Clock drives the keepalive and hold-timer loops; nil uses the
+	// real clock. Tests inject session.FakeClock for determinism.
+	Clock session.Clock
 }
 
 // Session is an established BGP session.
@@ -36,15 +51,47 @@ type Session struct {
 	PeerID   netx.Addr
 	HoldTime time.Duration
 
+	clock        session.Clock
+	writeTimeout time.Duration
+
+	activity    chan struct{} // pinged on every received message
+	holdExpired atomic.Bool
+	expireOnce  sync.Once
+
 	closeOnce sync.Once
 	closed    chan struct{}
 	keepDone  chan struct{}
+	watchDone chan struct{}
 }
 
 // Errors.
 var (
 	ErrASMismatch = errors.New("bgpd: peer AS does not match configuration")
+	// ErrWriteTimeout marks a write that missed its deadline on a
+	// stalled peer.
+	ErrWriteTimeout = errors.New("bgpd: write timed out on stalled peer")
+	// ErrHoldExpired marks a session torn down because the peer sent
+	// nothing for a full hold time.
+	ErrHoldExpired = errors.New("bgpd: hold timer expired")
 )
+
+// isTimeout reports whether err is a transport timeout.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// deadlineWrite writes b with an optional write deadline.
+func deadlineWrite(conn net.Conn, b []byte, timeout time.Duration) error {
+	if timeout > 0 {
+		netx.SetWriteDeadline(conn, time.Now().Add(timeout))
+	}
+	_, err := conn.Write(b)
+	if err != nil && isTimeout(err) {
+		return fmt.Errorf("%w: %v", ErrWriteTimeout, err)
+	}
+	return err
+}
 
 // Establish runs the OPEN handshake on an established transport
 // connection. Both sides call Establish; the protocol is symmetric.
@@ -54,14 +101,20 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 		hold = 90 * time.Second
 	}
 	holdSecs := uint16(hold / time.Second)
+	handshakeTimeout := cfg.WriteTimeout
+	if handshakeTimeout == 0 {
+		handshakeTimeout = hold
+	}
 
 	// Send our OPEN.
 	open := &bgp.Open{AS: cfg.LocalAS, HoldTime: holdSecs, RouterID: cfg.RouterID}
-	if _, err := conn.Write(bgp.EncodeOpen(open)); err != nil {
+	if err := deadlineWrite(conn, bgp.EncodeOpen(open), handshakeTimeout); err != nil {
 		return nil, fmt.Errorf("bgpd: send open: %w", err)
 	}
 
-	// Receive theirs.
+	// Receive theirs. The handshake reads carry the same deadline as
+	// the writes so a peer that stalls mid-OPEN cannot wedge Establish.
+	netx.SetReadDeadline(conn, time.Now().Add(handshakeTimeout))
 	msg, err := bgp.ReadMessage(conn)
 	if err != nil {
 		return nil, fmt.Errorf("bgpd: read open: %w", err)
@@ -78,11 +131,11 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 		return nil, err
 	}
 	if cfg.RemoteAS != 0 && peer.AS != cfg.RemoteAS {
-		_, _ = conn.Write(bgp.EncodeNotification(&bgp.Notification{Code: bgp.NotifOpenError, Subcode: 2}))
+		_ = deadlineWrite(conn, bgp.EncodeNotification(&bgp.Notification{Code: bgp.NotifOpenError, Subcode: 2}), handshakeTimeout)
 		return nil, fmt.Errorf("%w: got %s", ErrASMismatch, peer.AS)
 	}
 	if peer.HoldTime != 0 && peer.HoldTime < 3 {
-		_, _ = conn.Write(bgp.EncodeNotification(&bgp.Notification{Code: bgp.NotifOpenError, Subcode: 6}))
+		_ = deadlineWrite(conn, bgp.EncodeNotification(&bgp.Notification{Code: bgp.NotifOpenError, Subcode: 6}), handshakeTimeout)
 		return nil, fmt.Errorf("bgpd: unacceptable hold time %d", peer.HoldTime)
 	}
 
@@ -93,13 +146,15 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 	}
 
 	// Confirm with a KEEPALIVE and wait for the peer's.
-	if _, err := conn.Write(bgp.EncodeKeepalive()); err != nil {
+	if err := deadlineWrite(conn, bgp.EncodeKeepalive(), handshakeTimeout); err != nil {
 		return nil, fmt.Errorf("bgpd: send keepalive: %w", err)
 	}
+	netx.SetReadDeadline(conn, time.Now().Add(handshakeTimeout))
 	msg, err = bgp.ReadMessage(conn)
 	if err != nil {
 		return nil, fmt.Errorf("bgpd: read keepalive: %w", err)
 	}
+	netx.SetReadDeadline(conn, time.Time{})
 	if msg.Type == bgp.TypeNotification {
 		n, _ := bgp.DecodeNotification(msg.Body)
 		return nil, n
@@ -108,16 +163,37 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 		return nil, fmt.Errorf("bgpd: expected KEEPALIVE, got type %d", msg.Type)
 	}
 
+	clock := cfg.Clock
+	if clock == nil {
+		clock = session.Real()
+	}
 	s := &Session{
-		conn:     conn,
-		PeerAS:   peer.AS,
-		PeerID:   peer.RouterID,
-		HoldTime: time.Duration(negotiated) * time.Second,
-		closed:   make(chan struct{}),
-		keepDone: make(chan struct{}),
+		conn:         conn,
+		PeerAS:       peer.AS,
+		PeerID:       peer.RouterID,
+		HoldTime:     time.Duration(negotiated) * time.Second,
+		clock:        clock,
+		writeTimeout: cfg.WriteTimeout,
+		activity:     make(chan struct{}, 1),
+		closed:       make(chan struct{}),
+		keepDone:     make(chan struct{}),
+		watchDone:    make(chan struct{}),
+	}
+	if s.writeTimeout == 0 {
+		// Mirror the read deadline: a peer that cannot drain a write
+		// within the hold time is as dead as one that sends nothing.
+		s.writeTimeout = s.HoldTime
 	}
 	go s.keepaliveLoop()
+	go s.holdWatchdog()
 	return s, nil
+}
+
+// write sends raw bytes under the session write lock and deadline.
+func (s *Session) write(b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return deadlineWrite(s.conn, b, s.writeTimeout)
 }
 
 // keepaliveLoop sends keepalives at one third of the hold time.
@@ -126,21 +202,52 @@ func (s *Session) keepaliveLoop() {
 	if s.HoldTime == 0 {
 		return
 	}
-	t := time.NewTicker(s.HoldTime / 3)
+	interval := s.HoldTime / 3
+	t := s.clock.NewTimer(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-s.closed:
 			return
-		case <-t.C:
-			s.mu.Lock()
-			_, err := s.conn.Write(bgp.EncodeKeepalive())
-			s.mu.Unlock()
-			if err != nil {
+		case <-t.C():
+			if err := s.write(bgp.EncodeKeepalive()); err != nil {
 				return
 			}
+			t.Reset(interval)
 		}
 	}
+}
+
+// holdWatchdog tears the session down when the peer stays silent for
+// a full hold time (RFC 4271 §6.5): Hold Timer Expired NOTIFICATION,
+// then transport close. Recv surfaces the teardown as ErrHoldExpired.
+func (s *Session) holdWatchdog() {
+	defer close(s.watchDone)
+	if s.HoldTime == 0 {
+		return
+	}
+	t := s.clock.NewTimer(s.HoldTime)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-s.activity:
+			t.Reset(s.HoldTime)
+		case <-t.C():
+			s.expireHold()
+			return
+		}
+	}
+}
+
+// expireHold performs the hold-timer teardown exactly once.
+func (s *Session) expireHold() {
+	s.expireOnce.Do(func() {
+		s.holdExpired.Store(true)
+		_ = s.write(bgp.EncodeNotification(&bgp.Notification{Code: bgp.NotifHoldTimeExpired}))
+		_ = s.conn.Close()
+	})
 }
 
 // SendUpdate transmits one UPDATE.
@@ -149,23 +256,34 @@ func (s *Session) SendUpdate(u *bgp.Update) error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, err = s.conn.Write(wire)
-	return err
+	return s.write(wire)
 }
 
 // Recv blocks until the next UPDATE arrives, transparently consuming
 // keepalives. A received NOTIFICATION is returned as an error of type
-// *bgp.Notification; transport EOF is io.EOF.
+// *bgp.Notification; transport EOF is io.EOF; a hold-timer teardown is
+// ErrHoldExpired.
 func (s *Session) Recv() (*bgp.Update, error) {
 	for {
 		if s.HoldTime > 0 {
-			_ = s.conn.SetReadDeadline(time.Now().Add(s.HoldTime))
+			netx.SetReadDeadline(s.conn, time.Now().Add(s.HoldTime))
 		}
 		msg, err := bgp.ReadMessage(s.conn)
 		if err != nil {
+			if s.holdExpired.Load() {
+				return nil, fmt.Errorf("%w: peer silent for %v", ErrHoldExpired, s.HoldTime)
+			}
+			if isTimeout(err) {
+				// The read deadline is the real-clock twin of the
+				// watchdog; whichever fires first wins.
+				s.expireHold()
+				return nil, fmt.Errorf("%w: peer silent for %v", ErrHoldExpired, s.HoldTime)
+			}
 			return nil, err
+		}
+		select { // feed the watchdog
+		case s.activity <- struct{}{}:
+		default:
 		}
 		switch msg.Type {
 		case bgp.TypeKeepalive:
@@ -189,11 +307,10 @@ func (s *Session) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.closed)
-		s.mu.Lock()
-		_, _ = s.conn.Write(bgp.EncodeNotification(&bgp.Notification{Code: bgp.NotifCease}))
-		s.mu.Unlock()
+		_ = s.write(bgp.EncodeNotification(&bgp.Notification{Code: bgp.NotifCease}))
 		err = s.conn.Close()
 		<-s.keepDone
+		<-s.watchDone
 	})
 	return err
 }

@@ -1,14 +1,21 @@
 package bgpd
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"net"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"dropscope/internal/bgp"
+	"dropscope/internal/ingest"
 	"dropscope/internal/mrt"
 	"dropscope/internal/netx"
 	"dropscope/internal/rib"
+	"dropscope/internal/session"
 	"dropscope/internal/timex"
 )
 
@@ -16,26 +23,76 @@ import (
 // as MRT records — a live, miniature RouteViews collector. The recorded
 // stream loads into the same rib.Index the archived data feeds, and can
 // be persisted with an mrt.Writer.
+//
+// Alongside the raw record log the collector keeps a live per-peer
+// route table with graceful-restart semantics (RFC 4724): when a
+// session dies, the peer's routes are retained and marked stale rather
+// than wiped; a reconnecting peer refreshes them by re-announcing, and
+// an empty UPDATE (the End-of-RIB marker) or the stale timer sweeps
+// whatever was not re-announced. A peer flap therefore never empties
+// the RIB, and session churn is visible in the ingest Health counters
+// instead of the data.
 type Collector struct {
 	Name   string
 	Config Config
 	// Clock returns the record timestamp; defaults to time.Now. Tests
 	// inject fixed clocks for determinism.
 	Clock func() time.Time
+	// StaleTime bounds how long a dead peer's routes stay retained
+	// before the sweep; zero means 5 minutes. The deadline is
+	// evaluated against Timers, so tests control it.
+	StaleTime time.Duration
+	// Timers supplies the stale-sweep clock; nil uses the real clock.
+	Timers session.Clock
+	// Health, when non-nil, receives session-level liveness counters:
+	// reconnects, stale retentions, stale sweeps.
+	Health *ingest.Source
 
 	mu      sync.Mutex
 	peers   []mrt.Peer
 	peerIdx map[netx.Addr]int
 	records []mrt.Record
+	tables  map[netx.Addr]*peerTable
 
 	ln     net.Listener
 	closed bool
 	wg     sync.WaitGroup
 }
 
+// peerTable is one peer's live adjacency: the last announced path per
+// prefix, with graceful-restart stale marks.
+type peerTable struct {
+	as     bgp.ASN
+	routes map[netx.Prefix]*liveRoute
+	down   bool
+	// staleDeadline, when set, is the instant the peer's stale routes
+	// are swept unless an End-of-RIB marker sweeps them first. The
+	// sweep is applied lazily on the next table access.
+	staleDeadline time.Time
+}
+
+type liveRoute struct {
+	attrs bgp.Attrs
+	stale bool
+}
+
+// LiveRoute is one row of the collector's live table.
+type LiveRoute struct {
+	Peer   netx.Addr
+	PeerAS bgp.ASN
+	Prefix netx.Prefix
+	Path   bgp.ASPath
+	Stale  bool
+}
+
 // NewCollector returns a collector speaking with the given local config.
 func NewCollector(name string, cfg Config) *Collector {
-	return &Collector{Name: name, Config: cfg, peerIdx: make(map[netx.Addr]int)}
+	return &Collector{
+		Name:    name,
+		Config:  cfg,
+		peerIdx: make(map[netx.Addr]int),
+		tables:  make(map[netx.Addr]*peerTable),
+	}
 }
 
 func (c *Collector) now() time.Time {
@@ -43,6 +100,20 @@ func (c *Collector) now() time.Time {
 		return c.Clock()
 	}
 	return time.Now()
+}
+
+func (c *Collector) timers() session.Clock {
+	if c.Timers != nil {
+		return c.Timers
+	}
+	return session.Real()
+}
+
+func (c *Collector) staleTime() time.Duration {
+	if c.StaleTime > 0 {
+		return c.StaleTime
+	}
+	return 5 * time.Minute
 }
 
 // Serve accepts BGP sessions on ln until Close.
@@ -94,13 +165,61 @@ func (c *Collector) handle(conn net.Conn) error {
 
 	peerAddr := remoteAddr(conn)
 	c.registerPeer(peerAddr, sess.PeerAS)
+	c.sessionUp(peerAddr, sess.PeerAS)
+	defer c.sessionDown(peerAddr)
 	for {
 		u, err := sess.Recv()
 		if err != nil {
 			return err
 		}
 		c.record(peerAddr, sess.PeerAS, u)
+		c.apply(peerAddr, sess.PeerAS, u)
 	}
+}
+
+// DialPeer keeps an outbound session to one peer alive under
+// supervision: dial, establish, ingest updates; on failure mark the
+// peer's routes stale and redial under the supervisor's backoff. It
+// returns when ctx ends (nil), or when the restart budget in scfg is
+// exhausted.
+func (c *Collector) DialPeer(ctx context.Context, name string, dial func(context.Context) (net.Conn, error), scfg session.Config) error {
+	run := func(ctx context.Context) error {
+		conn, err := dial(ctx)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		// Unblock Establish/Recv when the context ends.
+		stop := context.AfterFunc(ctx, func() { conn.Close() })
+		defer stop()
+
+		sess, err := Establish(conn, c.Config)
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
+
+		peerAddr := remoteAddr(conn)
+		c.registerPeer(peerAddr, sess.PeerAS)
+		c.sessionUp(peerAddr, sess.PeerAS)
+		defer c.sessionDown(peerAddr)
+		for {
+			u, err := sess.Recv()
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				return err
+			}
+			c.record(peerAddr, sess.PeerAS, u)
+			c.apply(peerAddr, sess.PeerAS, u)
+		}
+	}
+	err := session.Supervise(ctx, name, run, scfg)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil
+	}
+	return err
 }
 
 func remoteAddr(conn net.Conn) netx.Addr {
@@ -122,6 +241,102 @@ func (c *Collector) registerPeer(addr netx.Addr, as bgp.ASN) {
 	c.peers = append(c.peers, mrt.Peer{BGPID: addr, Addr: addr, AS: as})
 }
 
+// sessionUp prepares (or revives) the peer's live table. Stale routes
+// from a previous incarnation are retained for the peer to refresh.
+func (c *Collector) sessionUp(addr netx.Addr, as bgp.ASN) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tb, ok := c.tables[addr]
+	if !ok {
+		tb = &peerTable{routes: make(map[netx.Prefix]*liveRoute)}
+		c.tables[addr] = tb
+	}
+	c.maybeSweepLocked(tb)
+	tb.as = as
+	if tb.down {
+		tb.down = false
+		if c.Health != nil {
+			c.Health.Reconnect()
+		}
+	}
+}
+
+// sessionDown marks the peer's routes stale and arms the sweep
+// deadline — graceful-restart retention instead of a RIB wipe.
+func (c *Collector) sessionDown(addr netx.Addr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tb, ok := c.tables[addr]
+	if !ok {
+		return
+	}
+	tb.down = true
+	retained := uint64(0)
+	for _, r := range tb.routes {
+		if !r.stale {
+			r.stale = true
+			retained++
+		}
+	}
+	if c.Health != nil && retained > 0 {
+		c.Health.RetainStale(retained)
+	}
+	if retained > 0 {
+		tb.staleDeadline = c.timers().Now().Add(c.staleTime())
+	}
+}
+
+// maybeSweepLocked applies an expired stale deadline. Sweeps are lazy:
+// every table access funnels through here, so once the deadline passes
+// no stale route is observable. Callers hold c.mu.
+func (c *Collector) maybeSweepLocked(tb *peerTable) {
+	if tb.staleDeadline.IsZero() || c.timers().Now().Before(tb.staleDeadline) {
+		return
+	}
+	c.sweepLocked(tb)
+}
+
+// sweepLocked removes every stale route of tb and clears the
+// deadline. Callers hold c.mu.
+func (c *Collector) sweepLocked(tb *peerTable) {
+	swept := uint64(0)
+	for p, r := range tb.routes {
+		if r.stale {
+			delete(tb.routes, p)
+			swept++
+		}
+	}
+	tb.staleDeadline = time.Time{}
+	if c.Health != nil && swept > 0 {
+		c.Health.SweepStale(swept)
+	}
+}
+
+// apply folds one update into the live route table. An empty UPDATE —
+// no withdrawals, no NLRI — is the End-of-RIB marker (RFC 4724 §2):
+// the peer has finished re-announcing, so surviving stale routes are
+// swept immediately.
+func (c *Collector) apply(addr netx.Addr, as bgp.ASN, u *bgp.Update) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tb, ok := c.tables[addr]
+	if !ok {
+		tb = &peerTable{as: as, routes: make(map[netx.Prefix]*liveRoute)}
+		c.tables[addr] = tb
+	}
+	c.maybeSweepLocked(tb)
+	if len(u.Withdrawn) == 0 && len(u.NLRI) == 0 {
+		c.sweepLocked(tb)
+		return
+	}
+	for _, p := range u.Withdrawn {
+		delete(tb.routes, p)
+	}
+	for _, p := range u.NLRI {
+		tb.routes[p] = &liveRoute{attrs: u.Attrs}
+	}
+}
+
 func (c *Collector) record(addr netx.Addr, as bgp.ASN, u *bgp.Update) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -133,6 +348,48 @@ func (c *Collector) record(addr netx.Addr, as bgp.ASN, u *bgp.Update) {
 		LocalAddr: c.Config.RouterID,
 		Update:    u,
 	})
+}
+
+// LiveRoutes returns the live table — retained stale routes included —
+// sorted by (peer, prefix) for deterministic comparison.
+func (c *Collector) LiveRoutes() []LiveRoute {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []LiveRoute
+	for addr, tb := range c.tables {
+		c.maybeSweepLocked(tb)
+		for p, r := range tb.routes {
+			out = append(out, LiveRoute{
+				Peer:   addr,
+				PeerAS: tb.as,
+				Prefix: p,
+				Path:   r.attrs.Path,
+				Stale:  r.stale,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Peer != out[j].Peer {
+			return out[i].Peer < out[j].Peer
+		}
+		return out[i].Prefix.Compare(out[j].Prefix) < 0
+	})
+	return out
+}
+
+// RIBString renders the live table one route per line — the canonical
+// form the chaos soak test compares byte-for-byte between a faulty and
+// a fault-free run.
+func (c *Collector) RIBString() string {
+	var b strings.Builder
+	for _, r := range c.LiveRoutes() {
+		fmt.Fprintf(&b, "%s AS%d %s path=%s", r.Peer, r.PeerAS, r.Prefix, r.Path)
+		if r.Stale {
+			b.WriteString(" stale")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // Records returns the collector's full MRT stream so far: a peer index

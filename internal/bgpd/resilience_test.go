@@ -1,0 +1,344 @@
+package bgpd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/ingest"
+	"dropscope/internal/ingest/faultinject"
+	"dropscope/internal/netx"
+	"dropscope/internal/session"
+)
+
+// TestHoldTimerExpiry pins RFC 4271 §6.5 on a deterministic clock: a
+// peer that goes silent for a full hold time is torn down with a Hold
+// Timer Expired NOTIFICATION, and the local reader surfaces
+// ErrHoldExpired. The peer's fake clock never advances, so it sends no
+// keepalives — a silent peer by construction.
+func TestHoldTimerExpiry(t *testing.T) {
+	fake := session.NewFake(time.Unix(1_700_000_000, 0))
+	peerFake := session.NewFake(time.Unix(1_700_000_000, 0))
+	sa, sb := establishPair(t,
+		Config{LocalAS: 1, RouterID: 1, HoldTime: 30 * time.Second, Clock: fake},
+		Config{LocalAS: 2, RouterID: 2, HoldTime: 30 * time.Second, Clock: peerFake},
+	)
+	defer sb.Close()
+	defer sa.Close()
+
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := sa.Recv()
+		recvErr <- err
+	}()
+
+	fake.BlockUntil(2) // keepalive timer + hold watchdog armed
+	fake.Advance(30 * time.Second)
+
+	select {
+	case err := <-recvErr:
+		if !errors.Is(err, ErrHoldExpired) {
+			t.Fatalf("Recv after silent hold time: %v, want ErrHoldExpired", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not return after hold timer expiry")
+	}
+
+	// The silent peer must see the Hold Timer Expired NOTIFICATION.
+	_, err := sb.Recv()
+	var notif *bgp.Notification
+	if !errors.As(err, &notif) || notif.Code != bgp.NotifHoldTimeExpired {
+		t.Fatalf("peer read %v, want Hold Timer Expired notification", err)
+	}
+}
+
+// TestWriteTimeoutOnStalledPeer covers the write-deadline satellite: a
+// peer that never drains its socket cannot block a send forever; the
+// write fails with ErrWriteTimeout.
+func TestWriteTimeoutOnStalledPeer(t *testing.T) {
+	a, b := net.Pipe() // no reader on b: every write to a blocks
+	defer a.Close()
+	defer b.Close()
+
+	if err := deadlineWrite(a, make([]byte, 64), 50*time.Millisecond); !errors.Is(err, ErrWriteTimeout) {
+		t.Fatalf("deadlineWrite on stalled conn: %v, want ErrWriteTimeout", err)
+	}
+
+	// Same failure through the Session send path.
+	s := &Session{conn: a, writeTimeout: 50 * time.Millisecond}
+	u := &bgp.Update{Withdrawn: []netx.Prefix{netx.MustParsePrefix("192.0.2.0/24")}}
+	if err := s.SendUpdate(u); !errors.Is(err, ErrWriteTimeout) {
+		t.Fatalf("SendUpdate on stalled conn: %v, want ErrWriteTimeout", err)
+	}
+}
+
+func waitRoutes(t *testing.T, col *Collector, what string, cond func([]LiveRoute) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond(col.LiveRoutes()) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s; live table:\n%s", what, col.RIBString())
+}
+
+// TestCollectorGracefulRestartRetention drives the full stale-route
+// life cycle: a session flap retains routes as stale instead of wiping
+// the RIB, a reconnecting peer refreshes what it re-announces, the
+// End-of-RIB marker sweeps the rest, and the stale timer sweeps a peer
+// that never comes back.
+func TestCollectorGracefulRestartRetention(t *testing.T) {
+	fake := session.NewFake(time.Unix(1_700_000_000, 0))
+	health := &ingest.Source{Name: "live"}
+	col := NewCollector("gr", Config{LocalAS: 6447, RouterID: netx.AddrFrom4(128, 223, 51, 1)})
+	col.Timers = fake
+	col.StaleTime = 2 * time.Minute
+	col.Health = health
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- col.Serve(ln) }()
+
+	p1 := netx.MustParsePrefix("192.0.2.0/24")
+	p2 := netx.MustParsePrefix("198.51.100.0/24")
+	announce := func(sess *Session, prefixes ...netx.Prefix) {
+		t.Helper()
+		for _, p := range prefixes {
+			err := sess.SendUpdate(&bgp.Update{
+				Attrs: bgp.Attrs{Origin: bgp.OriginIGP, Path: bgp.Sequence(64500, 263692),
+					NextHop: netx.AddrFrom4(203, 0, 113, 66), HasNextHop: true},
+				NLRI: []netx.Prefix{p},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	dial := func() *Session {
+		t.Helper()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := Establish(conn, Config{LocalAS: 64500, RouterID: netx.AddrFrom4(203, 0, 113, 66)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess
+	}
+
+	sess := dial()
+	announce(sess, p1, p2)
+	waitRoutes(t, col, "both routes fresh", func(rs []LiveRoute) bool {
+		return len(rs) == 2 && !rs[0].Stale && !rs[1].Stale
+	})
+
+	// Session flap: the routes must survive, marked stale.
+	sess.Close()
+	waitRoutes(t, col, "both routes retained stale", func(rs []LiveRoute) bool {
+		return len(rs) == 2 && rs[0].Stale && rs[1].Stale
+	})
+
+	// Reconnect, refresh p1 only; End-of-RIB sweeps the unrefreshed p2.
+	sess2 := dial()
+	announce(sess2, p1)
+	if err := sess2.SendUpdate(&bgp.Update{}); err != nil { // End-of-RIB
+		t.Fatal(err)
+	}
+	waitRoutes(t, col, "p1 refreshed, p2 swept by End-of-RIB", func(rs []LiveRoute) bool {
+		return len(rs) == 1 && rs[0].Prefix == p1 && !rs[0].Stale
+	})
+
+	// Final flap with no reconnect: the stale timer sweeps the rest.
+	sess2.Close()
+	waitRoutes(t, col, "p1 retained stale", func(rs []LiveRoute) bool {
+		return len(rs) == 1 && rs[0].Stale
+	})
+	fake.Advance(col.StaleTime + time.Second)
+	if rs := col.LiveRoutes(); len(rs) != 0 {
+		t.Fatalf("after stale timer: %d routes still live:\n%s", len(rs), col.RIBString())
+	}
+
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Errorf("serve: %v", err)
+	}
+	if health.Reconnects != 1 {
+		t.Errorf("Reconnects = %d, want 1", health.Reconnects)
+	}
+	if health.StaleRetained != 3 {
+		t.Errorf("StaleRetained = %d, want 3", health.StaleRetained)
+	}
+	if health.StaleSwept != 2 {
+		t.Errorf("StaleSwept = %d, want 2 (one End-of-RIB, one timer)", health.StaleSwept)
+	}
+}
+
+// announceSpeaker serves BGP sessions for the soak test: every accepted
+// session announces the full prefix set, sends the End-of-RIB marker,
+// then holds the session open until the peer goes away.
+func announceSpeaker(t *testing.T, prefixes []netx.Prefix) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				sess, err := Establish(conn, Config{LocalAS: 64500, RouterID: netx.AddrFrom4(203, 0, 113, 66)})
+				if err != nil {
+					return
+				}
+				defer sess.Close()
+				for i, p := range prefixes {
+					u := &bgp.Update{
+						Attrs: bgp.Attrs{Origin: bgp.OriginIGP,
+							Path:    bgp.Sequence(64500, bgp.ASN(65000+i)),
+							NextHop: netx.AddrFrom4(203, 0, 113, 66), HasNextHop: true},
+						NLRI: []netx.Prefix{p},
+					}
+					if err := sess.SendUpdate(u); err != nil {
+						return
+					}
+				}
+				if err := sess.SendUpdate(&bgp.Update{}); err != nil { // End-of-RIB
+					return
+				}
+				for {
+					if _, err := sess.Recv(); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() {
+		ln.Close()
+		wg.Wait()
+	}
+}
+
+// runSoak supervises one collector session against an announceSpeaker,
+// optionally through a Chaoser, until the live table converges: for the
+// fault-free baseline (ch == nil), until every prefix is fresh; for the
+// chaos run, until the fault budget is spent and the table matches
+// `want` byte for byte. It returns the converged RIBString.
+func runSoak(t *testing.T, prefixes []netx.Prefix, ch *faultinject.Chaoser, want string) string {
+	t.Helper()
+	addr, stop := announceSpeaker(t, prefixes)
+	defer stop()
+
+	health := &ingest.Source{Name: "soak"}
+	col := NewCollector("soak", Config{LocalAS: 6447, RouterID: netx.AddrFrom4(128, 223, 51, 1)})
+	col.StaleTime = time.Hour // only End-of-RIB sweeps during the soak
+	col.Health = health
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	dial := func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if ch != nil {
+			return ch.Wrap(conn), nil
+		}
+		return conn, nil
+	}
+	dpDone := make(chan error, 1)
+	go func() {
+		dpDone <- col.DialPeer(ctx, "soak-peer", dial, session.Config{
+			Backoff: session.Backoff{Min: time.Millisecond, Max: 5 * time.Millisecond},
+		})
+	}()
+
+	deadline := time.Now().Add(60 * time.Second)
+	var rib string
+	for {
+		if ch == nil || ch.Remaining() == 0 {
+			if ch == nil {
+				rs := col.LiveRoutes()
+				fresh := len(rs) == len(prefixes)
+				for _, r := range rs {
+					fresh = fresh && !r.Stale
+				}
+				if fresh {
+					rib = col.RIBString()
+					break
+				}
+			} else if got := col.RIBString(); got == want {
+				rib = got
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			remaining := 0
+			if ch != nil {
+				remaining = ch.Remaining()
+			}
+			t.Fatalf("soak did not converge: %d faults remaining, live table:\n%s",
+				remaining, col.RIBString())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	cancel()
+	if err := <-dpDone; err != nil {
+		t.Fatalf("DialPeer: %v", err)
+	}
+	if ch != nil && health.Reconnects == 0 {
+		t.Error("chaos run saw no reconnects")
+	}
+	return rib
+}
+
+// TestChaosSoakConvergence is the acceptance soak: a supervised
+// collector session fed through at least 50 seeded connection faults
+// (mid-message resets, stalls, partial writes, truncations) must
+// converge to a live RIB byte-identical to a fault-free run's.
+func TestChaosSoakConvergence(t *testing.T) {
+	const nPrefixes = 120
+	const nFaults = 50
+	prefixes := make([]netx.Prefix, nPrefixes)
+	for i := range prefixes {
+		prefixes[i] = netx.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", i/256, i%256))
+	}
+
+	baseline := runSoak(t, prefixes, nil, "")
+	if baseline == "" {
+		t.Fatal("empty baseline RIB")
+	}
+
+	ch := faultinject.NewChaoser(0xD1205C0E, faultinject.ChaosConfig{}, nFaults)
+	got := runSoak(t, prefixes, ch, baseline)
+	if got != baseline {
+		t.Errorf("chaos RIB diverged from fault-free run\nchaos:\n%s\nbaseline:\n%s", got, baseline)
+	}
+	if n := ch.Injected(); n != nFaults {
+		t.Errorf("injected %d faults, want %d", n, nFaults)
+	}
+}

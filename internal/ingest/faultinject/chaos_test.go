@@ -1,0 +1,188 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two ends of a loopback TCP connection.
+func tcpPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ch := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			close(ch)
+			return
+		}
+		ch <- conn
+	}()
+	dialed, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted, ok := <-ch
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	return dialed, accepted
+}
+
+func TestChaoserScheduleDeterministic(t *testing.T) {
+	collect := func(seed uint64) []FaultKind {
+		c := NewChaoser(seed, ChaosConfig{}, 16)
+		var kinds []FaultKind
+		for i := 0; i < 16; i++ {
+			a, b := net.Pipe()
+			wrapped := c.Wrap(a).(*chaosConn)
+			kinds = append(kinds, wrapped.kind)
+			if wrapped.budget < 1 || wrapped.budget > 512 {
+				t.Fatalf("budget %d outside default [1,512]", wrapped.budget)
+			}
+			a.Close()
+			b.Close()
+		}
+		return kinds
+	}
+	a, b := collect(42), collect(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+	seen := map[FaultKind]bool{}
+	for _, k := range a {
+		seen[k] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("16 draws hit only %d fault kinds: %v", len(seen), a)
+	}
+}
+
+func TestChaosConnWriteFaults(t *testing.T) {
+	for _, kind := range []FaultKind{FaultReset, FaultPartialWrite, FaultStall} {
+		t.Run(kind.String(), func(t *testing.T) {
+			local, remote := tcpPair(t)
+			defer local.Close()
+			defer remote.Close()
+			cc := &chaosConn{Conn: local, kind: kind, budget: 4, stall: time.Millisecond}
+
+			msg := []byte("0123456789")
+			start := time.Now()
+			n, err := cc.Write(msg)
+			var inj *InjectedFault
+			if !errors.As(err, &inj) || inj.Kind != kind {
+				t.Fatalf("write error = %v, want injected %s", err, kind)
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Error("injected fault must unwrap to ErrInjected")
+			}
+			switch kind {
+			case FaultPartialWrite:
+				if n != 4 {
+					t.Errorf("partial write forwarded %d bytes, want 4", n)
+				}
+				buf := make([]byte, 16)
+				remote.SetReadDeadline(time.Now().Add(2 * time.Second))
+				got, _ := io.ReadFull(remote, buf[:4])
+				if got != 4 || string(buf[:4]) != "0123" {
+					t.Errorf("peer received %q", buf[:got])
+				}
+			case FaultStall:
+				if time.Since(start) < time.Millisecond {
+					t.Error("stall did not block")
+				}
+				if n != 0 {
+					t.Errorf("stall wrote %d bytes", n)
+				}
+			default:
+				if n != 0 {
+					t.Errorf("reset wrote %d bytes", n)
+				}
+			}
+			// The transport is dead afterwards.
+			if _, err := cc.Write([]byte("x")); err == nil {
+				t.Error("write after fault should fail")
+			}
+		})
+	}
+}
+
+func TestChaosConnReadTruncation(t *testing.T) {
+	local, remote := tcpPair(t)
+	defer local.Close()
+	defer remote.Close()
+	cc := &chaosConn{Conn: local, kind: FaultTruncate, budget: 3}
+
+	if _, err := remote.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	local.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := cc.Read(buf)
+	if err != nil || n != 3 || string(buf[:3]) != "abc" {
+		t.Fatalf("truncated read = %d %q %v, want 3 \"abc\"", n, buf[:n], err)
+	}
+	if _, err := cc.Read(buf); err != io.EOF {
+		t.Errorf("read after truncation = %v, want io.EOF", err)
+	}
+}
+
+func TestChaosConnPassesCleanTrafficBeforeFault(t *testing.T) {
+	local, remote := tcpPair(t)
+	defer local.Close()
+	defer remote.Close()
+	cc := &chaosConn{Conn: local, kind: FaultReset, budget: 1 << 20}
+
+	echoDone := make(chan struct{})
+	go func() {
+		defer close(echoDone)
+		buf := make([]byte, 64)
+		n, err := remote.Read(buf)
+		if err != nil {
+			return
+		}
+		_, _ = remote.Write(buf[:n])
+	}()
+	if _, err := cc.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(cc, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("echo = %q %v", buf, err)
+	}
+	<-echoDone
+}
+
+func TestChaoserBudgetExhaustsToCleanConns(t *testing.T) {
+	c := NewChaoser(1, ChaosConfig{}, 2)
+	a1, b1 := net.Pipe()
+	defer a1.Close()
+	defer b1.Close()
+	if _, ok := c.Wrap(a1).(*chaosConn); !ok {
+		t.Fatal("first wrap should inject")
+	}
+	a2, b2 := net.Pipe()
+	defer a2.Close()
+	defer b2.Close()
+	if _, ok := c.Wrap(a2).(*chaosConn); !ok {
+		t.Fatal("second wrap should inject")
+	}
+	a3, b3 := net.Pipe()
+	defer a3.Close()
+	defer b3.Close()
+	if wrapped := c.Wrap(a3); wrapped != a3 {
+		t.Error("wrap past the budget must pass the conn through untouched")
+	}
+	if c.Remaining() != 0 || c.Injected() != 2 {
+		t.Errorf("remaining=%d injected=%d", c.Remaining(), c.Injected())
+	}
+}

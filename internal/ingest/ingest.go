@@ -99,6 +99,17 @@ type Source struct {
 	Skips       Counters
 	Quarantined bool
 	Note        string // quarantine reason, empty otherwise
+
+	// Session-level liveness counters, filled by the live collectors
+	// and RTR clients rather than the archive loaders. Reconnects
+	// counts successful re-establishments after a session failure;
+	// StaleRetained counts routes kept across a session loss under
+	// graceful-restart semantics; StaleSwept counts retained routes
+	// that were never re-announced and were swept by the stale timer
+	// or end-of-RIB marker.
+	Reconnects    uint64
+	StaleRetained uint64
+	StaleSwept    uint64
 }
 
 // Accept counts n records as successfully ingested.
@@ -119,6 +130,15 @@ func (s *Source) Coverage() float64 {
 	}
 	return float64(s.Records) / float64(total)
 }
+
+// Reconnect counts one successful session re-establishment.
+func (s *Source) Reconnect() { s.Reconnects++ }
+
+// RetainStale counts n routes retained across a session loss.
+func (s *Source) RetainStale(n uint64) { s.StaleRetained += n }
+
+// SweepStale counts n retained routes swept unrefreshed.
+func (s *Source) SweepStale(n uint64) { s.StaleSwept += n }
 
 // Quarantine marks the whole source as dropped from the study.
 func (s *Source) Quarantine(note string) {
@@ -177,13 +197,17 @@ func (h *Health) Report() Report {
 		if s.Quarantined {
 			r.Quarantined = append(r.Quarantined, s.Name)
 		}
+		r.TotalReconnects += s.Reconnects
 		sr := SourceReport{
-			Name:        s.Name,
-			Records:     s.Records,
-			Skips:       s.Skips,
-			Coverage:    s.Coverage(),
-			Quarantined: s.Quarantined,
-			Note:        s.Note,
+			Name:          s.Name,
+			Records:       s.Records,
+			Skips:         s.Skips,
+			Coverage:      s.Coverage(),
+			Quarantined:   s.Quarantined,
+			Note:          s.Note,
+			Reconnects:    s.Reconnects,
+			StaleRetained: s.StaleRetained,
+			StaleSwept:    s.StaleSwept,
 		}
 		r.Sources = append(r.Sources, sr)
 	}
@@ -193,20 +217,24 @@ func (h *Health) Report() Report {
 // Report is a flattened Health snapshot: sources in name order, totals,
 // and the quarantine list. The zero Report is Clean.
 type Report struct {
-	Sources      []SourceReport `json:"sources,omitempty"`
-	TotalRecords uint64         `json:"total_records"`
-	TotalSkipped uint64         `json:"total_skipped"`
-	Quarantined  []string       `json:"quarantined,omitempty"`
+	Sources         []SourceReport `json:"sources,omitempty"`
+	TotalRecords    uint64         `json:"total_records"`
+	TotalSkipped    uint64         `json:"total_skipped"`
+	TotalReconnects uint64         `json:"total_reconnects,omitempty"`
+	Quarantined     []string       `json:"quarantined,omitempty"`
 }
 
 // SourceReport is one source's flattened state.
 type SourceReport struct {
-	Name        string   `json:"name"`
-	Records     uint64   `json:"records"`
-	Skips       Counters `json:"skips"`
-	Coverage    float64  `json:"coverage"`
-	Quarantined bool     `json:"quarantined,omitempty"`
-	Note        string   `json:"note,omitempty"`
+	Name          string   `json:"name"`
+	Records       uint64   `json:"records"`
+	Skips         Counters `json:"skips"`
+	Coverage      float64  `json:"coverage"`
+	Quarantined   bool     `json:"quarantined,omitempty"`
+	Note          string   `json:"note,omitempty"`
+	Reconnects    uint64   `json:"reconnects,omitempty"`
+	StaleRetained uint64   `json:"stale_retained,omitempty"`
+	StaleSwept    uint64   `json:"stale_swept,omitempty"`
 }
 
 // Clean reports whether nothing was skipped and nothing quarantined —

@@ -1,0 +1,37 @@
+// Deadline plumbing for the live-session layer. bgpd and rtr hold
+// their transports as io.ReadWriter so tests can drive them over
+// net.Pipe or in-memory buffers; these helpers apply read/write
+// deadlines when the underlying stream supports them and report
+// whether they did, so a stalled peer cannot block a session forever
+// while buffer-backed tests keep working unchanged.
+package netx
+
+import "time"
+
+// ReadDeadliner is the read-deadline half of net.Conn.
+type ReadDeadliner interface {
+	SetReadDeadline(t time.Time) error
+}
+
+// WriteDeadliner is the write-deadline half of net.Conn.
+type WriteDeadliner interface {
+	SetWriteDeadline(t time.Time) error
+}
+
+// SetReadDeadline applies t when rw supports read deadlines. It
+// reports whether a deadline was set.
+func SetReadDeadline(rw any, t time.Time) bool {
+	if d, ok := rw.(ReadDeadliner); ok {
+		return d.SetReadDeadline(t) == nil
+	}
+	return false
+}
+
+// SetWriteDeadline applies t when rw supports write deadlines. It
+// reports whether a deadline was set.
+func SetWriteDeadline(rw any, t time.Time) bool {
+	if d, ok := rw.(WriteDeadliner); ok {
+		return d.SetWriteDeadline(t) == nil
+	}
+	return false
+}

@@ -1,0 +1,37 @@
+package netx
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestDeadlinePlumbing(t *testing.T) {
+	// A bytes.Buffer has no deadlines: the helpers report false.
+	var buf bytes.Buffer
+	if SetReadDeadline(&buf, time.Now()) {
+		t.Error("read deadline on bytes.Buffer should report false")
+	}
+	if SetWriteDeadline(&buf, time.Now()) {
+		t.Error("write deadline on bytes.Buffer should report false")
+	}
+
+	// A net.Pipe end supports both, and an applied read deadline in the
+	// past makes the blocked read fail instead of hanging.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if !SetReadDeadline(a, time.Now().Add(-time.Second)) {
+		t.Fatal("read deadline on net.Conn should report true")
+	}
+	if !SetWriteDeadline(a, time.Now().Add(time.Hour)) {
+		t.Fatal("write deadline on net.Conn should report true")
+	}
+	var p [1]byte
+	if _, err := a.Read(p[:]); err == nil {
+		t.Error("read past deadline should fail")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Errorf("read error = %v, want timeout", err)
+	}
+}

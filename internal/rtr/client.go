@@ -1,0 +1,457 @@
+package rtr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/ingest"
+	"dropscope/internal/netx"
+	"dropscope/internal/rpki"
+	"dropscope/internal/session"
+)
+
+// CacheError is an RTR Error Report PDU received from the cache,
+// surfaced as a typed error so callers can branch on the code — the
+// timer state machine downgrades to a cache reset on
+// ErrNoDataAvailable instead of dying.
+type CacheError struct {
+	Code uint16
+	Text string
+}
+
+func (e *CacheError) Error() string {
+	return fmt.Sprintf("rtr: cache error %d: %s", e.Code, e.Text)
+}
+
+// Client performs RTR synchronization against a cache.
+type Client struct {
+	conn io.ReadWriter
+
+	SessionID uint16
+	Serial    uint32
+	VRPs      []VRP
+
+	// Refresh/Retry/Expire are the timer intervals (seconds) from the
+	// most recent End Of Data; zero until one arrives.
+	Refresh, Retry, Expire uint32
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn io.ReadWriter) *Client { return &Client{conn: conn} }
+
+// readPDU reads the next PDU, transparently consuming Serial Notify —
+// a cache may push notifies at any time (RFC 8210 §5.2) and they must
+// not desynchronize a query/response exchange in flight.
+func (c *Client) readPDU() (PDU, error) {
+	for {
+		pdu, err := ReadPDU(c.conn)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := pdu.(*SerialNotify); ok {
+			continue
+		}
+		return pdu, nil
+	}
+}
+
+// Reset performs a Reset Query and collects the full VRP set.
+func (c *Client) Reset() error {
+	if err := WritePDU(c.conn, &ResetQuery{}); err != nil {
+		return err
+	}
+	return c.collect(true)
+}
+
+// Poll performs a Serial Query with the client's current serial. If the
+// cache answers Cache Reset, Poll falls back to a full Reset.
+func (c *Client) Poll() error {
+	if err := WritePDU(c.conn, &SerialQuery{SessionID: c.SessionID, Serial: c.Serial}); err != nil {
+		return err
+	}
+	pdu, err := c.readPDU()
+	if err != nil {
+		return err
+	}
+	switch p := pdu.(type) {
+	case *CacheReset:
+		return c.Reset()
+	case *CacheResponse:
+		c.SessionID = p.SessionID
+		return c.collectBody(false)
+	case *ErrorReport:
+		return &CacheError{Code: p.Code, Text: p.Text}
+	default:
+		return fmt.Errorf("rtr: unexpected %T to serial query", pdu)
+	}
+}
+
+func (c *Client) collect(reset bool) error {
+	pdu, err := c.readPDU()
+	if err != nil {
+		return err
+	}
+	cr, ok := pdu.(*CacheResponse)
+	if !ok {
+		if er, isErr := pdu.(*ErrorReport); isErr {
+			return &CacheError{Code: er.Code, Text: er.Text}
+		}
+		return fmt.Errorf("rtr: expected cache response, got %T", pdu)
+	}
+	c.SessionID = cr.SessionID
+	return c.collectBody(reset)
+}
+
+func (c *Client) collectBody(reset bool) error {
+	if reset {
+		c.VRPs = c.VRPs[:0]
+	}
+	for {
+		pdu, err := c.readPDU()
+		if err != nil {
+			return err
+		}
+		switch p := pdu.(type) {
+		case *IPv4Prefix:
+			if p.Announce {
+				c.VRPs = append(c.VRPs, p.VRP)
+			} else {
+				c.VRPs = removeVRP(c.VRPs, p.VRP)
+			}
+		case *EndOfData:
+			c.Serial = p.Serial
+			c.Refresh, c.Retry, c.Expire = p.Refresh, p.Retry, p.Expire
+			return nil
+		case *ErrorReport:
+			return &CacheError{Code: p.Code, Text: p.Text}
+		default:
+			return fmt.Errorf("rtr: unexpected %T in data stream", pdu)
+		}
+	}
+}
+
+func removeVRP(vrps []VRP, v VRP) []VRP {
+	out := vrps[:0]
+	for _, x := range vrps {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Validate runs RFC 6811 origin validation of (prefix, origin) against
+// the client's current VRP set.
+func (c *Client) Validate(p VRPQuery) rpki.Validity {
+	return validate(c.VRPs, p)
+}
+
+func validate(vrps []VRP, p VRPQuery) rpki.Validity {
+	roas := make([]rpki.ROA, 0, 8)
+	for _, v := range vrps {
+		if v.Prefix.Covers(p.Prefix) {
+			roas = append(roas, rpki.ROA{Prefix: v.Prefix, MaxLength: v.MaxLength, ASN: v.ASN})
+		}
+	}
+	return rpki.Validate(p.Prefix, p.Origin, roas)
+}
+
+// VRPQuery is one announcement to validate.
+type VRPQuery struct {
+	Prefix netx.Prefix
+	Origin bgp.ASN
+}
+
+// RFC 8210 §6 bounds on the EOD intervals; values outside are clamped.
+const (
+	minRefresh, maxRefresh = 1, 86400
+	minRetry, maxRetry     = 1, 7200
+	minExpire, maxExpire   = 600, 172800
+)
+
+func clampSeconds(v uint32, lo, hi uint32) time.Duration {
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return time.Duration(v) * time.Second
+}
+
+// ClientConfig parameterizes a supervised ClientSession.
+type ClientConfig struct {
+	// Dial establishes the transport to the cache.
+	Dial func(ctx context.Context) (net.Conn, error)
+	// Clock drives the refresh/retry/expire timers; nil uses the real
+	// clock. Tests inject session.FakeClock.
+	Clock session.Clock
+	// Refresh/Retry/Expire are the intervals used before the first End
+	// Of Data announces the cache's own; zero values default to the
+	// RFC 8210 suggestions (3600s/600s/7200s).
+	Refresh, Retry, Expire time.Duration
+	// IOTimeout bounds each synchronization exchange on transports
+	// with deadline support; zero means 30s.
+	IOTimeout time.Duration
+	// Health, when non-nil, receives session-level reconnect counters.
+	Health *ingest.Source
+}
+
+// ClientStats counts the state machine's transitions.
+type ClientStats struct {
+	Syncs          uint64 // successful Reset/Poll synchronizations
+	FallbackResets uint64 // incremental Poll downgraded to full Reset
+	Reconnects     uint64 // successful syncs after a connection loss
+	DialFailures   uint64
+	Expirations    uint64 // data aged out past the Expire interval
+}
+
+// ClientSession is the RFC 8210 §6 timer state machine around Client:
+// it keeps a router's VRP view synchronized with a cache for as long
+// as the context lives, honoring the cache's Refresh/Retry/Expire
+// intervals, downgrading from incremental to full cache reset when
+// the cache loses the session's history or data (ErrNoDataAvailable),
+// and — when the cache stays unreachable past Expire — discarding the
+// VRP set so Validate degrades to NotFound for every query rather
+// than answering from stale data (the failure mode a deliberately
+// stalled cache, per Stalloris, would otherwise induce).
+type ClientSession struct {
+	cfg   ClientConfig
+	clock session.Clock
+
+	mu        sync.Mutex
+	vrps      []VRP
+	sessionID uint16
+	serial    uint32
+	haveData  bool
+	wasDown   bool
+	lastSync  time.Time
+	refresh   time.Duration
+	retry     time.Duration
+	expire    time.Duration
+	stats     ClientStats
+}
+
+// NewClientSession returns an unstarted session; Run drives it.
+func NewClientSession(cfg ClientConfig) *ClientSession {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = session.Real()
+	}
+	cs := &ClientSession{cfg: cfg, clock: clock}
+	cs.refresh = cfg.Refresh
+	if cs.refresh <= 0 {
+		cs.refresh = time.Duration(DefaultIntervals.Refresh) * time.Second
+	}
+	cs.retry = cfg.Retry
+	if cs.retry <= 0 {
+		cs.retry = time.Duration(DefaultIntervals.Retry) * time.Second
+	}
+	cs.expire = cfg.Expire
+	if cs.expire <= 0 {
+		cs.expire = time.Duration(DefaultIntervals.Expire) * time.Second
+	}
+	if cs.cfg.IOTimeout <= 0 {
+		cs.cfg.IOTimeout = 30 * time.Second
+	}
+	return cs
+}
+
+// Run executes the timer state machine until ctx ends.
+func (cs *ClientSession) Run(ctx context.Context) error {
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		conn, err := cs.cfg.Dial(ctx)
+		if err != nil {
+			cs.mu.Lock()
+			cs.stats.DialFailures++
+			cs.mu.Unlock()
+		} else {
+			cs.syncLoop(ctx, conn)
+			conn.Close()
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err := cs.waitRetry(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+// syncLoop synchronizes over one connection until it fails: an
+// initial Reset (or incremental Poll when state survives from the
+// previous connection), then a Poll every Refresh interval.
+func (cs *ClientSession) syncLoop(ctx context.Context, conn net.Conn) {
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	c := NewClient(conn)
+	cs.mu.Lock()
+	c.SessionID, c.Serial = cs.sessionID, cs.serial
+	c.VRPs = append([]VRP(nil), cs.vrps...)
+	incremental := cs.haveData
+	cs.mu.Unlock()
+
+	sync := func(incremental bool) error {
+		cs.armIODeadline(conn)
+		var err error
+		if incremental {
+			err = c.Poll()
+		} else {
+			err = c.Reset()
+		}
+		var ce *CacheError
+		if incremental && errors.As(err, &ce) {
+			// The cache answered but cannot serve the incremental
+			// query — ErrNoDataAvailable after a cache restart, or a
+			// session mismatch. Downgrade to a full cache reset.
+			cs.mu.Lock()
+			cs.stats.FallbackResets++
+			cs.mu.Unlock()
+			cs.armIODeadline(conn)
+			err = c.Reset()
+		}
+		return err
+	}
+
+	if sync(incremental) != nil {
+		return
+	}
+	cs.publish(c)
+	t := cs.clock.NewTimer(cs.refreshInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C():
+		}
+		if sync(true) != nil {
+			return
+		}
+		cs.publish(c)
+		t.Reset(cs.refreshInterval())
+	}
+}
+
+// armIODeadline bounds the next exchange on deadline-capable conns.
+func (cs *ClientSession) armIODeadline(conn net.Conn) {
+	deadline := time.Now().Add(cs.cfg.IOTimeout)
+	netx.SetReadDeadline(conn, deadline)
+	netx.SetWriteDeadline(conn, deadline)
+}
+
+// publish installs a completed synchronization as the current view.
+func (cs *ClientSession) publish(c *Client) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.vrps = append(cs.vrps[:0:0], c.VRPs...)
+	cs.sessionID, cs.serial = c.SessionID, c.Serial
+	if c.Expire > 0 { // an EOD arrived: honor the cache's intervals
+		cs.refresh = clampSeconds(c.Refresh, minRefresh, maxRefresh)
+		cs.retry = clampSeconds(c.Retry, minRetry, maxRetry)
+		cs.expire = clampSeconds(c.Expire, minExpire, maxExpire)
+	}
+	cs.lastSync = cs.clock.Now()
+	cs.haveData = true
+	cs.stats.Syncs++
+	if cs.wasDown {
+		cs.wasDown = false
+		cs.stats.Reconnects++
+		if cs.cfg.Health != nil {
+			cs.cfg.Health.Reconnect()
+		}
+	}
+}
+
+func (cs *ClientSession) refreshInterval() time.Duration {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.refresh
+}
+
+// waitRetry parks the state machine for the Retry interval (or until
+// the expire deadline, whichever is sooner) after a failed or lost
+// connection, then applies expiry.
+func (cs *ClientSession) waitRetry(ctx context.Context) error {
+	cs.mu.Lock()
+	cs.wasDown = true
+	wait := cs.retry
+	if cs.haveData {
+		if rem := cs.lastSync.Add(cs.expire).Sub(cs.clock.Now()); rem > 0 && rem < wait {
+			wait = rem
+		}
+	}
+	cs.mu.Unlock()
+	t := cs.clock.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C():
+	}
+	cs.checkExpire()
+	return nil
+}
+
+// checkExpire discards the VRP set once it has aged past Expire.
+func (cs *ClientSession) checkExpire() {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.expiredLocked() {
+		cs.vrps = nil
+		cs.haveData = false
+		cs.stats.Expirations++
+	}
+}
+
+// expiredLocked reports whether the data is past its Expire deadline.
+func (cs *ClientSession) expiredLocked() bool {
+	return cs.haveData && !cs.clock.Now().Before(cs.lastSync.Add(cs.expire))
+}
+
+// Validate runs RFC 6811 origin validation against the session's
+// current view. Expiry is enforced here as well as in the run loop:
+// once the cache has been unreachable past Expire, every query is
+// NotFound — never a Valid or Invalid derived from stale VRPs.
+func (cs *ClientSession) Validate(q VRPQuery) rpki.Validity {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if !cs.haveData || cs.expiredLocked() {
+		return rpki.NotFound
+	}
+	return validate(cs.vrps, q)
+}
+
+// VRPs returns a copy of the current (unexpired) VRP set.
+func (cs *ClientSession) VRPs() []VRP {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if !cs.haveData || cs.expiredLocked() {
+		return nil
+	}
+	return append([]VRP(nil), cs.vrps...)
+}
+
+// Serial returns the last synchronized serial.
+func (cs *ClientSession) Serial() uint32 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.serial
+}
+
+// Stats snapshots the state-machine counters.
+func (cs *ClientSession) Stats() ClientStats {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.stats
+}

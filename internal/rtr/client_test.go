@@ -1,0 +1,304 @@
+package rtr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dropscope/internal/netx"
+	"dropscope/internal/rpki"
+	"dropscope/internal/session"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestSerialBefore(t *testing.T) {
+	cases := []struct {
+		s1, s2 uint32
+		want   bool
+	}{
+		{1, 2, true},
+		{2, 1, false},
+		{5, 5, false},
+		{0xFFFFFFFF, 0, true}, // wraparound: 0 is one after max
+		{0, 0xFFFFFFFF, false},
+		{0xFFFFFFFE, 2, true},
+		{2, 0xFFFFFFFE, false},
+		{0, 1 << 31, false}, // RFC 1982 undefined pair: false both ways
+		{1 << 31, 0, false},
+	}
+	for _, c := range cases {
+		if got := SerialBefore(c.s1, c.s2); got != c.want {
+			t.Errorf("SerialBefore(%#x, %#x) = %v, want %v", c.s1, c.s2, got, c.want)
+		}
+	}
+}
+
+// TestPollSurvivesSerialWraparound pins the RFC 1982 comparison end to
+// end: a cache whose serial wraps past 0xFFFFFFFF must still serve an
+// incremental delta to a router at a pre-wrap serial, not force a cache
+// reset (or, worse with plain comparisons, replay nothing at all).
+func TestPollSurvivesSerialWraparound(t *testing.T) {
+	srv := NewServer(7, sampleVRPs())
+	srv.mu.Lock()
+	srv.serial = 0xFFFFFFFE
+	srv.mu.Unlock()
+
+	extra1 := VRP{Prefix: netx.MustParsePrefix("198.51.100.0/24"), MaxLength: 24, ASN: 64501}
+	extra2 := VRP{Prefix: netx.MustParsePrefix("203.0.113.0/24"), MaxLength: 24, ASN: 64502}
+	srv.Update(append(sampleVRPs(), extra1))         // serial 0xFFFFFFFF
+	srv.Update(append(sampleVRPs(), extra1, extra2)) // serial wraps to 0
+
+	if got := srv.Serial(); got != 0 {
+		t.Fatalf("server serial = %#x, want wrapped 0", got)
+	}
+
+	client, server := net.Pipe()
+	defer client.Close()
+	go func() { _ = srv.HandleConn(server) }()
+
+	// An empty starting VRP set distinguishes the two outcomes: an
+	// incremental poll applies only the two announced deltas, a full
+	// reset would deliver all five VRPs.
+	c := NewClient(client)
+	c.SessionID = 7
+	c.Serial = 0xFFFFFFFE
+	if err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Serial != 0 {
+		t.Errorf("client serial = %#x, want 0", c.Serial)
+	}
+	if len(c.VRPs) != 2 {
+		t.Fatalf("got %d VRPs, want 2 incremental announcements (a reset would deliver %d)",
+			len(c.VRPs), len(sampleVRPs())+2)
+	}
+}
+
+// dialer hands out pipes to a live server until the cache is killed.
+type dialer struct {
+	mu      sync.Mutex
+	srv     *Server
+	dead    bool
+	handoff net.Conn // when set, the next dial returns it once
+	conns   []net.Conn
+}
+
+func (d *dialer) dial(ctx context.Context) (net.Conn, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.handoff != nil {
+		c := d.handoff
+		d.handoff = nil
+		return c, nil
+	}
+	if d.dead {
+		return nil, errors.New("cache unreachable")
+	}
+	client, server := net.Pipe()
+	d.conns = append(d.conns, client, server)
+	srv := d.srv
+	go func() { _ = srv.HandleConn(server) }()
+	return client, nil
+}
+
+// kill makes future dials fail and severs every live connection.
+func (d *dialer) kill() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dead = true
+	for _, c := range d.conns {
+		c.Close()
+	}
+}
+
+func TestClientSessionRefreshPolls(t *testing.T) {
+	srv := NewServer(7, sampleVRPs())
+	d := &dialer{srv: srv}
+	defer d.kill()
+	fake := session.NewFake(time.Unix(1_600_000_000, 0))
+	cs := NewClientSession(ClientConfig{Dial: d.dial, Clock: fake})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = cs.Run(ctx) }()
+
+	waitFor(t, "initial sync", func() bool { return cs.Stats().Syncs >= 1 })
+	if got := len(cs.VRPs()); got != len(sampleVRPs()) {
+		t.Fatalf("after reset: %d VRPs, want %d", got, len(sampleVRPs()))
+	}
+
+	extra := VRP{Prefix: netx.MustParsePrefix("198.51.100.0/24"), MaxLength: 24, ASN: 64501}
+	srv.Update(append(sampleVRPs(), extra))
+
+	fake.BlockUntil(1) // refresh timer armed
+	fake.Advance(time.Duration(DefaultIntervals.Refresh) * time.Second)
+
+	waitFor(t, "refresh poll", func() bool { return cs.Stats().Syncs >= 2 })
+	if got := len(cs.VRPs()); got != len(sampleVRPs())+1 {
+		t.Fatalf("after refresh: %d VRPs, want %d", got, len(sampleVRPs())+1)
+	}
+	if got := cs.Serial(); got != srv.Serial() {
+		t.Errorf("client serial %d, server %d", got, srv.Serial())
+	}
+	if st := cs.Stats(); st.FallbackResets != 0 {
+		t.Errorf("unexpected fallback resets: %+v", st)
+	}
+
+	cancel()
+	<-done
+}
+
+// TestClientSessionFallbackReset drives the ErrNoDataAvailable
+// downgrade: a cache that restarts and loses its delta history answers
+// the incremental Serial Query with No Data Available; the session must
+// fall back to a full cache reset on the same connection instead of
+// treating it as fatal.
+func TestClientSessionFallbackReset(t *testing.T) {
+	srv := NewServer(7, sampleVRPs())
+	d := &dialer{srv: srv}
+	defer d.kill()
+	fake := session.NewFake(time.Unix(1_600_000_000, 0))
+	cs := NewClientSession(ClientConfig{Dial: d.dial, Clock: fake})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = cs.Run(ctx) }()
+
+	waitFor(t, "initial sync", func() bool { return cs.Stats().Syncs >= 1 })
+
+	// The cache "restarts": sever the connection, then script the next
+	// one by hand — Serial Query gets No Data Available, the follow-up
+	// Reset Query gets the full set.
+	d.kill()
+	fake.BlockUntil(1) // refresh timer armed
+	fake.Advance(time.Duration(DefaultIntervals.Refresh) * time.Second)
+	fake.BlockUntil(1) // retry timer armed after the failed poll
+
+	client, server := net.Pipe()
+	defer client.Close()
+	scripted := make(chan error, 1)
+	go func() {
+		defer server.Close()
+		pdu, err := ReadPDU(server)
+		if err != nil {
+			scripted <- err
+			return
+		}
+		if _, ok := pdu.(*SerialQuery); !ok {
+			scripted <- fmt.Errorf("expected SerialQuery, got %T", pdu)
+			return
+		}
+		if err := WritePDU(server, &ErrorReport{Code: ErrNoDataAvailable, Text: "restarted"}); err != nil {
+			scripted <- err
+			return
+		}
+		if pdu, err = ReadPDU(server); err != nil {
+			scripted <- err
+			return
+		}
+		if _, ok := pdu.(*ResetQuery); !ok {
+			scripted <- fmt.Errorf("expected ResetQuery, got %T", pdu)
+			return
+		}
+		scripted <- srv.sendAll(server)
+	}()
+	d.mu.Lock()
+	d.handoff = client
+	d.mu.Unlock()
+
+	fake.Advance(time.Duration(DefaultIntervals.Retry) * time.Second)
+
+	waitFor(t, "fallback reset sync", func() bool { return cs.Stats().Syncs >= 2 })
+	if err := <-scripted; err != nil {
+		t.Fatalf("scripted cache: %v", err)
+	}
+	st := cs.Stats()
+	if st.FallbackResets != 1 {
+		t.Errorf("FallbackResets = %d, want 1 (stats %+v)", st.FallbackResets, st)
+	}
+	if st.Reconnects != 1 {
+		t.Errorf("Reconnects = %d, want 1", st.Reconnects)
+	}
+	if got := len(cs.VRPs()); got != len(sampleVRPs()) {
+		t.Errorf("after fallback reset: %d VRPs, want %d", got, len(sampleVRPs()))
+	}
+
+	cancel()
+	<-done
+}
+
+// TestClientSessionExpireToNotFound is the acceptance scenario: the
+// cache dies, and once the last good sync ages past the Expire
+// interval every origin-validation query — including ones that were
+// Valid and ones that were Invalid — answers NotFound. The session must
+// never serve stale Valid/Invalid verdicts from expired data.
+func TestClientSessionExpireToNotFound(t *testing.T) {
+	srv := NewServer(7, []VRP{
+		{Prefix: netx.MustParsePrefix("10.0.0.0/8"), MaxLength: 24, ASN: 64500},
+	})
+	srv.SetIntervals(Intervals{Refresh: 60, Retry: 300, Expire: 600})
+	d := &dialer{srv: srv}
+	defer d.kill()
+	fake := session.NewFake(time.Unix(1_600_000_000, 0))
+	cs := NewClientSession(ClientConfig{Dial: d.dial, Clock: fake})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = cs.Run(ctx) }()
+
+	waitFor(t, "initial sync", func() bool { return cs.Stats().Syncs >= 1 })
+
+	valid := VRPQuery{Prefix: netx.MustParsePrefix("10.1.0.0/16"), Origin: 64500}
+	invalid := VRPQuery{Prefix: netx.MustParsePrefix("10.1.0.0/16"), Origin: 64666}
+	if got := cs.Validate(valid); got != rpki.Valid {
+		t.Fatalf("live cache: Validate(valid) = %v", got)
+	}
+	if got := cs.Validate(invalid); got != rpki.Invalid {
+		t.Fatalf("live cache: Validate(invalid) = %v", got)
+	}
+
+	// Cache dies right after the first sync.
+	d.kill()
+
+	fake.BlockUntil(1)             // refresh timer armed
+	fake.Advance(60 * time.Second) // t+60: poll fails, retry wait starts
+	fake.BlockUntil(1)             // retry timer armed (300s)
+	if got := cs.Validate(valid); got != rpki.Valid {
+		t.Fatalf("within expire: Validate(valid) = %v, want retained Valid", got)
+	}
+	fake.Advance(300 * time.Second) // t+360: still within expire, dial fails
+	fake.BlockUntil(1)              // retry wait trimmed to the expire deadline
+	if got := cs.Validate(invalid); got != rpki.Invalid {
+		t.Fatalf("within expire: Validate(invalid) = %v, want retained Invalid", got)
+	}
+	fake.Advance(240 * time.Second) // t+600: expire deadline reached
+
+	waitFor(t, "expiry", func() bool { return cs.Stats().Expirations >= 1 })
+	if got := cs.Validate(valid); got != rpki.NotFound {
+		t.Errorf("past expire: Validate(previously Valid) = %v, want NotFound", got)
+	}
+	if got := cs.Validate(invalid); got != rpki.NotFound {
+		t.Errorf("past expire: Validate(previously Invalid) = %v, want NotFound", got)
+	}
+	if got := cs.VRPs(); got != nil {
+		t.Errorf("past expire: VRPs() = %v, want nil", got)
+	}
+
+	cancel()
+	<-done
+}

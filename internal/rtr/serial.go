@@ -1,0 +1,16 @@
+package rtr
+
+// SerialBefore reports s1 < s2 in RFC 1982 serial-number arithmetic
+// (SERIAL_BITS = 32), the comparison RFC 8210 §5.9 prescribes for RTR
+// serial numbers. A cache that has been bumping its serial for years
+// wraps uint32; plain integer comparison would then either replay the
+// whole history to an up-to-date router or drop deltas it still has.
+// Note RFC 1982 leaves s1 != s2 with s2-s1 == 2^31 undefined; this
+// implementation reports false for both orderings of such a pair,
+// which deltasSince treats as "outside retained history" — a safe
+// cache reset.
+func SerialBefore(s1, s2 uint32) bool {
+	return s1 != s2 &&
+		((s1 < s2 && s2-s1 < 1<<31) ||
+			(s1 > s2 && s1-s2 > 1<<31))
+}

@@ -7,8 +7,6 @@ import (
 	"sort"
 	"sync"
 
-	"dropscope/internal/bgp"
-	"dropscope/internal/netx"
 	"dropscope/internal/rpki"
 	"dropscope/internal/timex"
 )
@@ -23,6 +21,7 @@ type Server struct {
 	serial    uint32
 	vrps      []VRP
 	deltas    []delta // oldest first; deltas[i] upgrades serial-1 -> serial
+	intervals Intervals
 
 	ln     net.Listener
 	closed bool
@@ -38,6 +37,15 @@ type delta struct {
 
 // maxDeltas bounds the retained incremental history.
 const maxDeltas = 8
+
+// Intervals are the router timer intervals a cache advertises in End
+// Of Data (RFC 8210 §5.8), in seconds.
+type Intervals struct {
+	Refresh, Retry, Expire uint32
+}
+
+// DefaultIntervals are the RFC 8210 suggested values.
+var DefaultIntervals = Intervals{Refresh: 3600, Retry: 600, Expire: 7200}
 
 // SnapshotVRPs flattens the archive's live ROAs on day d under the given
 // trust anchors into deduplicated, deterministic VRPs. AS0 ROAs are
@@ -64,9 +72,18 @@ func SnapshotVRPs(a *rpki.Archive, d timex.Day, tals []rpki.TrustAnchor) []VRP {
 	return out
 }
 
-// NewServer returns a server initialized with the given VRP set.
+// NewServer returns a server initialized with the given VRP set and
+// the default RFC 8210 timer intervals.
 func NewServer(sessionID uint16, vrps []VRP) *Server {
-	return &Server{sessionID: sessionID, serial: 1, vrps: vrps}
+	return &Server{sessionID: sessionID, serial: 1, vrps: vrps, intervals: DefaultIntervals}
+}
+
+// SetIntervals replaces the Refresh/Retry/Expire intervals advertised
+// in every subsequent End Of Data.
+func (s *Server) SetIntervals(iv Intervals) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.intervals = iv
 }
 
 // Update replaces the VRP set and bumps the serial, as a validator does
@@ -225,16 +242,17 @@ func (s *Server) HandleConn(conn io.ReadWriter) error {
 // deltasSince coalesces the retained deltas from the given serial to the
 // current one. It reports false when the serial predates the history.
 // Changes that cancel out across versions (announced then withdrawn) are
-// elided.
+// elided. All comparisons use RFC 1982 serial arithmetic (SerialBefore)
+// so sessions survive uint32 serial wraparound.
 func (s *Server) deltasSince(serial uint32) (announced, withdrawn []VRP, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.deltas) == 0 || serial < s.deltas[0].serial-1 || serial > s.serial {
+	if len(s.deltas) == 0 || SerialBefore(serial, s.deltas[0].serial-1) || SerialBefore(s.serial, serial) {
 		return nil, nil, false
 	}
 	state := make(map[VRP]int) // +1 announced, -1 withdrawn
 	for _, d := range s.deltas {
-		if d.serial <= serial {
+		if !SerialBefore(serial, d.serial) {
 			continue
 		}
 		for _, v := range d.announced {
@@ -289,122 +307,8 @@ func (s *Server) sendEOD(w io.Writer) error {
 	s.mu.Lock()
 	eod := &EndOfData{
 		SessionID: s.sessionID, Serial: s.serial,
-		Refresh: 3600, Retry: 600, Expire: 7200,
+		Refresh: s.intervals.Refresh, Retry: s.intervals.Retry, Expire: s.intervals.Expire,
 	}
 	s.mu.Unlock()
 	return WritePDU(w, eod)
-}
-
-// Client performs RTR synchronization against a cache.
-type Client struct {
-	conn io.ReadWriter
-
-	SessionID uint16
-	Serial    uint32
-	VRPs      []VRP
-}
-
-// NewClient wraps an established connection.
-func NewClient(conn io.ReadWriter) *Client { return &Client{conn: conn} }
-
-// Reset performs a Reset Query and collects the full VRP set.
-func (c *Client) Reset() error {
-	if err := WritePDU(c.conn, &ResetQuery{}); err != nil {
-		return err
-	}
-	return c.collect(true)
-}
-
-// Poll performs a Serial Query with the client's current serial. If the
-// cache answers Cache Reset, Poll falls back to a full Reset.
-func (c *Client) Poll() error {
-	if err := WritePDU(c.conn, &SerialQuery{SessionID: c.SessionID, Serial: c.Serial}); err != nil {
-		return err
-	}
-	pdu, err := ReadPDU(c.conn)
-	if err != nil {
-		return err
-	}
-	switch p := pdu.(type) {
-	case *CacheReset:
-		return c.Reset()
-	case *CacheResponse:
-		c.SessionID = p.SessionID
-		return c.collectBody(false)
-	case *ErrorReport:
-		return fmt.Errorf("rtr: cache error %d: %s", p.Code, p.Text)
-	default:
-		return fmt.Errorf("rtr: unexpected %T to serial query", pdu)
-	}
-}
-
-func (c *Client) collect(reset bool) error {
-	pdu, err := ReadPDU(c.conn)
-	if err != nil {
-		return err
-	}
-	cr, ok := pdu.(*CacheResponse)
-	if !ok {
-		if er, isErr := pdu.(*ErrorReport); isErr {
-			return fmt.Errorf("rtr: cache error %d: %s", er.Code, er.Text)
-		}
-		return fmt.Errorf("rtr: expected cache response, got %T", pdu)
-	}
-	c.SessionID = cr.SessionID
-	return c.collectBody(reset)
-}
-
-func (c *Client) collectBody(reset bool) error {
-	if reset {
-		c.VRPs = c.VRPs[:0]
-	}
-	for {
-		pdu, err := ReadPDU(c.conn)
-		if err != nil {
-			return err
-		}
-		switch p := pdu.(type) {
-		case *IPv4Prefix:
-			if p.Announce {
-				c.VRPs = append(c.VRPs, p.VRP)
-			} else {
-				c.VRPs = removeVRP(c.VRPs, p.VRP)
-			}
-		case *EndOfData:
-			c.Serial = p.Serial
-			return nil
-		case *ErrorReport:
-			return fmt.Errorf("rtr: cache error %d: %s", p.Code, p.Text)
-		default:
-			return fmt.Errorf("rtr: unexpected %T in data stream", pdu)
-		}
-	}
-}
-
-func removeVRP(vrps []VRP, v VRP) []VRP {
-	out := vrps[:0]
-	for _, x := range vrps {
-		if x != v {
-			out = append(out, x)
-		}
-	}
-	return out
-}
-
-// Validate runs RFC 6811 origin validation of (prefix, origin) against
-// the client's current VRP set.
-func (c *Client) Validate(p VRPQuery) rpki.Validity {
-	roas := make([]rpki.ROA, 0, 8)
-	for _, v := range c.VRPs {
-		if v.Prefix.Covers(p.Prefix) {
-			roas = append(roas, rpki.ROA{Prefix: v.Prefix, MaxLength: v.MaxLength, ASN: v.ASN})
-		}
-	}
-	return rpki.Validate(p.Prefix, p.Origin, roas)
-}
-
-// VRPQuery is one announcement to validate.
-type VRPQuery struct {
-	Prefix netx.Prefix
-	Origin bgp.ASN
 }

@@ -1,0 +1,256 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+// drive advances the fake clock whenever the supervisor blocks on its
+// backoff timer, until done is closed.
+func drive(fake *FakeClock, done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		waitCh := make(chan struct{})
+		go func() { fake.BlockUntil(1); close(waitCh) }()
+		select {
+		case <-done:
+			return
+		case <-waitCh:
+			fake.Advance(time.Hour) // >= any capped backoff step
+		}
+	}
+}
+
+func TestSupervisorRetriesUntilSuccess(t *testing.T) {
+	fake := NewFake(time.Unix(1_000_000, 0))
+	attempts := 0
+	sup := New("test", func(ctx context.Context) error {
+		attempts++
+		if attempts < 4 {
+			return errBoom
+		}
+		return nil
+	}, Config{Clock: fake})
+
+	done := make(chan struct{})
+	go drive(fake, done)
+	if err := sup.Run(context.Background()); err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	close(done)
+	if attempts != 4 {
+		t.Errorf("attempts = %d, want 4", attempts)
+	}
+	if sup.Restarts() != 3 {
+		t.Errorf("restarts = %d, want 3", sup.Restarts())
+	}
+}
+
+func TestSupervisorBackoffGrowsAndCaps(t *testing.T) {
+	fake := NewFake(time.Unix(0, 0))
+	var mu sync.Mutex
+	var waits []time.Duration
+	cfg := Config{
+		Clock:   fake,
+		Backoff: Backoff{Min: 100 * time.Millisecond, Max: 800 * time.Millisecond},
+		OnRetry: func(e Event) {
+			mu.Lock()
+			waits = append(waits, e.Wait)
+			mu.Unlock()
+		},
+	}
+	attempts := 0
+	sup := New("growth", func(ctx context.Context) error {
+		attempts++
+		if attempts <= 6 {
+			return errBoom
+		}
+		return nil
+	}, cfg)
+	done := make(chan struct{})
+	go drive(fake, done)
+	if err := sup.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+
+	want := []time.Duration{100, 200, 400, 800, 800, 800}
+	for i := range want {
+		want[i] *= time.Millisecond
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(waits) != len(want) {
+		t.Fatalf("waits = %v", waits)
+	}
+	for i, w := range want {
+		if waits[i] != w {
+			t.Errorf("wait[%d] = %v, want %v", i, waits[i], w)
+		}
+	}
+}
+
+func TestSupervisorJitterDeterministic(t *testing.T) {
+	collect := func(seed uint64) []time.Duration {
+		fake := NewFake(time.Unix(0, 0))
+		var waits []time.Duration
+		var mu sync.Mutex
+		attempts := 0
+		sup := New("jitter", func(ctx context.Context) error {
+			attempts++
+			if attempts <= 5 {
+				return errBoom
+			}
+			return nil
+		}, Config{
+			Clock:   fake,
+			Seed:    seed,
+			Backoff: Backoff{Min: time.Second, Max: time.Minute, Jitter: 0.5},
+			OnRetry: func(e Event) { mu.Lock(); waits = append(waits, e.Wait); mu.Unlock() },
+		})
+		done := make(chan struct{})
+		go drive(fake, done)
+		if err := sup.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		close(done)
+		return waits
+	}
+
+	a, b := collect(7), collect(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+		base := Backoff{Min: time.Second, Max: time.Minute, Factor: 2}.step(i)
+		if a[i] < base || a[i] > base+base/2 {
+			t.Errorf("wait[%d] = %v outside [%v, %v]", i, a[i], base, base+base/2)
+		}
+	}
+	c := collect(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("distinct seeds produced identical jitter")
+	}
+}
+
+func TestSupervisorBudgetExhausted(t *testing.T) {
+	fake := NewFake(time.Unix(0, 0))
+	sup := New("budget", func(ctx context.Context) error { return errBoom }, Config{
+		Clock:  fake,
+		Budget: 3,
+		Window: time.Hour * 24 * 365, // the hour-sized drive steps stay inside
+	})
+	done := make(chan struct{})
+	go drive(fake, done)
+	err := sup.Run(context.Background())
+	close(done)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestSupervisorStableRunResetsBackoff(t *testing.T) {
+	fake := NewFake(time.Unix(0, 0))
+	var waits []time.Duration
+	var mu sync.Mutex
+	attempts := 0
+	sup := New("stable", func(ctx context.Context) error {
+		attempts++
+		if attempts == 4 {
+			// A long, healthy run: the next failure restarts the
+			// backoff sequence at Min.
+			fake.Advance(2 * time.Minute)
+		}
+		if attempts <= 5 {
+			return errBoom
+		}
+		return nil
+	}, Config{
+		Clock:       fake,
+		StableAfter: time.Minute,
+		Backoff:     Backoff{Min: 100 * time.Millisecond, Max: 10 * time.Second},
+		OnRetry:     func(e Event) { mu.Lock(); waits = append(waits, e.Wait); mu.Unlock() },
+	})
+	done := make(chan struct{})
+	go drive(fake, done)
+	if err := sup.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(waits) != 5 {
+		t.Fatalf("waits = %v", waits)
+	}
+	if waits[3] != 100*time.Millisecond {
+		t.Errorf("wait after stable run = %v, want reset to 100ms (all: %v)", waits[3], waits)
+	}
+}
+
+func TestSupervisorContextCancelDuringWait(t *testing.T) {
+	fake := NewFake(time.Unix(0, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	sup := New("cancel", func(ctx context.Context) error { return errBoom }, Config{Clock: fake})
+	errCh := make(chan error, 1)
+	go func() { errCh <- sup.Run(ctx) }()
+	fake.BlockUntil(1) // supervisor is parked on its backoff timer
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervisor did not observe cancellation")
+	}
+}
+
+func TestFakeClockTimers(t *testing.T) {
+	fake := NewFake(time.Unix(100, 0))
+	tm := fake.NewTimer(10 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired early")
+	default:
+	}
+	fake.Advance(9 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired at 9s")
+	default:
+	}
+	fake.Advance(time.Second)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("timer did not fire at 10s")
+	}
+	// Reset re-arms; Stop disarms.
+	tm.Reset(5 * time.Second)
+	fake.Advance(4 * time.Second)
+	tm.Stop()
+	fake.Advance(10 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if got := fake.Now(); got != time.Unix(124, 0) {
+		t.Errorf("Now = %v", got)
+	}
+}

@@ -3,7 +3,7 @@
 # (.github/workflows/ci.yml) and the Makefile both run these commands, so
 # local runs and the gate stay in lockstep.
 #
-# Usage: scripts/check.sh [build|vet|fmt|test|race|bench|fuzz|faults|all]
+# Usage: scripts/check.sh [build|vet|fmt|test|race|bench|fuzz|faults|chaos|all]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -69,6 +69,22 @@ faults() {
   go test -run 'Lenient|Strict|Damaged' ./internal/mrt .
 }
 
+# chaos runs the live-session resilience suite under the race detector:
+# the supervisor/backoff state machine, chaos net.Conn fault injection,
+# the BGP hold-timer/write-deadline/graceful-restart tests, the chaos
+# soak (50 injected faults must converge to the fault-free RIB), and the
+# RTR timer state machine with serial wraparound.
+chaos() {
+  go test -race -count=1 ./internal/session
+  go test -race -count=1 ./internal/ingest/faultinject
+  go test -race -count=1 \
+    -run 'TestHoldTimerExpiry|TestWriteTimeout|TestCollectorGracefulRestart|TestChaosSoak' \
+    ./internal/bgpd
+  go test -race -count=1 \
+    -run 'TestSerialBefore|TestPollSurvivesSerialWraparound|TestClientSession' \
+    ./internal/rtr
+}
+
 all() { build; vet; fmt; test_; race; bench; }
 
 case "${1:-all}" in
@@ -80,9 +96,10 @@ case "${1:-all}" in
   bench) bench ;;
   fuzz) fuzz ;;
   faults) faults ;;
+  chaos) chaos ;;
   all) all ;;
   *)
-    echo "usage: $0 [build|vet|fmt|test|race|bench|fuzz|faults|all]" >&2
+    echo "usage: $0 [build|vet|fmt|test|race|bench|fuzz|faults|chaos|all]" >&2
     exit 2
     ;;
 esac

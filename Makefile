@@ -1,7 +1,7 @@
 # Convenience wrappers over scripts/check.sh — the same commands CI runs
 # (.github/workflows/ci.yml), so a green `make all` locally means a green
 # gate.
-.PHONY: all build vet fmt test race bench fuzz faults chaos
+.PHONY: all build vet fmt test race bench benchgate fuzz faults chaos
 
 all:
 	scripts/check.sh all
@@ -23,6 +23,9 @@ race:
 
 bench:
 	scripts/check.sh bench
+
+benchgate:
+	scripts/check.sh benchgate
 
 fuzz:
 	scripts/check.sh fuzz

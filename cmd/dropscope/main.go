@@ -5,6 +5,7 @@
 // Usage:
 //
 //	dropscope [-scale N] [-seed N] [-load DIR] [-save DIR] [-json] [-serial] [-workers N] [-strict] [-max-skip N]
+//	          [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // By default RIB loading and the experiment suite run in parallel across
 // the available CPUs; -serial forces the single-threaded reference path
@@ -17,6 +18,11 @@
 // section. -strict instead fails on the first damaged record, naming its
 // record index and byte offset. Over undamaged archives the two modes
 // print byte-identical reports.
+//
+// The profiling flags wrap the whole run: -cpuprofile and -memprofile
+// write pprof profiles (the heap profile is taken at exit, after a GC),
+// -trace writes a runtime execution trace. Inspect them with
+// `go tool pprof` / `go tool trace`.
 package main
 
 import (
@@ -24,9 +30,67 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 
 	"dropscope"
 )
+
+// profiling starts the profilers selected on the command line and
+// returns a stop function to run at exit. Any profile that cannot be
+// started is fatal: a run whose requested profile is silently missing
+// wastes the whole measurement.
+func profiling(cpuprofile, memprofile, traceFile string) func() {
+	var stops []func()
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Start(f); err != nil {
+			fatal(err)
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	return func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		if memprofile != "" {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -39,56 +103,60 @@ func main() {
 		workers = flag.Int("workers", 0, "experiment fan-out bound (0 = GOMAXPROCS, 1 = serial experiments)")
 		strict  = flag.Bool("strict", false, "with -load: fail on the first corrupt record instead of skipping leniently")
 		maxSkip = flag.Int("max-skip", 0, "with -load: per-collector skip budget before quarantine (0 = default 100, negative = unlimited)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
+	stop := profiling(*cpuprofile, *memprofile, *traceFile)
+	err := run(*scale, *seed, *load, *save, *asJSON, *serial, *workers, *strict, *maxSkip)
+	stop()
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func run(scale int, seed int64, load, save string, asJSON, serial bool, workers int, strict bool, maxSkip int) error {
 	cfg := dropscope.DefaultConfig()
-	cfg.Scale = *scale
-	cfg.Seed = *seed
+	cfg.Scale = scale
+	cfg.Seed = seed
 
 	var (
 		study *dropscope.Study
 		err   error
 	)
-	if *load != "" {
-		opts := dropscope.IngestOptions{Strict: *strict, MaxSkip: *maxSkip}
-		if *serial {
+	if load != "" {
+		opts := dropscope.IngestOptions{Strict: strict, MaxSkip: maxSkip}
+		if serial {
 			opts.Workers = 1
 		}
-		study, err = dropscope.LoadStudyWithOptions(*load, cfg, opts)
-	} else if *serial {
+		study, err = dropscope.LoadStudyWithOptions(load, cfg, opts)
+	} else if serial {
 		study, err = dropscope.NewStudySerial(cfg)
 	} else {
 		study, err = dropscope.NewStudy(cfg)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	if *save != "" {
-		if err := study.WriteArchives(*save); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if save != "" {
+		if err := study.WriteArchives(save); err != nil {
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "archives written to %s\n", *save)
+		fmt.Fprintf(os.Stderr, "archives written to %s\n", save)
 	}
 	var results dropscope.Results
-	if *serial {
+	if serial {
 		results = study.ResultsSerial()
 	} else {
-		results = study.ResultsWithConcurrency(*workers)
+		results = study.ResultsWithConcurrency(workers)
 	}
-	if *asJSON {
+	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(results.Summary()); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
+		return enc.Encode(results.Summary())
 	}
-	if err := results.Render(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	return results.Render(os.Stdout)
 }

@@ -64,6 +64,8 @@ type Pipeline struct {
 	// Health accumulates ingest accounting when the pipeline was built
 	// leniently (Options.Lenient); nil after a strict build.
 	Health *ingest.Health
+
+	cache queryCache
 }
 
 // Options configures how New builds the pipeline.

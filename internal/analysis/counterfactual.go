@@ -82,7 +82,7 @@ type AS0Remediation struct {
 func (p *Pipeline) AS0WhatIf() AS0Remediation {
 	var out AS0Remediation
 	end := p.ds.Window.Last
-	routed := p.Index.RoutedSpace(end, 1)
+	routed := p.RoutedSpaceAt(end, 1)
 
 	holdings := make(map[bgp.ASN]uint64)
 	for _, roa := range p.ds.RPKI.LiveAt(end, rpki.DefaultTALs) {
@@ -137,7 +137,7 @@ type MaxLengthAudit struct {
 func (p *Pipeline) MaxLengthAnalysis() MaxLengthAudit {
 	var out MaxLengthAudit
 	end := p.ds.Window.Last
-	routed := p.Index.RoutedSpace(end, 1)
+	routed := p.RoutedSpaceAt(end, 1)
 	for _, roa := range p.ds.RPKI.LiveAt(end, rpki.DefaultTALs) {
 		if roa.ASN == bgp.AS0 {
 			continue

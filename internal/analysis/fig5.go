@@ -63,7 +63,7 @@ func (p *Pipeline) Fig5ROAStatus() Fig5 {
 
 	// End-of-window breakdowns.
 	end := p.ds.Window.Last
-	routed := p.Index.RoutedSpace(end, 1)
+	routed := p.RoutedSpaceAt(end, 1)
 	for _, rec := range p.ds.RIR.RecordsAt(end) {
 		if rec.Status != rirstats.Allocated && rec.Status != rirstats.Assigned {
 			continue
@@ -103,7 +103,7 @@ func sortHoldings(hs []Holding) {
 
 func (p *Pipeline) fig5Sample(d timex.Day) Fig5Sample {
 	s := Fig5Sample{Day: d}
-	routed := p.Index.RoutedSpace(d, 1)
+	routed := p.RoutedSpaceAt(d, 1)
 
 	var signedSet netx.Set
 	var signedRouted netx.Set

@@ -38,7 +38,7 @@ func (p *Pipeline) SerialHijackers(minPrefixes int, minListedFraction float64, m
 	}
 
 	var out []HijackerProfile
-	for origin, act := range p.Index.ByOrigin() {
+	for origin, act := range p.OriginActivity() {
 		if len(act.Prefixes) < minPrefixes {
 			continue
 		}
@@ -92,7 +92,7 @@ func (p *Pipeline) MOASSweep() MOASReport {
 	const step = 30
 	for d := p.ds.Window.First; d <= p.ds.Window.Last; d += step {
 		s := MOASSample{Day: d}
-		for _, m := range p.Index.MOASConflicts(d) {
+		for _, m := range p.MOASConflictsAt(d) {
 			s.Conflicts++
 			if p.ds.DROP.ListedAt(m.Prefix, d) {
 				s.Listed++

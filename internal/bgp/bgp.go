@@ -296,8 +296,18 @@ func encodeAttrs(dst []byte, a *Attrs, hasNLRI bool) []byte {
 // TABLE_DUMP_V2 RIB entries (RFC 6396 §4.3.4).
 func EncodeAttrs(a *Attrs) []byte { return encodeAttrs(nil, a, true) }
 
-// DecodeAttrs parses a bare path-attribute block into a.
-func DecodeAttrs(b []byte, a *Attrs) error { return decodeAttrs(b, a) }
+// DecodeAttrs parses a bare path-attribute block into a. Fields not
+// present in the block are left untouched; decoded slices are freshly
+// allocated, so the result may be retained indefinitely.
+func DecodeAttrs(b []byte, a *Attrs) error { return decodeAttrs(b, a, false) }
+
+// DecodeAttrsReuse parses a bare path-attribute block into a, first
+// resetting every field and reusing a's existing Path and Communities
+// storage (including per-segment ASN slices). The decoded attributes
+// alias that storage, so they are only valid until the next
+// DecodeAttrsReuse call on the same Attrs — the pooled decode mode of
+// the mrt Reader depends on this to go allocation-free in steady state.
+func DecodeAttrsReuse(b []byte, a *Attrs) error { return decodeAttrs(b, a, true) }
 
 func be32(v uint32) []byte {
 	return []byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
@@ -307,65 +317,77 @@ func be32(v uint32) []byte {
 // EncodeUpdate (or by an AS4-capable speaker): header, withdrawn routes,
 // path attributes with 4-byte AS_PATH, and NLRI.
 func DecodeUpdate(msg []byte) (*Update, error) {
-	if len(msg) < headerLen {
-		return nil, ErrTruncated
-	}
-	for i := 0; i < 16; i++ {
-		if msg[i] != 0xff {
-			return nil, ErrBadMarker
-		}
-	}
-	total := int(msg[16])<<8 | int(msg[17])
-	if total != len(msg) {
-		return nil, fmt.Errorf("%w: header says %d, have %d", ErrBadLength, total, len(msg))
-	}
-	if msg[18] != TypeUpdate {
-		return nil, fmt.Errorf("bgp: message type %d is not UPDATE", msg[18])
-	}
-	body := msg[headerLen:]
-
 	u := &Update{}
-	// Withdrawn.
-	if len(body) < 2 {
-		return nil, ErrTruncated
-	}
-	wdLen := int(body[0])<<8 | int(body[1])
-	body = body[2:]
-	if len(body) < wdLen {
-		return nil, ErrTruncated
-	}
-	var err error
-	u.Withdrawn, err = DecodePrefixes(body[:wdLen])
-	if err != nil {
-		return nil, err
-	}
-	body = body[wdLen:]
-
-	// Attributes.
-	if len(body) < 2 {
-		return nil, ErrTruncated
-	}
-	atLen := int(body[0])<<8 | int(body[1])
-	body = body[2:]
-	if len(body) < atLen {
-		return nil, ErrTruncated
-	}
-	if err := decodeAttrs(body[:atLen], &u.Attrs); err != nil {
-		return nil, err
-	}
-	body = body[atLen:]
-
-	// NLRI.
-	u.NLRI, err = DecodePrefixes(body)
-	if err != nil {
+	if err := DecodeUpdateInto(msg, u); err != nil {
 		return nil, err
 	}
 	return u, nil
 }
 
+// DecodeUpdateInto decodes a full BGP UPDATE message into u, reusing
+// u's existing Withdrawn/NLRI/attribute slice capacity. On a zero
+// Update it behaves exactly like DecodeUpdate; on a reused Update the
+// decoded slices alias storage from the previous decode and are only
+// valid until the next DecodeUpdateInto call.
+func DecodeUpdateInto(msg []byte, u *Update) error {
+	if len(msg) < headerLen {
+		return ErrTruncated
+	}
+	for i := 0; i < 16; i++ {
+		if msg[i] != 0xff {
+			return ErrBadMarker
+		}
+	}
+	total := int(msg[16])<<8 | int(msg[17])
+	if total != len(msg) {
+		return fmt.Errorf("%w: header says %d, have %d", ErrBadLength, total, len(msg))
+	}
+	if msg[18] != TypeUpdate {
+		return fmt.Errorf("bgp: message type %d is not UPDATE", msg[18])
+	}
+	body := msg[headerLen:]
+
+	// Withdrawn.
+	if len(body) < 2 {
+		return ErrTruncated
+	}
+	wdLen := int(body[0])<<8 | int(body[1])
+	body = body[2:]
+	if len(body) < wdLen {
+		return ErrTruncated
+	}
+	var err error
+	u.Withdrawn, err = appendDecodedPrefixes(u.Withdrawn[:0], body[:wdLen])
+	if err != nil {
+		return err
+	}
+	body = body[wdLen:]
+
+	// Attributes.
+	if len(body) < 2 {
+		return ErrTruncated
+	}
+	atLen := int(body[0])<<8 | int(body[1])
+	body = body[2:]
+	if len(body) < atLen {
+		return ErrTruncated
+	}
+	if err := decodeAttrs(body[:atLen], &u.Attrs, true); err != nil {
+		return err
+	}
+	body = body[atLen:]
+
+	// NLRI.
+	u.NLRI, err = appendDecodedPrefixes(u.NLRI[:0], body)
+	return err
+}
+
 // DecodePrefixes parses a run of RFC 4271 length-prefixed NLRI entries.
 func DecodePrefixes(b []byte) ([]netx.Prefix, error) {
-	var out []netx.Prefix
+	return appendDecodedPrefixes(nil, b)
+}
+
+func appendDecodedPrefixes(out []netx.Prefix, b []byte) ([]netx.Prefix, error) {
 	for len(b) > 0 {
 		bits := int(b[0])
 		if bits > 32 {
@@ -390,7 +412,12 @@ func DecodePrefixes(b []byte) ([]netx.Prefix, error) {
 }
 
 // decodeAttrs parses the path-attribute block with 4-byte AS_PATH ASNs.
-func decodeAttrs(b []byte, a *Attrs) error {
+// With reuse set, a is reset first and its Path/Communities storage —
+// including the per-segment ASN slices — is recycled in place.
+func decodeAttrs(b []byte, a *Attrs, reuse bool) error {
+	if reuse {
+		*a = Attrs{Path: a.Path[:0], Communities: a.Communities[:0]}
+	}
 	for len(b) > 0 {
 		if len(b) < 3 {
 			return ErrTruncated
@@ -416,7 +443,11 @@ func decodeAttrs(b []byte, a *Attrs) error {
 			}
 			a.Origin = val[0]
 		case AttrASPath:
-			path, err := decodeASPath(val)
+			var dst ASPath
+			if reuse {
+				dst = a.Path[:0]
+			}
+			path, err := appendASPath(dst, val)
 			if err != nil {
 				return err
 			}
@@ -458,8 +489,10 @@ func decodeAttrs(b []byte, a *Attrs) error {
 	return nil
 }
 
-func decodeASPath(b []byte) (ASPath, error) {
-	var path ASPath
+// appendASPath decodes segments onto dst. When dst has spare capacity
+// from a previous decode, each incoming segment recycles the ASN slice
+// parked in its slot, so steady-state re-decoding allocates nothing.
+func appendASPath(dst ASPath, b []byte) (ASPath, error) {
 	for len(b) > 0 {
 		if len(b) < 2 {
 			return nil, ErrTruncated
@@ -472,13 +505,18 @@ func decodeASPath(b []byte) (ASPath, error) {
 		if len(b) < need {
 			return nil, ErrTruncated
 		}
-		seg := PathSegment{Type: segType, ASNs: make([]ASN, count)}
+		var asns []ASN
+		if n := len(dst); n < cap(dst) {
+			asns = dst[:n+1][n].ASNs[:0]
+		} else {
+			asns = make([]ASN, 0, count)
+		}
 		for i := 0; i < count; i++ {
 			off := 2 + 4*i
-			seg.ASNs[i] = ASN(uint32(b[off])<<24 | uint32(b[off+1])<<16 | uint32(b[off+2])<<8 | uint32(b[off+3]))
+			asns = append(asns, ASN(uint32(b[off])<<24|uint32(b[off+1])<<16|uint32(b[off+2])<<8|uint32(b[off+3])))
 		}
-		path = append(path, seg)
+		dst = append(dst, PathSegment{Type: segType, ASNs: asns})
 		b = b[need:]
 	}
-	return path, nil
+	return dst, nil
 }

@@ -1,0 +1,62 @@
+package mrt
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestReaderNextReuseAllocs pins the reuse-mode decode loop at zero
+// steady-state allocations per record: the record buffer, the pooled
+// decode scratch, and every slice inside the decoded records are
+// recycled between Next calls. A regression here silently reintroduces
+// the per-record garbage this mode exists to avoid.
+func TestReaderNextReuseAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(samplePeerIndex()); err != nil {
+		t.Fatal(err)
+	}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if err := w.Write(sampleRIB()); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(sampleBGP4MP()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()), ReuseRecords())
+	defer r.Release()
+	// Warm up: the first records size the body buffer and the reused
+	// entry/prefix/path slices.
+	for i := 0; i < 100; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec == nil {
+			t.Fatal("nil record")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Reader.Next in reuse mode allocates %.2f objects/record; want 0", avg)
+	}
+	// Drain to prove the stream was still well-formed end to end.
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"dropscope/internal/bgp"
@@ -227,11 +228,38 @@ type Reader struct {
 	pending    [12]byte
 	hasPending bool
 
+	// scan is the chunked resynchronization buffer; leftover holds
+	// bytes fetched during a resync chunk but not yet consumed by the
+	// parser (they alias leftoverArr and are drained by readFull).
+	scan        []byte
+	leftover    []byte
+	leftoverArr [resyncChunk]byte
+	// hdrArr is the header read target. A local array would escape
+	// through the io.Reader interface and cost one heap allocation per
+	// record; a Reader field does not.
+	hdrArr [12]byte
+
 	lenient  bool
 	maxSkips int
 	skipped  int
 	src      *ingest.Source
+
+	reuse   bool
+	scratch *decodeScratch
 }
+
+// decodeScratch bundles the record structs and slice storage a reusing
+// Reader decodes into. Pooling the bundle lets short-lived Readers
+// (one per collector file) inherit warmed-up entry, path-segment, and
+// prefix slices instead of regrowing them from nothing.
+type decodeScratch struct {
+	pit PeerIndexTable
+	rp  RIBPrefix
+	b4  BGP4MPMessage
+	upd bgp.Update
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(decodeScratch) }}
 
 // Option configures a Reader.
 type Option func(*Reader)
@@ -249,6 +277,33 @@ func MaxSkips(n int) Option { return func(r *Reader) { r.maxSkips = n } }
 // WithSource attaches an ingest health accumulator: every accepted
 // record and every classified skip is counted into src.
 func WithSource(src *ingest.Source) Option { return func(r *Reader) { r.src = src } }
+
+// ReuseRecords switches the Reader to pooled decode mode: Next returns
+// records backed by Reader-owned scratch storage drawn from a
+// sync.Pool, so steady-state decoding allocates nothing. Each record
+// (and everything it references — peer lists, RIB entries, attributes,
+// AS paths, prefixes) is valid only until the following Next call;
+// callers must copy or intern whatever they keep. Call Release when
+// done to return the scratch to the pool. Do not combine with ReadAll
+// or AppendRecords, which retain every record.
+func ReuseRecords() Option { return func(r *Reader) { r.reuse = true } }
+
+// Release returns a reusing Reader's scratch storage to the shared
+// pool. After Release, records previously returned by Next must no
+// longer be used. Release is a no-op on a strict-allocation Reader.
+func (r *Reader) Release() {
+	if r.scratch != nil {
+		scratchPool.Put(r.scratch)
+		r.scratch = nil
+	}
+}
+
+func (r *Reader) getScratch() *decodeScratch {
+	if r.scratch == nil {
+		r.scratch = scratchPool.Get().(*decodeScratch)
+	}
+	return r.scratch
+}
 
 // NewReader returns a Reader consuming r. With no options the Reader is
 // strict: the first malformed record fails with an error carrying the
@@ -338,8 +393,8 @@ func (r *Reader) readHeader() (int64, [12]byte, error) {
 		return r.off - 12, r.pending, nil
 	}
 	start := r.off
-	var hdr [12]byte
-	n, err := io.ReadFull(r.r, hdr[:])
+	n, err := r.readFull(r.hdrArr[:])
+	hdr := r.hdrArr
 	r.off += int64(n)
 	if err == io.EOF {
 		return start, hdr, io.EOF
@@ -373,10 +428,20 @@ func (r *Reader) next() (Record, error) {
 		}
 	}
 	if cap(r.buf) < int(length) {
-		r.buf = make([]byte, length)
+		// Grow-and-reuse: doubling (capped at the record bound) means a
+		// stream of slightly-growing records settles on one buffer
+		// instead of reallocating per record.
+		grow := 2 * cap(r.buf)
+		if grow < int(length) {
+			grow = int(length)
+		}
+		if grow > maxRecord {
+			grow = maxRecord
+		}
+		r.buf = make([]byte, grow)
 	}
 	body := r.buf[:length]
-	n, err := io.ReadFull(r.r, body)
+	n, err := r.readFull(body)
 	r.off += int64(n)
 	if err != nil {
 		return nil, &recordError{
@@ -392,11 +457,32 @@ func (r *Reader) next() (Record, error) {
 	var rec Record
 	switch {
 	case typ == TypeTableDumpV2 && sub == SubtypePeerIndexTable:
-		rec, err = convert(decodePeerIndexTable(ts, body))
+		if r.reuse {
+			s := r.getScratch()
+			if err = decodePeerIndexTableInto(ts, body, &s.pit, true); err == nil {
+				rec = &s.pit
+			}
+		} else {
+			rec, err = convert(decodePeerIndexTable(ts, body))
+		}
 	case typ == TypeTableDumpV2 && sub == SubtypeRIBIPv4Unicast:
-		rec, err = convert(decodeRIBPrefix(ts, body))
+		if r.reuse {
+			s := r.getScratch()
+			if err = decodeRIBPrefixInto(ts, body, &s.rp, true); err == nil {
+				rec = &s.rp
+			}
+		} else {
+			rec, err = convert(decodeRIBPrefix(ts, body))
+		}
 	case typ == TypeBGP4MP && sub == SubtypeBGP4MPMessageAS4:
-		rec, err = convert(decodeBGP4MP(ts, body))
+		if r.reuse {
+			s := r.getScratch()
+			if err = decodeBGP4MPInto(ts, body, &s.b4, &s.upd); err == nil {
+				rec = &s.b4
+			}
+		} else {
+			rec, err = convert(decodeBGP4MP(ts, body))
+		}
 	default:
 		return nil, &recordError{
 			Record: idx, Offset: start, Reason: ingest.Unsupported,
@@ -450,6 +536,32 @@ func plausibleHeader(hdr [12]byte) bool {
 		ts >= resyncMinUnix && ts < resyncMaxUnix
 }
 
+// resyncChunk is how many bytes a resync scan fetches per underlying
+// Read call, and bounds the leftover carried between scans.
+const resyncChunk = 512
+
+// readFull fills p, draining bytes fetched-but-unconsumed by a resync
+// scan before touching the underlying reader. Like io.ReadFull it
+// returns io.EOF only when no byte of p was read.
+func (r *Reader) readFull(p []byte) (int, error) {
+	n := 0
+	if len(r.leftover) > 0 {
+		c := copy(p, r.leftover)
+		r.leftover = r.leftover[c:]
+		n += c
+		if n == len(p) {
+			return n, nil
+		}
+	}
+	m, err := io.ReadFull(r.r, p[n:])
+	if err == io.EOF && n > 0 {
+		// p began with leftover bytes, so a clean underlying EOF is
+		// still a truncated read of p.
+		err = io.ErrUnexpectedEOF
+	}
+	return n + m, err
+}
+
 // resync slides a 12-byte window — seeded with the implausible header's
 // own bytes, so the scan effectively restarts one byte past the failed
 // record's start — until the window holds a plausible record header,
@@ -457,46 +569,82 @@ func plausibleHeader(hdr [12]byte) bool {
 // stream ends first. The seed header is never plausible (that is what
 // triggered the resync), so each call consumes at least one byte and a
 // lenient Reader always terminates.
+//
+// The scan reads the stream in reused resyncChunk-sized chunks rather
+// than byte-at-a-time; bytes fetched past the recovered header are
+// parked in r.leftover for readFull to drain, so nothing is lost and
+// nothing is reallocated however long the damage runs.
 func (r *Reader) resync(window [12]byte) bool {
+	if r.scan == nil {
+		r.scan = make([]byte, resyncChunk)
+	}
 	for {
-		var b [1]byte
-		n, err := r.r.Read(b[:])
-		if n == 0 {
-			if err == nil {
-				continue
+		var chunk []byte
+		if len(r.leftover) > 0 {
+			// A previous resync over-read and the record it recovered
+			// failed too; scan those fetched bytes first.
+			chunk = r.leftover
+			r.leftover = nil
+		} else {
+			n, err := r.r.Read(r.scan)
+			if n == 0 {
+				if err == nil {
+					continue
+				}
+				return false
 			}
-			return false
+			chunk = r.scan[:n]
 		}
-		r.off++
-		copy(window[:], window[1:])
-		window[11] = b[0]
-		if plausibleHeader(window) {
-			r.pending = window
-			r.hasPending = true
-			return true
+		for i := 0; i < len(chunk); i++ {
+			r.off++
+			copy(window[:], window[1:])
+			window[11] = chunk[i]
+			if plausibleHeader(window) {
+				r.pending = window
+				r.hasPending = true
+				// Park the unscanned remainder (possibly aliasing
+				// leftoverArr already; copy is overlap-safe).
+				rest := chunk[i+1:]
+				r.leftover = r.leftoverArr[:copy(r.leftoverArr[:], rest)]
+				return true
+			}
 		}
 	}
 }
 
 func decodePeerIndexTable(ts time.Time, b []byte) (*PeerIndexTable, error) {
-	if len(b) < 8 {
-		return nil, ErrTruncated
+	p := &PeerIndexTable{}
+	if err := decodePeerIndexTableInto(ts, b, p, false); err != nil {
+		return nil, err
 	}
-	p := &PeerIndexTable{When: ts, CollectorID: netx.Addr(binary.BigEndian.Uint32(b))}
+	return p, nil
+}
+
+// decodePeerIndexTableInto decodes into p. With reuse set, p's peer
+// slice capacity is recycled in place.
+func decodePeerIndexTableInto(ts time.Time, b []byte, p *PeerIndexTable, reuse bool) error {
+	if len(b) < 8 {
+		return ErrTruncated
+	}
+	peers := p.Peers[:0]
+	if !reuse {
+		peers = nil
+	}
+	*p = PeerIndexTable{When: ts, CollectorID: netx.Addr(binary.BigEndian.Uint32(b))}
 	nameLen := int(binary.BigEndian.Uint16(b[4:]))
 	if len(b) < 8+nameLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	p.ViewName = string(b[6 : 6+nameLen])
 	count := int(binary.BigEndian.Uint16(b[6+nameLen:]))
 	b = b[8+nameLen:]
 	for i := 0; i < count; i++ {
 		if len(b) < 1 {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		ptype := b[0]
 		if ptype&0x01 != 0 {
-			return nil, fmt.Errorf("mrt: IPv6 peers unsupported")
+			return fmt.Errorf("mrt: IPv6 peers unsupported")
 		}
 		asLen := 2
 		if ptype&0x02 != 0 {
@@ -504,7 +652,7 @@ func decodePeerIndexTable(ts time.Time, b []byte) (*PeerIndexTable, error) {
 		}
 		need := 1 + 4 + 4 + asLen
 		if len(b) < need {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		peer := Peer{
 			BGPID: netx.Addr(binary.BigEndian.Uint32(b[1:])),
@@ -515,27 +663,44 @@ func decodePeerIndexTable(ts time.Time, b []byte) (*PeerIndexTable, error) {
 		} else {
 			peer.AS = bgp.ASN(binary.BigEndian.Uint16(b[9:]))
 		}
-		p.Peers = append(p.Peers, peer)
+		peers = append(peers, peer)
 		b = b[need:]
 	}
 	if len(b) != 0 {
-		return nil, fmt.Errorf("mrt: %d trailing bytes in peer index table", len(b))
+		return fmt.Errorf("mrt: %d trailing bytes in peer index table", len(b))
 	}
-	return p, nil
+	p.Peers = peers
+	return nil
 }
 
 func decodeRIBPrefix(ts time.Time, b []byte) (*RIBPrefix, error) {
-	if len(b) < 5 {
-		return nil, ErrTruncated
+	r := &RIBPrefix{}
+	if err := decodeRIBPrefixInto(ts, b, r, false); err != nil {
+		return nil, err
 	}
-	r := &RIBPrefix{When: ts, Sequence: binary.BigEndian.Uint32(b)}
+	return r, nil
+}
+
+// decodeRIBPrefixInto decodes into r. With reuse set, r's entry slice
+// is recycled slot by slot: each incoming entry re-decodes into the
+// attribute storage (path segments, ASN slices, communities) parked in
+// its slot by the previous record.
+func decodeRIBPrefixInto(ts time.Time, b []byte, r *RIBPrefix, reuse bool) error {
+	if len(b) < 5 {
+		return ErrTruncated
+	}
+	entries := r.Entries[:0]
+	if !reuse {
+		entries = nil
+	}
+	*r = RIBPrefix{When: ts, Sequence: binary.BigEndian.Uint32(b)}
 	bits := int(b[4])
 	if bits > 32 {
-		return nil, fmt.Errorf("mrt: prefix length %d", bits)
+		return fmt.Errorf("mrt: prefix length %d", bits)
 	}
 	n := (bits + 7) / 8
 	if len(b) < 5+n+2 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	var a uint32
 	for i := 0; i < n; i++ {
@@ -546,37 +711,57 @@ func decodeRIBPrefix(ts time.Time, b []byte) (*RIBPrefix, error) {
 	b = b[7+n:]
 	for i := 0; i < count; i++ {
 		if len(b) < 8 {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
-		e := RIBEntry{
-			PeerIndex:      binary.BigEndian.Uint16(b),
-			OriginatedTime: time.Unix(int64(binary.BigEndian.Uint32(b[2:])), 0).UTC(),
+		var e RIBEntry
+		if k := len(entries); k < cap(entries) {
+			e = entries[:k+1][k] // recycle the slot's attribute storage
 		}
+		e.PeerIndex = binary.BigEndian.Uint16(b)
+		e.OriginatedTime = time.Unix(int64(binary.BigEndian.Uint32(b[2:])), 0).UTC()
 		attrLen := int(binary.BigEndian.Uint16(b[6:]))
 		if len(b) < 8+attrLen {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
-		if err := bgp.DecodeAttrs(b[8:8+attrLen], &e.Attrs); err != nil {
-			return nil, err
+		var err error
+		if reuse {
+			err = bgp.DecodeAttrsReuse(b[8:8+attrLen], &e.Attrs)
+		} else {
+			e.Attrs = bgp.Attrs{}
+			err = bgp.DecodeAttrs(b[8:8+attrLen], &e.Attrs)
 		}
-		r.Entries = append(r.Entries, e)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, e)
 		b = b[8+attrLen:]
 	}
 	if len(b) != 0 {
-		return nil, fmt.Errorf("mrt: %d trailing bytes in RIB record", len(b))
+		return fmt.Errorf("mrt: %d trailing bytes in RIB record", len(b))
 	}
-	return r, nil
+	r.Entries = entries
+	return nil
 }
 
 func decodeBGP4MP(ts time.Time, b []byte) (*BGP4MPMessage, error) {
+	m := &BGP4MPMessage{}
+	if err := decodeBGP4MPInto(ts, b, m, nil); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// decodeBGP4MPInto decodes into m. A non-nil upd enables reuse mode:
+// the UPDATE decodes into upd, recycling its slice storage.
+func decodeBGP4MPInto(ts time.Time, b []byte, m *BGP4MPMessage, upd *bgp.Update) error {
 	if len(b) < 20 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	afi := binary.BigEndian.Uint16(b[10:])
 	if afi != afiIPv4 {
-		return nil, fmt.Errorf("mrt: AFI %d unsupported", afi)
+		return fmt.Errorf("mrt: AFI %d unsupported", afi)
 	}
-	m := &BGP4MPMessage{
+	*m = BGP4MPMessage{
 		When:      ts,
 		PeerAS:    bgp.ASN(binary.BigEndian.Uint32(b)),
 		LocalAS:   bgp.ASN(binary.BigEndian.Uint32(b[4:])),
@@ -584,12 +769,19 @@ func decodeBGP4MP(ts time.Time, b []byte) (*BGP4MPMessage, error) {
 		PeerAddr:  netx.Addr(binary.BigEndian.Uint32(b[12:])),
 		LocalAddr: netx.Addr(binary.BigEndian.Uint32(b[16:])),
 	}
+	if upd != nil {
+		if err := bgp.DecodeUpdateInto(b[20:], upd); err != nil {
+			return err
+		}
+		m.Update = upd
+		return nil
+	}
 	u, err := bgp.DecodeUpdate(b[20:])
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.Update = u
-	return m, nil
+	return nil
 }
 
 // ReadAll drains r, returning every record decoded before the stream
@@ -599,16 +791,24 @@ func decodeBGP4MP(ts time.Time, b []byte) (*BGP4MPMessage, error) {
 // slice even when err != nil. Options are forwarded to the underlying
 // Reader; with Lenient() the error can only be a skip-budget overrun.
 func ReadAll(r io.Reader, opts ...Option) ([]Record, error) {
+	return AppendRecords(nil, r, opts...)
+}
+
+// AppendRecords drains r, appending every decoded record to dst and
+// returning the extended slice. Like ReadAll its contract is
+// partial-result: on error the returned slice still ends with every
+// record parsed so far. Because the records are retained, do not pass
+// the ReuseRecords option here.
+func AppendRecords(dst []Record, r io.Reader, opts ...Option) ([]Record, error) {
 	mr := NewReader(r, opts...)
-	var out []Record
 	for {
 		rec, err := mr.Next()
 		if err == io.EOF {
-			return out, nil
+			return dst, nil
 		}
 		if err != nil {
-			return out, err
+			return dst, err
 		}
-		out = append(out, rec)
+		dst = append(dst, rec)
 	}
 }

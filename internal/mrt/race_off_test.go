@@ -1,0 +1,8 @@
+//go:build !race
+
+package mrt
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-regression tests skip under it: instrumentation changes
+// sync.Pool behavior and allocation counts.
+const raceEnabled = false

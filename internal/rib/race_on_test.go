@@ -1,0 +1,5 @@
+//go:build race
+
+package rib
+
+const raceEnabled = true

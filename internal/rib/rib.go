@@ -9,6 +9,19 @@
 // BGP4MP update stream. Routes are tracked as day-resolution presence
 // intervals per (prefix, peer).
 //
+// # Representation
+//
+// The load path is allocation-disciplined: prefixes and AS paths are
+// hash-consed into dense integer handles (netx.Interner,
+// bgp.PathInterner), and every presence interval is one 20-byte entry in
+// a single flat span array — no per-prefix maps or per-peer slices. At
+// Close the spans are sorted into a columnar store grouped by (prefix,
+// peer), with per-prefix cumulative visibility-count events, so point
+// queries like Observed, VisibleFraction, and the RoutedSpace sweep are
+// O(log n) binary searches that allocate nothing. Queries before Close
+// fall back to linear scans over the raw span array; they return the
+// same answers, just slower, so Close is optional but recommended.
+//
 // # Concurrency
 //
 // Reassembly parallelizes per collector: LoadCollector builds one
@@ -16,13 +29,15 @@
 // LoadCollector calls may run concurrently. Merging CollectorRIBs into an
 // Index and calling Close must happen on a single goroutine; merging in a
 // fixed collector order yields an Index identical to serial loading in
-// that order. After Close the Index is immutable (Close also builds the
-// covering-query trie that was previously built lazily), so every query
-// method is safe for unlimited concurrent readers.
+// that order. After Close the Index is immutable (Close builds the
+// columnar store and the covering-query trie eagerly), so every query
+// method is safe for unlimited concurrent readers. Close is idempotent:
+// repeated calls do not re-sort or re-intern anything.
 package rib
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"dropscope/internal/bgp"
@@ -44,20 +59,25 @@ func (p PeerRef) String() string {
 	return fmt.Sprintf("%s/%s/%s", p.Collector, p.AS, p.Addr)
 }
 
-// span is a half-open day interval [From, To) during which a peer carried
-// a route. To == openEnd while the route is still installed.
-type span struct {
-	From, To timex.Day
-	Origin   bgp.ASN
-	Neighbor bgp.ASN // first AS in the path (the peer's own AS typically)
-	Path     bgp.ASPath
+// rawSpan is a half-open day interval [from, to) during which a peer
+// carried a route for a prefix. to == openEnd while the route is still
+// installed. Prefixes and paths are interner handles; origin, neighbor,
+// and transit ASes live in the path interner's per-path metadata, stored
+// once per distinct path instead of once per span.
+type rawSpan struct {
+	prefix uint32 // netx.Interner handle
+	peer   int32
+	from   timex.Day
+	to     timex.Day
+	path   bgp.PathID
 }
 
 const openEnd = timex.Day(1<<31 - 1)
 
-// prefixHist is the full observation history of one prefix.
-type prefixHist struct {
-	byPeer map[int][]span // peer id -> closed and open spans, in time order
+// openKey addresses the currently-open span of one (prefix, peer).
+type openKey struct {
+	prefix uint32
+	peer   int32
 }
 
 // Index is the reassembled multi-collector view. Build it either by
@@ -70,10 +90,22 @@ type Index struct {
 	peerIDs map[PeerRef]int
 	// peerTables maps collector name -> MRT peer index -> global peer id.
 	peerTables map[string][]int
-	prefixes   map[netx.Prefix]*prefixHist
-	trie       netx.Trie[*prefixHist] // for covering queries; built at Close
-	trieBuilt  bool
-	closed     bool
+
+	prefixes netx.Interner
+	paths    bgp.PathInterner
+	spans    []rawSpan
+	closed   bool
+
+	// Columnar store, built once at Close.
+	built   bool
+	rank    []uint32      // interner handle -> address-sorted id
+	sorted  []netx.Prefix // address-sorted distinct prefixes
+	col     []rawSpan     // spans grouped by (sorted prefix, peer), insertion order within
+	spanOff []uint32      // len(sorted)+1 offsets into col
+	evDay   []timex.Day   // per-prefix visibility events: day ...
+	evCount []int32       // ... and the peer count from that day on
+	evOff   []uint32      // len(sorted)+1 offsets into evDay/evCount
+	trie    netx.Trie[uint32]
 }
 
 // NewIndex returns an empty Index.
@@ -81,7 +113,6 @@ func NewIndex() *Index {
 	return &Index{
 		peerIDs:    make(map[PeerRef]int),
 		peerTables: make(map[string][]int),
-		prefixes:   make(map[netx.Prefix]*prefixHist),
 	}
 }
 
@@ -90,7 +121,7 @@ func NewIndex() *Index {
 func (ix *Index) Peers() []PeerRef { return ix.peers }
 
 // NumPrefixes returns the number of distinct prefixes ever observed.
-func (ix *Index) NumPrefixes() int { return len(ix.prefixes) }
+func (ix *Index) NumPrefixes() int { return ix.prefixes.Len() }
 
 func (ix *Index) peerID(ref PeerRef) int {
 	if id, ok := ix.peerIDs[ref]; ok {
@@ -102,34 +133,33 @@ func (ix *Index) peerID(ref PeerRef) int {
 	return id
 }
 
-func (ix *Index) hist(p netx.Prefix) *prefixHist {
-	h, ok := ix.prefixes[p]
-	if !ok {
-		h = &prefixHist{byPeer: make(map[int][]span)}
-		ix.prefixes[p] = h
-		ix.trieBuilt = false
-	}
-	return h
-}
-
 // CollectorRIB is one collector's independently reassembled state. It is
-// self-contained — peer ids are collector-local and nothing references the
-// destination Index — so LoadCollector calls for different collectors may
-// run on concurrent goroutines, with the results merged afterwards in a
-// deterministic order via (*Index).Merge.
+// self-contained — peer ids, prefix handles, and path handles are
+// collector-local and nothing references the destination Index — so
+// LoadCollector calls for different collectors may run on concurrent
+// goroutines, with the results merged afterwards in a deterministic
+// order via (*Index).Merge.
 type CollectorRIB struct {
 	collector string
 	peers     []PeerRef
 	peerIDs   map[PeerRef]int
 	table     []int // MRT peer index -> local peer id; nil until the index table
-	prefixes  map[netx.Prefix]*prefixHist
+	prefixes  netx.Interner
+	paths     bgp.PathInterner
+	spans     []rawSpan
+	open      map[openKey]int32 // (prefix, peer) -> index+1 of its open span
+	// copyPaths forces a deep copy when interning paths. Loading from a
+	// materialized []mrt.Record aliases the records' path storage (as the
+	// pre-interning representation did); a streaming source recycles
+	// record storage between records, so LoadCollectorFrom sets this.
+	copyPaths bool
 }
 
 // Collector returns the collector name the RIB was loaded from.
 func (c *CollectorRIB) Collector() string { return c.collector }
 
 // NumPrefixes returns the number of distinct prefixes the collector saw.
-func (c *CollectorRIB) NumPrefixes() int { return len(c.prefixes) }
+func (c *CollectorRIB) NumPrefixes() int { return c.prefixes.Len() }
 
 func (c *CollectorRIB) peerID(ref PeerRef) int {
 	if id, ok := c.peerIDs[ref]; ok {
@@ -141,13 +171,12 @@ func (c *CollectorRIB) peerID(ref PeerRef) int {
 	return id
 }
 
-func (c *CollectorRIB) hist(p netx.Prefix) *prefixHist {
-	h, ok := c.prefixes[p]
-	if !ok {
-		h = &prefixHist{byPeer: make(map[int][]span)}
-		c.prefixes[p] = h
+func newCollectorRIB(collector string) *CollectorRIB {
+	return &CollectorRIB{
+		collector: collector,
+		peerIDs:   make(map[PeerRef]int),
+		open:      make(map[openKey]int32),
 	}
-	return h
 }
 
 // LoadCollector consumes one collector's MRT record stream into a
@@ -170,68 +199,150 @@ func LoadCollectorHealth(collector string, recs []mrt.Record, src *ingest.Source
 }
 
 func loadCollector(collector string, recs []mrt.Record, src *ingest.Source) (*CollectorRIB, error) {
-	c := &CollectorRIB{
-		collector: collector,
-		peerIDs:   make(map[PeerRef]int),
-		prefixes:  make(map[netx.Prefix]*prefixHist),
-	}
+	c := newCollectorRIB(collector)
 	for _, rec := range recs {
-		switch r := rec.(type) {
-		case *mrt.PeerIndexTable:
-			table := make([]int, len(r.Peers))
-			for i, p := range r.Peers {
-				table[i] = c.peerID(PeerRef{Collector: collector, Addr: p.Addr, AS: p.AS})
-			}
-			c.table = table
-		case *mrt.RIBPrefix:
-			if c.table == nil {
-				if src != nil {
-					src.Skip(ingest.Corrupt)
-					continue
-				}
-				return nil, fmt.Errorf("rib: %s: RIB record before peer index table", collector)
-			}
-			day := timex.FromTime(r.When)
-			h := c.hist(r.Prefix)
-			bad := false
-			for _, e := range r.Entries {
-				if int(e.PeerIndex) >= len(c.table) {
-					if src != nil {
-						bad = true
-						continue
-					}
-					return nil, fmt.Errorf("rib: %s: peer index %d out of range", collector, e.PeerIndex)
-				}
-				openSpan(h, c.table[e.PeerIndex], day, e.Attrs.Path)
-			}
-			if bad {
-				src.Skip(ingest.Corrupt)
-			}
-		case *mrt.BGP4MPMessage:
-			day := timex.FromTime(r.When)
-			pid := c.peerID(PeerRef{Collector: collector, Addr: r.PeerAddr, AS: r.PeerAS})
-			for _, p := range r.Update.Withdrawn {
-				closeSpan(c.hist(p), pid, day)
-			}
-			for _, p := range r.Update.NLRI {
-				openSpan(c.hist(p), pid, day, r.Update.Attrs.Path)
-			}
-		default:
-			if src != nil {
-				src.Skip(ingest.Unsupported)
-				continue
-			}
-			return nil, fmt.Errorf("rib: unsupported record %T", rec)
+		if err := c.apply(rec, src); err != nil {
+			return nil, err
 		}
 	}
 	return c, nil
 }
 
+// RecordSource is a stream of decoded MRT records ending in io.EOF —
+// *mrt.Reader satisfies it directly.
+type RecordSource interface {
+	Next() (mrt.Record, error)
+}
+
+// LoadCollectorFrom streams one collector's records straight off a
+// RecordSource into a CollectorRIB without ever materializing a
+// []mrt.Record. Because apply interns every prefix and path it keeps,
+// the source may recycle record storage between Next calls — pair this
+// with an mrt.Reader in ReuseRecords mode for an allocation-free decode
+// loop. Errors from the source (other than io.EOF) abort the load.
+func LoadCollectorFrom(collector string, rs RecordSource) (*CollectorRIB, error) {
+	return loadCollectorFrom(collector, rs, nil)
+}
+
+// LoadCollectorFromHealth is the lenient variant of LoadCollectorFrom:
+// records that cannot be applied are skipped and classified on src.
+func LoadCollectorFromHealth(collector string, rs RecordSource, src *ingest.Source) (*CollectorRIB, error) {
+	return loadCollectorFrom(collector, rs, src)
+}
+
+func loadCollectorFrom(collector string, rs RecordSource, src *ingest.Source) (*CollectorRIB, error) {
+	c := newCollectorRIB(collector)
+	c.copyPaths = true
+	for {
+		rec, err := rs.Next()
+		if err == io.EOF {
+			return c, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := c.apply(rec, src); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// apply folds one record into the collector state. It retains nothing
+// from the record itself: prefixes and paths are interned (copied) and
+// peers are copied into PeerRefs.
+func (c *CollectorRIB) apply(rec mrt.Record, src *ingest.Source) error {
+	switch r := rec.(type) {
+	case *mrt.PeerIndexTable:
+		table := make([]int, len(r.Peers))
+		for i, p := range r.Peers {
+			table[i] = c.peerID(PeerRef{Collector: c.collector, Addr: p.Addr, AS: p.AS})
+		}
+		c.table = table
+	case *mrt.RIBPrefix:
+		if c.table == nil {
+			if src != nil {
+				src.Skip(ingest.Corrupt)
+				return nil
+			}
+			return fmt.Errorf("rib: %s: RIB record before peer index table", c.collector)
+		}
+		day := timex.FromTime(r.When)
+		pfx := c.prefixes.Intern(r.Prefix)
+		bad := false
+		for _, e := range r.Entries {
+			if int(e.PeerIndex) >= len(c.table) {
+				if src != nil {
+					bad = true
+					continue
+				}
+				return fmt.Errorf("rib: %s: peer index %d out of range", c.collector, e.PeerIndex)
+			}
+			c.openSpan(pfx, c.table[e.PeerIndex], day, e.Attrs.Path)
+		}
+		if bad {
+			src.Skip(ingest.Corrupt)
+		}
+	case *mrt.BGP4MPMessage:
+		day := timex.FromTime(r.When)
+		pid := c.peerID(PeerRef{Collector: c.collector, Addr: r.PeerAddr, AS: r.PeerAS})
+		for _, p := range r.Update.Withdrawn {
+			c.closeSpan(c.prefixes.Intern(p), pid, day)
+		}
+		for _, p := range r.Update.NLRI {
+			c.openSpan(c.prefixes.Intern(p), pid, day, r.Update.Attrs.Path)
+		}
+	default:
+		if src != nil {
+			src.Skip(ingest.Unsupported)
+			return nil
+		}
+		return fmt.Errorf("rib: unsupported record %T", rec)
+	}
+	return nil
+}
+
+// openSpan starts (or re-points) the peer's route for the prefix.
+func (c *CollectorRIB) openSpan(pfx uint32, pid int, day timex.Day, path bgp.ASPath) {
+	var id bgp.PathID
+	if c.copyPaths {
+		id = c.paths.Intern(path)
+	} else {
+		id = c.paths.InternShared(path)
+	}
+	k := openKey{prefix: pfx, peer: int32(pid)}
+	if si := c.open[k]; si != 0 {
+		s := &c.spans[si-1]
+		if s.path == id {
+			return // implicit re-announcement of the same route
+		}
+		// Implicit withdraw: route replaced by a different path same day.
+		s.to = day
+		if s.to < s.from {
+			s.to = s.from
+		}
+	}
+	c.spans = append(c.spans, rawSpan{prefix: pfx, peer: int32(pid), from: day, to: openEnd, path: id})
+	c.open[k] = int32(len(c.spans))
+}
+
+// closeSpan ends the peer's open route for the prefix, if any.
+func (c *CollectorRIB) closeSpan(pfx uint32, pid int, day timex.Day) {
+	k := openKey{prefix: pfx, peer: int32(pid)}
+	if si := c.open[k]; si != 0 {
+		s := &c.spans[si-1]
+		s.to = day
+		if s.to < s.from {
+			s.to = s.from
+		}
+		delete(c.open, k)
+	}
+}
+
 // Merge folds one collector's state into the index, remapping the
-// collector-local peer ids onto the global peer space. Span slices are
-// handed off, not copied, so the CollectorRIB must not be used afterwards.
-// Merge is not itself safe for concurrent use — call it from one goroutine,
-// in sorted collector order for results identical to serial Load calls.
+// collector-local peer ids, prefix handles, and path handles onto the
+// global spaces. Merge is not itself safe for concurrent use — call it
+// from one goroutine, in sorted collector order for results identical
+// to serial Load calls.
 func (ix *Index) Merge(c *CollectorRIB) error {
 	if ix.closed {
 		return fmt.Errorf("rib: index already closed")
@@ -250,16 +361,29 @@ func (ix *Index) Merge(c *CollectorRIB) error {
 		}
 		ix.peerTables[c.collector] = table
 	}
-	for p, ch := range c.prefixes {
-		h := ix.hist(p)
-		for lid, spans := range ch.byPeer {
-			gid := remap[lid]
-			if existing, ok := h.byPeer[gid]; ok {
-				h.byPeer[gid] = append(existing, spans...)
-			} else {
-				h.byPeer[gid] = spans
-			}
-		}
+	pathRemap := make([]bgp.PathID, c.paths.Len())
+	for i := range pathRemap {
+		// The collector interner's canonical copies are immutable, so the
+		// global interner shares them rather than cloning again.
+		pathRemap[i] = ix.paths.InternShared(c.paths.Path(bgp.PathID(i)))
+	}
+	prefixRemap := make([]uint32, c.prefixes.Len())
+	for i := range prefixRemap {
+		prefixRemap[i] = ix.prefixes.Intern(c.prefixes.At(uint32(i)))
+	}
+	if cap(ix.spans)-len(ix.spans) < len(c.spans) {
+		grown := make([]rawSpan, len(ix.spans), len(ix.spans)+len(c.spans))
+		copy(grown, ix.spans)
+		ix.spans = grown
+	}
+	for _, s := range c.spans {
+		ix.spans = append(ix.spans, rawSpan{
+			prefix: prefixRemap[s.prefix],
+			peer:   int32(remap[s.peer]),
+			from:   s.from,
+			to:     s.to,
+			path:   pathRemap[s.path],
+		})
 	}
 	return nil
 }
@@ -280,81 +404,270 @@ func (ix *Index) Load(collector string, recs []mrt.Record) error {
 	return ix.Merge(c)
 }
 
-// openSpan starts (or re-points) the peer's route for the prefix.
-func openSpan(h *prefixHist, pid int, day timex.Day, path bgp.ASPath) {
-	spans := h.byPeer[pid]
-	origin, _ := path.Origin()
-	neighbor, _ := path.First()
-	if n := len(spans); n > 0 && spans[n-1].To == openEnd {
-		last := &spans[n-1]
-		if last.Path.Equal(path) {
-			return // implicit re-announcement of the same route
-		}
-		// Implicit withdraw: route replaced by a different path same day.
-		last.To = day
-		if last.To < last.From {
-			last.To = last.From
-		}
-	}
-	h.byPeer[pid] = append(spans, span{From: day, To: openEnd, Origin: origin, Neighbor: neighbor, Path: path})
-}
-
-// closeSpan ends the peer's open route for the prefix, if any.
-func closeSpan(h *prefixHist, pid int, day timex.Day) {
-	spans := h.byPeer[pid]
-	if n := len(spans); n > 0 && spans[n-1].To == openEnd {
-		spans[n-1].To = day
-		if spans[n-1].To < spans[n-1].From {
-			spans[n-1].To = spans[n-1].From
-		}
-	}
-}
-
 // Close finalizes the index. Routes still installed are treated as
 // remaining installed through end. Queries before Close see open routes
-// as present at any later day, so Close is optional but recommended.
-// Close also builds the covering-query trie eagerly, leaving the index
-// fully immutable: after Close every query method is safe for concurrent
-// readers.
+// as present at any later day, so Close is optional but recommended:
+// it builds the columnar span store, the per-prefix visibility events,
+// and the covering-query trie, leaving the index fully immutable —
+// after Close every query method is safe for concurrent readers and
+// the point queries are allocation-free. Close is idempotent; calls
+// after the first return immediately without re-sorting or
+// re-interning anything.
 func (ix *Index) Close(end timex.Day) {
-	for _, h := range ix.prefixes {
-		for pid, spans := range h.byPeer {
-			for i := range spans {
-				if spans[i].To == openEnd {
-					spans[i].To = end + 1
-				}
-			}
-			h.byPeer[pid] = spans
+	if ix.closed {
+		return
+	}
+	for i := range ix.spans {
+		if ix.spans[i].to == openEnd {
+			ix.spans[i].to = end + 1
 		}
 	}
-	ix.buildTrie()
+	ix.build()
 	ix.closed = true
 }
 
-// observedBy reports whether peer pid carried a route for h on day d,
-// and returns the active span.
-func (h *prefixHist) observedBy(pid int, d timex.Day) (span, bool) {
-	for _, s := range h.byPeer[pid] {
-		if d >= s.From && d < s.To {
-			return s, true
+// build constructs the columnar store: spans counting-sorted into
+// address-ordered per-prefix buckets (stable, so insertion order within
+// a (prefix, peer) group survives), per-prefix cumulative visibility
+// events, and the covering trie.
+func (ix *Index) build() {
+	n := ix.prefixes.Len()
+	order := make([]uint32, n)
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return ix.prefixes.At(order[i]).Compare(ix.prefixes.At(order[j])) < 0
+	})
+	ix.sorted = make([]netx.Prefix, n)
+	ix.rank = make([]uint32, n)
+	for sid, lid := range order {
+		ix.sorted[sid] = ix.prefixes.At(lid)
+		ix.rank[lid] = uint32(sid)
+	}
+
+	// Two-pass LSD radix: a stable counting sort by peer, then by
+	// sorted-prefix id, leaves spans grouped by prefix with each group
+	// sub-grouped by peer and insertion (time) order intact within —
+	// linear time, no per-prefix comparison sorts.
+	npeer := len(ix.peers)
+	byPeer := make([]rawSpan, len(ix.spans))
+	pcnt := make([]uint32, npeer+1)
+	for _, s := range ix.spans {
+		pcnt[s.peer+1]++
+	}
+	for i := 1; i <= npeer; i++ {
+		pcnt[i] += pcnt[i-1]
+	}
+	for _, s := range ix.spans {
+		byPeer[pcnt[s.peer]] = s
+		pcnt[s.peer]++
+	}
+
+	offs := make([]uint32, n+1)
+	for _, s := range byPeer {
+		offs[ix.rank[s.prefix]+1]++
+	}
+	for i := 1; i <= n; i++ {
+		offs[i] += offs[i-1]
+	}
+	pos := make([]uint32, n)
+	copy(pos, offs[:n])
+	col := make([]rawSpan, len(byPeer))
+	for _, s := range byPeer {
+		sid := ix.rank[s.prefix]
+		col[pos[sid]] = s
+		pos[sid]++
+	}
+	ix.col = col
+	ix.spanOff = offs
+
+	ix.buildEvents()
+
+	ix.trie = netx.Trie[uint32]{}
+	for sid, p := range ix.sorted {
+		ix.trie.Insert(p, uint32(sid))
+	}
+	ix.built = true
+}
+
+// buildEvents derives, per prefix, a sorted event list (day, peer count
+// from that day on). A peer's spans may overlap — the same collector
+// merged twice, or duplicated dump records — so each peer's intervals
+// are unioned first, keeping every peer's contribution to the count in
+// {0, 1} exactly as the per-peer observedBy scan behaved.
+func (ix *Index) buildEvents() {
+	n := len(ix.sorted)
+	ix.evOff = make([]uint32, n+1)
+	ix.evDay = ix.evDay[:0]
+	ix.evCount = ix.evCount[:0]
+
+	// One reused sorter (and scratch slices) across all prefixes: the
+	// closure-based sort helpers allocate per call, which at one call per
+	// prefix dominated the whole build.
+	es := &evSorter{}
+	var sorter sort.Interface = es
+	var ivs []dayIV
+	var evs []visEvent
+	for sid := 0; sid < n; sid++ {
+		spans := ix.col[ix.spanOff[sid]:ix.spanOff[sid+1]]
+		evs = evs[:0]
+		for i := 0; i < len(spans); {
+			j := i
+			for j < len(spans) && spans[j].peer == spans[i].peer {
+				j++
+			}
+			ivs = ivs[:0]
+			for _, s := range spans[i:j] {
+				if s.from < s.to {
+					ivs = append(ivs, dayIV{s.from, s.to})
+				}
+			}
+			i = j
+			if len(ivs) == 0 {
+				continue
+			}
+			sortIVs(ivs)
+			cur := ivs[0]
+			for _, v := range ivs[1:] {
+				if v.from <= cur.to {
+					if v.to > cur.to {
+						cur.to = v.to
+					}
+					continue
+				}
+				evs = append(evs, visEvent{cur.from, 1}, visEvent{cur.to, -1})
+				cur = v
+			}
+			evs = append(evs, visEvent{cur.from, 1}, visEvent{cur.to, -1})
+		}
+		es.evs = evs
+		sort.Sort(sorter)
+		var count int32
+		for k := 0; k < len(evs); {
+			day := evs[k].day
+			for k < len(evs) && evs[k].day == day {
+				count += evs[k].delta
+				k++
+			}
+			ix.evDay = append(ix.evDay, day)
+			ix.evCount = append(ix.evCount, count)
+		}
+		ix.evOff[sid+1] = uint32(len(ix.evDay))
+	}
+}
+
+type dayIV struct{ from, to timex.Day }
+
+// sortIVs is an insertion sort by (from, to): per-peer interval lists
+// are almost always a handful of entries, and a typed sort keeps the
+// inner build loop allocation-free.
+func sortIVs(ivs []dayIV) {
+	for i := 1; i < len(ivs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ivs[j-1], ivs[j]
+			if b.from > a.from || (b.from == a.from && b.to >= a.to) {
+				break
+			}
+			ivs[j-1], ivs[j] = b, a
 		}
 	}
-	return span{}, false
+}
+
+type visEvent struct {
+	day   timex.Day
+	delta int32
+}
+
+type evSorter struct{ evs []visEvent }
+
+func (s *evSorter) Len() int           { return len(s.evs) }
+func (s *evSorter) Less(i, j int) bool { return s.evs[i].day < s.evs[j].day }
+func (s *evSorter) Swap(i, j int)      { s.evs[i], s.evs[j] = s.evs[j], s.evs[i] }
+
+// eventCount returns how many peers observed the sid-th sorted prefix
+// on day d: a binary search over the prefix's cumulative events.
+func (ix *Index) eventCount(sid uint32, d timex.Day) int32 {
+	lo, hi := int(ix.evOff[sid]), int(ix.evOff[sid+1])
+	i, j := lo, hi
+	for i < j {
+		m := int(uint(i+j) >> 1)
+		if ix.evDay[m] <= d {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	if i == lo {
+		return 0
+	}
+	return ix.evCount[i-1]
+}
+
+// spansOf returns p's spans grouped by peer (ascending), insertion
+// order within each group — the columnar bucket after Close, a filtered
+// copy of the raw span array before.
+func (ix *Index) spansOf(p netx.Prefix) []rawSpan {
+	lid, ok := ix.prefixes.Lookup(p)
+	if !ok {
+		return nil
+	}
+	if ix.built {
+		sid := ix.rank[lid]
+		return ix.col[ix.spanOff[sid]:ix.spanOff[sid+1]]
+	}
+	var out []rawSpan
+	for _, s := range ix.spans {
+		if s.prefix == lid {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].peer < out[j].peer })
+	return out
+}
+
+// firstCovering walks peer groups in ascending-peer order and reports
+// each peer's first span covering day d (the same "first matching span
+// wins" rule the per-peer scan used). fn returning false stops the walk.
+func firstCovering(spans []rawSpan, d timex.Day, fn func(s rawSpan) bool) {
+	for i := 0; i < len(spans); {
+		j := i
+		found := -1
+		for j < len(spans) && spans[j].peer == spans[i].peer {
+			if found < 0 && d >= spans[j].from && d < spans[j].to {
+				found = j
+			}
+			j++
+		}
+		if found >= 0 && !fn(spans[found]) {
+			return
+		}
+		i = j
+	}
+}
+
+// visCount returns how many peers observed p on day d.
+func (ix *Index) visCount(p netx.Prefix, d timex.Day) int {
+	lid, ok := ix.prefixes.Lookup(p)
+	if !ok {
+		return 0
+	}
+	if ix.built {
+		return int(ix.eventCount(ix.rank[lid], d))
+	}
+	n := 0
+	firstCovering(ix.spansOf(p), d, func(rawSpan) bool { n++; return true })
+	return n
 }
 
 // PeersObserving returns the peers that carried an exact route for p on
 // day d.
 func (ix *Index) PeersObserving(p netx.Prefix, d timex.Day) []PeerRef {
-	h, ok := ix.prefixes[p]
-	if !ok {
-		return nil
-	}
 	var out []PeerRef
-	for pid := range ix.peers {
-		if _, ok := h.observedBy(pid, d); ok {
-			out = append(out, ix.peers[pid])
-		}
-	}
+	firstCovering(ix.spansOf(p), d, func(s rawSpan) bool {
+		out = append(out, ix.peers[s.peer])
+		return true
+	})
 	return out
 }
 
@@ -365,61 +678,48 @@ func (ix *Index) VisibleFraction(p netx.Prefix, d timex.Day) float64 {
 	if len(ix.peers) == 0 {
 		return 0
 	}
-	h, ok := ix.prefixes[p]
-	if !ok {
-		return 0
-	}
-	n := 0
-	for pid := range ix.peers {
-		if _, ok := h.observedBy(pid, d); ok {
-			n++
-		}
-	}
-	return float64(n) / float64(len(ix.peers))
+	return float64(ix.visCount(p, d)) / float64(len(ix.peers))
 }
 
 // Observed reports whether any peer carried an exact route for p on day d.
 func (ix *Index) Observed(p netx.Prefix, d timex.Day) bool {
-	h, ok := ix.prefixes[p]
+	return ix.visCount(p, d) > 0
+}
+
+// PeerObserved reports whether the specific peer carried an exact route
+// for p on day d.
+func (ix *Index) PeerObserved(ref PeerRef, p netx.Prefix, d timex.Day) bool {
+	pid, ok := ix.peerIDs[ref]
 	if !ok {
 		return false
 	}
-	for pid := range ix.peers {
-		if _, ok := h.observedBy(pid, d); ok {
+	spans := ix.spansOf(p)
+	if ix.built {
+		// Bucket is sorted by peer: jump to the peer's group.
+		k := sort.Search(len(spans), func(i int) bool { return spans[i].peer >= int32(pid) })
+		for ; k < len(spans) && spans[k].peer == int32(pid); k++ {
+			if d >= spans[k].from && d < spans[k].to {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range spans {
+		if s.peer == int32(pid) && d >= s.from && d < s.to {
 			return true
 		}
 	}
 	return false
 }
 
-// PeerObserved reports whether the specific peer carried an exact route
-// for p on day d.
-func (ix *Index) PeerObserved(ref PeerRef, p netx.Prefix, d timex.Day) bool {
-	h, ok := ix.prefixes[p]
-	if !ok {
-		return false
-	}
-	pid, ok := ix.peerIDs[ref]
-	if !ok {
-		return false
-	}
-	_, seen := h.observedBy(pid, d)
-	return seen
-}
-
 // OriginAt returns the plurality origin AS across peers observing p on
 // day d.
 func (ix *Index) OriginAt(p netx.Prefix, d timex.Day) (bgp.ASN, bool) {
-	h, ok := ix.prefixes[p]
-	if !ok {
-		return 0, false
-	}
 	counts := make(map[bgp.ASN]int)
-	for pid := range ix.peers {
-		if s, ok := h.observedBy(pid, d); ok {
-			counts[s.Origin]++
-		}
-	}
+	firstCovering(ix.spansOf(p), d, func(s rawSpan) bool {
+		counts[ix.paths.Meta(s.path).Origin]++
+		return true
+	})
 	var best bgp.ASN
 	bestN := 0
 	for asn, n := range counts {
@@ -431,18 +731,16 @@ func (ix *Index) OriginAt(p netx.Prefix, d timex.Day) (bgp.ASN, bool) {
 }
 
 // PathAt returns one observing peer's AS path for p on day d (the
-// lowest-numbered observing peer, for determinism).
+// lowest-numbered observing peer, for determinism). Callers must not
+// mutate the returned path: it is the interner's canonical copy.
 func (ix *Index) PathAt(p netx.Prefix, d timex.Day) (bgp.ASPath, bool) {
-	h, ok := ix.prefixes[p]
-	if !ok {
-		return nil, false
-	}
-	for pid := range ix.peers {
-		if s, ok := h.observedBy(pid, d); ok {
-			return s.Path, true
-		}
-	}
-	return nil, false
+	var path bgp.ASPath
+	found := false
+	firstCovering(ix.spansOf(p), d, func(s rawSpan) bool {
+		path, found = ix.paths.Path(s.path), true
+		return false
+	})
+	return path, found
 }
 
 // OriginSpan is one interval of an origination timeline.
@@ -456,23 +754,17 @@ type OriginSpan struct {
 // origination history ordered by start day. Overlapping spans with the
 // same (origin, transit) merge; distinct origins yield separate entries.
 func (ix *Index) OriginTimeline(p netx.Prefix) []OriginSpan {
-	h, ok := ix.prefixes[p]
-	if !ok {
+	spans := ix.spansOf(p)
+	if len(spans) == 0 {
 		return nil
 	}
-	pids := make([]int, 0, len(h.byPeer))
-	for pid := range h.byPeer {
-		pids = append(pids, pid)
-	}
-	sort.Ints(pids)
-	var all []OriginSpan
-	for _, pid := range pids {
-		for _, s := range h.byPeer[pid] {
-			all = append(all, OriginSpan{From: s.From, To: s.To, Origin: s.Origin, Transit: transitOf(s.Path)})
-		}
+	all := make([]OriginSpan, 0, len(spans))
+	for _, s := range spans {
+		m := ix.paths.Meta(s.path)
+		all = append(all, OriginSpan{From: s.from, To: s.to, Origin: m.Origin, Transit: m.Transit})
 	}
 	// Full-key comparison: ties must order identically however the spans
-	// arrived, or merged timelines would depend on map iteration order.
+	// arrived, or merged timelines would depend on arrival order.
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].From != all[j].From {
 			return all[i].From < all[j].From
@@ -501,86 +793,61 @@ func (ix *Index) OriginTimeline(p netx.Prefix) []OriginSpan {
 	return merged
 }
 
-func transitOf(p bgp.ASPath) bgp.ASN {
-	if len(p) == 0 {
-		return 0
-	}
-	last := p[len(p)-1]
-	if last.Type != bgp.SegmentSequence || len(last.ASNs) < 2 {
-		return 0
-	}
-	return last.ASNs[len(last.ASNs)-2]
-}
-
 // FirstObserved returns the first day any peer observed p, if ever.
 func (ix *Index) FirstObserved(p netx.Prefix) (timex.Day, bool) {
-	h, ok := ix.prefixes[p]
-	if !ok {
-		return 0, false
-	}
 	var first timex.Day
 	found := false
-	for _, spans := range h.byPeer {
-		for _, s := range spans {
-			if !found || s.From < first {
-				first, found = s.From, true
-			}
+	for _, s := range ix.spansOf(p) {
+		if !found || s.from < first {
+			first, found = s.from, true
 		}
 	}
 	return first, found
-}
-
-// buildTrie indexes prefix histories for covering/overlap queries. Close
-// calls it eagerly so the post-Close index has no lazily initialized
-// state; before Close it still runs on demand (single-goroutine only).
-func (ix *Index) buildTrie() {
-	if ix.trieBuilt {
-		return
-	}
-	ix.trie = netx.Trie[*prefixHist]{}
-	for p, h := range ix.prefixes {
-		ix.trie.Insert(p, h)
-	}
-	ix.trieBuilt = true
 }
 
 // AnyOverlapObserved reports whether any announced prefix overlapping p
 // (covering it or covered by it) was observed by any peer on day d. This
 // is the "is this address space routed" test used for ROA routing status.
 func (ix *Index) AnyOverlapObserved(p netx.Prefix, d timex.Day) bool {
-	ix.buildTrie()
-	found := false
-	check := func(_ netx.Prefix, h *prefixHist) bool {
-		for pid := range ix.peers {
-			if _, ok := h.observedBy(pid, d); ok {
+	if ix.built {
+		found := false
+		check := func(_ netx.Prefix, sid uint32) bool {
+			if ix.eventCount(sid, d) > 0 {
 				found = true
 				return false
 			}
+			return true
 		}
-		return true
+		ix.trie.Covering(p, check)
+		if !found {
+			ix.trie.CoveredBy(p, check)
+		}
+		return found
 	}
-	ix.trie.Covering(p, check)
-	if !found {
-		ix.trie.CoveredBy(p, check)
+	for i := 0; i < ix.prefixes.Len(); i++ {
+		q := ix.prefixes.At(uint32(i))
+		if (q.Covers(p) || p.Covers(q)) && ix.visCount(q, d) > 0 {
+			return true
+		}
 	}
-	return found
+	return false
 }
 
 // RoutedSpace returns the union of prefixes observed by at least
 // minPeers peers on day d.
 func (ix *Index) RoutedSpace(d timex.Day, minPeers int) *netx.Set {
 	var set netx.Set
-	for p, h := range ix.prefixes {
-		n := 0
-		for pid := range ix.peers {
-			if _, ok := h.observedBy(pid, d); ok {
-				n++
-				if n >= minPeers {
-					break
-				}
+	if ix.built {
+		for sid, p := range ix.sorted {
+			if int(ix.eventCount(uint32(sid), d)) >= minPeers {
+				set.Add(p)
 			}
 		}
-		if n >= minPeers {
+		return &set
+	}
+	for i := 0; i < ix.prefixes.Len(); i++ {
+		p := ix.prefixes.At(uint32(i))
+		if ix.visCount(p, d) >= minPeers {
 			set.Add(p)
 		}
 	}
@@ -599,15 +866,14 @@ type MOAS struct {
 // observed across peers on day d, in address order.
 func (ix *Index) MOASConflicts(d timex.Day) []MOAS {
 	var out []MOAS
-	for p, h := range ix.prefixes {
+	collect := func(p netx.Prefix) {
 		origins := make(map[bgp.ASN]bool)
-		for pid := range ix.peers {
-			if s, ok := h.observedBy(pid, d); ok {
-				origins[s.Origin] = true
-			}
-		}
+		firstCovering(ix.spansOf(p), d, func(s rawSpan) bool {
+			origins[ix.paths.Meta(s.path).Origin] = true
+			return true
+		})
 		if len(origins) < 2 {
-			continue
+			return
 		}
 		m := MOAS{Prefix: p}
 		for o := range origins {
@@ -615,6 +881,20 @@ func (ix *Index) MOASConflicts(d timex.Day) []MOAS {
 		}
 		sort.Slice(m.Origins, func(i, j int) bool { return m.Origins[i] < m.Origins[j] })
 		out = append(out, m)
+	}
+	if ix.built {
+		for sid, p := range ix.sorted {
+			// A single peer contributes one origin, so fewer than two
+			// observing peers cannot conflict: skip without scanning.
+			if ix.eventCount(uint32(sid), d) < 2 {
+				continue
+			}
+			collect(p)
+		}
+	} else {
+		for i := 0; i < ix.prefixes.Len(); i++ {
+			collect(ix.prefixes.At(uint32(i)))
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
 	return out
@@ -631,7 +911,8 @@ type OriginActivity struct {
 // ByOrigin aggregates origination activity per origin AS.
 func (ix *Index) ByOrigin() map[bgp.ASN]*OriginActivity {
 	out := make(map[bgp.ASN]*OriginActivity)
-	for p := range ix.prefixes {
+	for i := 0; i < ix.prefixes.Len(); i++ {
+		p := ix.prefixes.At(uint32(i))
 		for _, span := range ix.OriginTimeline(p) {
 			act := out[span.Origin]
 			if act == nil {
@@ -664,9 +945,12 @@ func dedupPrefixes(ps []netx.Prefix) []netx.Prefix {
 
 // Prefixes returns every prefix ever observed, in address order.
 func (ix *Index) Prefixes() []netx.Prefix {
-	out := make([]netx.Prefix, 0, len(ix.prefixes))
-	for p := range ix.prefixes {
-		out = append(out, p)
+	if ix.built {
+		return append([]netx.Prefix(nil), ix.sorted...)
+	}
+	out := make([]netx.Prefix, 0, ix.prefixes.Len())
+	for i := 0; i < ix.prefixes.Len(); i++ {
+		out = append(out, ix.prefixes.At(uint32(i)))
 	}
 	netx.SortPrefixes(out)
 	return out

@@ -56,6 +56,58 @@ type Emitter struct {
 	Filter     FilterFunc // nil means no filtering
 
 	pathCache map[bgp.ASN]map[bgp.ASN][]bgp.ASN
+
+	// Best-path selection re-evaluates the same few (peer, tail) routes
+	// for every event, collector, and peer, so the candidate paths are
+	// hash-consed: peerMemo maps (tail, peer AS) to an interned path id
+	// (id+1; 0 = peer cannot reach the injector), and pathLens caches
+	// each interned path's AS-hop length for the selection comparisons.
+	paths    bgp.PathInterner
+	pathLens []int
+	peerMemo map[peerPathKey]int32
+}
+
+type peerPathKey struct {
+	tail string
+	peer bgp.ASN
+}
+
+// peerPathID is peerPath memoized through the interner: tailK must be
+// tailKey(tail). It returns the interned id of the path peer as would
+// report, or false if the peer cannot reach the injector.
+func (e *Emitter) peerPathID(peerAS bgp.ASN, tailK string, tail []bgp.ASN) (bgp.PathID, bool) {
+	k := peerPathKey{tail: tailK, peer: peerAS}
+	if v, ok := e.peerMemo[k]; ok {
+		if v == 0 {
+			return 0, false
+		}
+		return bgp.PathID(v - 1), true
+	}
+	if e.peerMemo == nil {
+		e.peerMemo = make(map[peerPathKey]int32)
+	}
+	path := e.peerPath(peerAS, tail)
+	if path == nil {
+		e.peerMemo[k] = 0
+		return 0, false
+	}
+	// peerPath builds the path fresh and nothing mutates it after, so
+	// the interner can adopt it without a defensive clone.
+	id := e.paths.InternShared(path)
+	if int(id) == len(e.pathLens) {
+		e.pathLens = append(e.pathLens, path.Len())
+	}
+	e.peerMemo[k] = int32(id) + 1
+	return id, true
+}
+
+// betterID is better() over interned ids, using the cached lengths and
+// memoized string renderings.
+func (e *Emitter) betterID(a, b bgp.PathID) bool {
+	if la, lb := e.pathLens[a], e.pathLens[b]; la != lb {
+		return la < lb
+	}
+	return e.paths.String(a) < e.paths.String(b)
 }
 
 func (e *Emitter) pathsFrom(injector bgp.ASN) map[bgp.ASN][]bgp.ASN {
@@ -150,24 +202,26 @@ func (e *Emitter) Emit(events []Event, start timex.Day) (map[string][]mrt.Record
 		}
 	}
 
-	// bestFor selects the peer's route among live candidates.
-	bestFor := func(c *Collector, p Peer, prefix netx.Prefix, day timex.Day) (bgp.ASPath, timex.Day, bool) {
+	// bestFor selects the peer's route among live candidates, as an
+	// interned path id. The candidate map key is exactly the tail key the
+	// memo needs, so selection allocates nothing once the memo is warm.
+	bestFor := func(c *Collector, p Peer, prefix netx.Prefix, day timex.Day) (bgp.PathID, timex.Day, bool) {
 		if e.filtered(c, p, prefix, day) {
-			return nil, 0, false
+			return 0, 0, false
 		}
-		var bestPath bgp.ASPath
+		var bestID bgp.PathID
 		var bestDay timex.Day
 		found := false
-		for _, cand := range live[prefix] {
-			path := e.peerPath(p.AS, cand.tail)
-			if path == nil {
+		for k, cand := range live[prefix] {
+			id, ok := e.peerPathID(p.AS, k, cand.tail)
+			if !ok {
 				continue
 			}
-			if !found || better(path, bestPath) {
-				bestPath, bestDay, found = path, cand.day, true
+			if !found || e.betterID(id, bestID) {
+				bestID, bestDay, found = id, cand.day, true
 			}
 		}
-		return bestPath, bestDay, found
+		return bestID, bestDay, found
 	}
 
 	// Split events at the window start.
@@ -188,7 +242,7 @@ func (e *Emitter) Emit(events []Event, start timex.Day) (map[string][]mrt.Record
 		peerIdx   int
 		prefix    netx.Prefix
 	}
-	exported := make(map[exportKey]string) // path string; "" = none
+	exported := make(map[exportKey]int32) // interned path id+1; 0 = none
 
 	out := make(map[string][]mrt.Record, len(e.Collectors))
 	recs := make(map[string][]mrt.Record, len(e.Collectors))
@@ -215,16 +269,16 @@ func (e *Emitter) Emit(events []Event, start timex.Day) (map[string][]mrt.Record
 		for _, prefix := range prefixes {
 			rib := &mrt.RIBPrefix{When: start.Time(), Sequence: seq, Prefix: prefix}
 			for pi, p := range c.Peers {
-				path, day, ok := bestFor(c, p, prefix, start)
+				id, day, ok := bestFor(c, p, prefix, start)
 				if !ok {
 					continue
 				}
 				rib.Entries = append(rib.Entries, mrt.RIBEntry{
 					PeerIndex:      uint16(pi),
 					OriginatedTime: day.Time(),
-					Attrs:          bgp.Attrs{Origin: bgp.OriginIGP, Path: path},
+					Attrs:          bgp.Attrs{Origin: bgp.OriginIGP, Path: e.paths.Path(id)},
 				})
-				exported[exportKey{c.Name, pi, prefix}] = path.String()
+				exported[exportKey{c.Name, pi, prefix}] = int32(id) + 1
 			}
 			if len(rib.Entries) > 0 {
 				recs[c.Name] = append(recs[c.Name], rib)
@@ -242,10 +296,10 @@ func (e *Emitter) Emit(events []Event, start timex.Day) (map[string][]mrt.Record
 			for pi, p := range c.Peers {
 				key := exportKey{c.Name, pi, ev.Prefix}
 				prev := exported[key]
-				path, _, ok := bestFor(c, p, ev.Prefix, ev.Day)
-				cur := ""
+				id, _, ok := bestFor(c, p, ev.Prefix, ev.Day)
+				cur := int32(0)
 				if ok {
-					cur = path.String()
+					cur = int32(id) + 1
 				}
 				if cur == prev {
 					continue
@@ -255,7 +309,7 @@ func (e *Emitter) Emit(events []Event, start timex.Day) (map[string][]mrt.Record
 					u.Withdrawn = []netx.Prefix{ev.Prefix}
 					delete(exported, key)
 				} else {
-					u.Attrs = bgp.Attrs{Origin: bgp.OriginIGP, Path: path, NextHop: p.Addr, HasNextHop: true}
+					u.Attrs = bgp.Attrs{Origin: bgp.OriginIGP, Path: e.paths.Path(id), NextHop: p.Addr, HasNextHop: true}
 					u.NLRI = []netx.Prefix{ev.Prefix}
 					exported[key] = cur
 				}

@@ -130,6 +130,34 @@ func (b best) better(kind routeKind, path []bgp.ASN) bool {
 	return false
 }
 
+// betterCand is better() for the candidate path head∘tail, compared
+// in place so the fixpoint loops only materialize a path when a route
+// is actually adopted — almost all candidates lose.
+func (b best) betterCand(kind routeKind, head bgp.ASN, tail []bgp.ASN) bool {
+	if kind != b.kind {
+		return kind > b.kind
+	}
+	if len(tail)+1 != len(b.path) {
+		return len(tail)+1 < len(b.path)
+	}
+	if head != b.path[0] {
+		return head < b.path[0]
+	}
+	for i, v := range tail {
+		if v != b.path[i+1] {
+			return v < b.path[i+1]
+		}
+	}
+	return false
+}
+
+func prepend(head bgp.ASN, tail []bgp.ASN) []bgp.ASN {
+	out := make([]bgp.ASN, len(tail)+1)
+	out[0] = head
+	copy(out[1:], tail)
+	return out
+}
+
 // PathsFrom computes every AS's valley-free best path toward injector.
 // The returned map gives, for each AS that can reach the injector, the
 // AS-level path starting at that AS and ending at injector. The injector
@@ -157,9 +185,8 @@ func (g *Graph) PathsFrom(injector bgp.ASN) map[bgp.ASN][]bgp.ASN {
 				continue // only customer-learned/self routes climb
 			}
 			for _, prov := range g.providers[asn] {
-				cand := append([]bgp.ASN{prov}, st.path...)
-				if cur, ok := state[prov]; !ok || cur.better(fromCustomer, cand) {
-					state[prov] = best{kind: fromCustomer, path: cand}
+				if cur, ok := state[prov]; !ok || cur.betterCand(fromCustomer, prov, st.path) {
+					state[prov] = best{kind: fromCustomer, path: prepend(prov, st.path)}
 					changed = true
 				}
 			}
@@ -174,14 +201,13 @@ func (g *Graph) PathsFrom(injector bgp.ASN) map[bgp.ASN][]bgp.ASN {
 			continue
 		}
 		for _, peer := range g.peers[asn] {
-			cand := append([]bgp.ASN{peer}, st.path...)
-			if cur, ok := state[peer]; ok && !cur.better(fromPeer, cand) {
+			if cur, ok := state[peer]; ok && !cur.betterCand(fromPeer, peer, st.path) {
 				continue
 			}
-			if prev, ok := peerAdds[peer]; ok && !prev.better(fromPeer, cand) {
+			if prev, ok := peerAdds[peer]; ok && !prev.betterCand(fromPeer, peer, st.path) {
 				continue
 			}
-			peerAdds[peer] = best{kind: fromPeer, path: cand}
+			peerAdds[peer] = best{kind: fromPeer, path: prepend(peer, st.path)}
 		}
 	}
 	for asn, st := range peerAdds {
@@ -197,10 +223,9 @@ func (g *Graph) PathsFrom(injector bgp.ASN) map[bgp.ASN][]bgp.ASN {
 		changed = false
 		for asn, st := range state {
 			for _, cust := range g.customers[asn] {
-				cand := append([]bgp.ASN{cust}, st.path...)
 				cur, ok := state[cust]
-				if !ok || cur.better(fromProvider, cand) {
-					state[cust] = best{kind: fromProvider, path: cand}
+				if !ok || cur.betterCand(fromProvider, cust, st.path) {
+					state[cust] = best{kind: fromProvider, path: prepend(cust, st.path)}
 					changed = true
 				}
 			}

@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# bench.sh — measurement harness for the allocation-disciplined hot
+# path. Runs the two end-to-end benchmarks (BenchmarkPipelineNew,
+# BenchmarkEndToEnd) with -benchmem, averages the runs, and gates CI on
+# allocs/op against the committed BENCH_PR4.json.
+#
+# Usage:
+#   scripts/bench.sh run                 # measure now; writes bench-pr4-raw.txt
+#                                        # and bench-pr4-current.json
+#   scripts/bench.sh compare OLD NEW     # two raw files: benchstat when
+#                                        # installed, an awk delta table otherwise
+#   scripts/bench.sh check               # CI gate: fresh allocs/op must be within
+#                                        # BENCH_ALLOC_TOLERANCE % of the committed
+#                                        # "after" numbers in BENCH_PR4.json
+#
+# Environment:
+#   BENCH_COUNT            repetitions per benchmark (default 3)
+#   BENCH_TIME             -benchtime per run (default 3x)
+#   BENCH_ALLOC_TOLERANCE  allowed allocs/op regression percent (default 10)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHES='BenchmarkPipelineNew|BenchmarkEndToEnd'
+COUNT="${BENCH_COUNT:-3}"
+TIME="${BENCH_TIME:-3x}"
+TOL="${BENCH_ALLOC_TOLERANCE:-10}"
+
+run_benches() {
+  go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$TIME" -count "$COUNT" .
+}
+
+# summarize RAWFILE — one "name ns_op b_op allocs_op" line per
+# benchmark, averaged over runs, GOMAXPROCS suffix stripped.
+summarize() {
+  awk '
+    $1 ~ /^Benchmark/ && $4 == "ns/op" {
+      name = $1
+      sub(/^Benchmark/, "", name)
+      sub(/-[0-9]+$/, "", name)
+      ns[name] += $3; b[name] += $5; al[name] += $7; n[name]++
+    }
+    END {
+      for (k in n)
+        printf "%s %.0f %.0f %.0f\n", k, ns[k]/n[k], b[k]/n[k], al[k]/n[k]
+    }' "$1" | sort
+}
+
+# json_results SUMMARY — the flat one-object-per-line results block the
+# check gate parses back with sed.
+json_results() {
+  local first=1
+  while read -r name ns b al; do
+    [ "$first" = 1 ] || printf ',\n'
+    first=0
+    printf '    { "bench": "%s", "ns_op": %s, "b_op": %s, "allocs_op": %s }' \
+      "$name" "$ns" "$b" "$al"
+  done <<<"$1"
+  printf '\n'
+}
+
+run() {
+  echo "== bench: $BENCHES (count=$COUNT, benchtime=$TIME)"
+  run_benches | tee bench-pr4-raw.txt
+  local summary
+  summary="$(summarize bench-pr4-raw.txt)"
+  {
+    printf '{\n'
+    printf '  "config": { "count": %s, "benchtime": "%s", "go": "%s" },\n' \
+      "$COUNT" "$TIME" "$(go env GOVERSION)"
+    printf '  "results": [\n'
+    json_results "$summary"
+    printf '  ]\n}\n'
+  } >bench-pr4-current.json
+  echo "== averages (ns/op, B/op, allocs/op)"
+  echo "$summary" | awk '{ printf "%-28s %14s %14s %10s\n", $1, $2, $3, $4 }'
+  echo "== wrote bench-pr4-raw.txt, bench-pr4-current.json"
+}
+
+compare() {
+  local old="$1" new="$2"
+  if command -v benchstat >/dev/null 2>&1; then
+    benchstat "$old" "$new"
+    return
+  fi
+  # Fallback: join the two averaged summaries and print deltas.
+  echo "benchstat not installed; awk fallback (averages over $COUNT runs)"
+  join <(summarize "$old") <(summarize "$new") | awk '
+    BEGIN { printf "%-28s %14s %14s %8s  %12s %12s %8s\n",
+            "benchmark", "old ns/op", "new ns/op", "delta",
+            "old allocs", "new allocs", "delta" }
+    {
+      printf "%-28s %14.0f %14.0f %+7.1f%%  %12.0f %12.0f %+7.1f%%\n",
+        $1, $2, $5, ($5-$2)/$2*100, $4, $7, ($7-$4)/$4*100
+    }'
+}
+
+check() {
+  if [ ! -f BENCH_PR4.json ]; then
+    echo "BENCH_PR4.json missing; nothing to gate against" >&2
+    exit 1
+  fi
+  run
+  local fail=0 name committed
+  while read -r line; do
+    name=$(sed 's/.*"bench": *"\([^"]*\)".*/\1/' <<<"$line")
+    committed=$(sed 's/.*"after": *{[^}]*"allocs_op": *\([0-9]*\).*/\1/' <<<"$line")
+    measured=$(awk -v k="$name" '$1 == k { print $4 }' <(summarize bench-pr4-raw.txt))
+    if [ -z "$measured" ]; then
+      echo "GATE MISS  $name: not measured" >&2
+      fail=1
+      continue
+    fi
+    if awk -v m="$measured" -v c="$committed" -v tol="$TOL" \
+        'BEGIN { exit !(m <= c * (1 + tol/100)) }'; then
+      echo "GATE OK    $name: allocs/op $measured (committed $committed, +${TOL}% allowed)"
+    else
+      echo "GATE FAIL  $name: allocs/op $measured exceeds committed $committed by more than ${TOL}%" >&2
+      fail=1
+    fi
+  done < <(grep '"bench"' BENCH_PR4.json)
+  exit "$fail"
+}
+
+case "${1:-run}" in
+  run) run ;;
+  compare) compare "$2" "$3" ;;
+  check) check ;;
+  *)
+    echo "usage: $0 [run|compare OLD NEW|check]" >&2
+    exit 2
+    ;;
+esac

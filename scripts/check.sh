@@ -48,6 +48,17 @@ race() { go test -race ./...; }
 # BENCH_* trajectory artifact.
 bench() { go test -bench=. -benchtime=1x -run='^$' ./...; }
 
+# benchgate is the allocation-regression gate: the zero-alloc unit tests
+# (mrt.Reader.Next in reuse mode, the post-Close rib point queries) plus
+# scripts/bench.sh check, which re-measures BenchmarkPipelineNew and
+# BenchmarkEndToEnd and fails if allocs/op regresses more than
+# BENCH_ALLOC_TOLERANCE % over the committed BENCH_PR4.json numbers.
+benchgate() {
+  go test -run 'TestReaderNextReuseAllocs' ./internal/mrt
+  go test -run 'TestPointQueryAllocs' ./internal/rib
+  scripts/bench.sh check
+}
+
 # fuzz runs each seed corpus plus FUZZ_SMOKE_TIME (default 10s) of new
 # inputs per target.
 fuzz() {
@@ -94,12 +105,13 @@ case "${1:-all}" in
   test) test_ ;;
   race) race ;;
   bench) bench ;;
+  benchgate) benchgate ;;
   fuzz) fuzz ;;
   faults) faults ;;
   chaos) chaos ;;
   all) all ;;
   *)
-    echo "usage: $0 [build|vet|fmt|test|race|bench|fuzz|faults|chaos|all]" >&2
+    echo "usage: $0 [build|vet|fmt|test|race|bench|benchgate|fuzz|faults|chaos|all]" >&2
     exit 2
     ;;
 esac

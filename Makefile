@@ -1,7 +1,7 @@
 # Convenience wrappers over scripts/check.sh — the same commands CI runs
 # (.github/workflows/ci.yml), so a green `make all` locally means a green
 # gate.
-.PHONY: all build vet fmt test race bench benchgate fuzz faults chaos
+.PHONY: all build vet fmt test race bench benchgate fuzz faults chaos warmstart
 
 all:
 	scripts/check.sh all
@@ -35,3 +35,6 @@ faults:
 
 chaos:
 	scripts/check.sh chaos
+
+warmstart:
+	scripts/check.sh warmstart

@@ -15,6 +15,9 @@ import (
 	"bytes"
 	"math/rand"
 	"net"
+	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 
@@ -23,6 +26,7 @@ import (
 	"dropscope/internal/mrt"
 	"dropscope/internal/netx"
 	"dropscope/internal/rib"
+	"dropscope/internal/ribsnap"
 	"dropscope/internal/rtr"
 	"dropscope/internal/sbl"
 	"dropscope/internal/scenario"
@@ -193,6 +197,71 @@ func BenchmarkPipelineNew(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkWarmStart measures pipeline construction served from a
+// persistent index snapshot (internal/ribsnap): per iteration it
+// re-digests the MRT archive bytes, loads and verifies the snapshot
+// (memory-mapped on linux), and builds the pipeline around the decoded
+// index — everything a warm `dropscope -load` does instead of MRT RIB
+// reassembly. Its comparator is BenchmarkPipelineNew, the cold path it
+// replaces; the committed BENCH_PR5.json pins the ratio (a warm start
+// must cost at most 20% of a cold build in ns/op and allocs/op, gated
+// by scripts/check.sh warmstart).
+func BenchmarkWarmStart(b *testing.B) {
+	ds := benchPipeline(b).Dataset()
+	dir := b.TempDir()
+	if err := benchStudy.WriteArchives(dir); err != nil {
+		b.Fatal(err)
+	}
+	mrtDir := filepath.Join(dir, "mrt")
+	digest, err := ribsnap.DigestMRT(mrtDir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frozen, err := benchStudy.Pipeline.Index.Frozen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, 0, len(ds.MRT))
+	for name := range ds.MRT {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	counts := make([]ribsnap.CollectorCount, 0, len(names))
+	for _, name := range names {
+		counts = append(counts, ribsnap.CollectorCount{
+			Collector: name, Records: uint64(len(ds.MRT[name])),
+		})
+	}
+	path := filepath.Join(dir, "ribsnap", "index.ribsnap")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		b.Fatal(err)
+	}
+	if err := ribsnap.Write(path, frozen, ds.Window, digest, counts); err != nil {
+		b.Fatal(err)
+	}
+	warmDS := ds
+	warmDS.MRT = nil
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := ribsnap.DigestMRT(mrtDir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap, err := ribsnap.Load(path, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := analysis.NewWithOptions(warmDS, analysis.Options{Index: snap.Index})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(p.Listings) != 712 {
+			b.Fatal("wrong population")
+		}
+		snap.Close()
+	}
 }
 
 // BenchmarkResultsParallel measures the full experiment suite through the

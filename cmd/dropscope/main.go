@@ -5,7 +5,7 @@
 // Usage:
 //
 //	dropscope [-scale N] [-seed N] [-load DIR] [-save DIR] [-json] [-serial] [-workers N] [-strict] [-max-skip N]
-//	          [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
+//	          [-index-cache DIR|auto|off] [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // By default RIB loading and the experiment suite run in parallel across
 // the available CPUs; -serial forces the single-threaded reference path
@@ -19,10 +19,23 @@
 // record index and byte offset. Over undamaged archives the two modes
 // print byte-identical reports.
 //
+// Loads warm-start from a persistent index snapshot: the default
+// -index-cache auto keeps DIR/ribsnap/index.ribsnap next to the archives
+// loaded with -load DIR, keyed on a digest of the MRT bytes. A matching
+// snapshot skips MRT decode and index construction entirely (the
+// dominant load cost); a missing, stale, or damaged one falls back to a
+// cold build and is rewritten. Reports are byte-identical either way.
+// -index-cache off disables the cache; any other value names an explicit
+// snapshot directory.
+//
 // The profiling flags wrap the whole run: -cpuprofile and -memprofile
 // write pprof profiles (the heap profile is taken at exit, after a GC),
-// -trace writes a runtime execution trace. Inspect them with
-// `go tool pprof` / `go tool trace`.
+// -trace writes a runtime execution trace. Because a warm start shifts
+// work from decode-time CPU to a file mapping, comparing cold and warm
+// heap profiles of the same archive (two runs, -memprofile each) is the
+// quickest way to see what the snapshot saves; scripts/bench.sh compare
+// automates the allocation side. Inspect profiles with `go tool pprof` /
+// `go tool trace`.
 package main
 
 import (
@@ -30,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
@@ -94,15 +108,16 @@ func fatal(err error) {
 
 func main() {
 	var (
-		scale   = flag.Int("scale", 64, "background population divisor (1 = paper-size populations)")
-		seed    = flag.Int64("seed", 1, "deterministic world seed")
-		load    = flag.String("load", "", "load archives from this directory instead of generating")
-		save    = flag.String("save", "", "after generating, persist archives to this directory")
-		asJSON  = flag.Bool("json", false, "emit the machine-readable summary instead of the text report")
-		serial  = flag.Bool("serial", false, "disable all parallelism: serial RIB loading and experiment execution")
-		workers = flag.Int("workers", 0, "experiment fan-out bound (0 = GOMAXPROCS, 1 = serial experiments)")
-		strict  = flag.Bool("strict", false, "with -load: fail on the first corrupt record instead of skipping leniently")
-		maxSkip = flag.Int("max-skip", 0, "with -load: per-collector skip budget before quarantine (0 = default 100, negative = unlimited)")
+		scale    = flag.Int("scale", 64, "background population divisor (1 = paper-size populations)")
+		seed     = flag.Int64("seed", 1, "deterministic world seed")
+		load     = flag.String("load", "", "load archives from this directory instead of generating")
+		save     = flag.String("save", "", "after generating, persist archives to this directory")
+		asJSON   = flag.Bool("json", false, "emit the machine-readable summary instead of the text report")
+		serial   = flag.Bool("serial", false, "disable all parallelism: serial RIB loading and experiment execution")
+		workers  = flag.Int("workers", 0, "experiment fan-out bound (0 = GOMAXPROCS, 1 = serial experiments)")
+		strict   = flag.Bool("strict", false, "with -load: fail on the first corrupt record instead of skipping leniently")
+		maxSkip  = flag.Int("max-skip", 0, "with -load: per-collector skip budget before quarantine (0 = default 100, negative = unlimited)")
+		idxCache = flag.String("index-cache", "auto", "with -load: index snapshot directory for warm starts; auto = DIR/ribsnap under -load, off = disabled")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -111,14 +126,26 @@ func main() {
 	flag.Parse()
 
 	stop := profiling(*cpuprofile, *memprofile, *traceFile)
-	err := run(*scale, *seed, *load, *save, *asJSON, *serial, *workers, *strict, *maxSkip)
+	err := run(*scale, *seed, *load, *save, *asJSON, *serial, *workers, *strict, *maxSkip, *idxCache)
 	stop()
 	if err != nil {
 		fatal(err)
 	}
 }
 
-func run(scale int, seed int64, load, save string, asJSON, serial bool, workers int, strict bool, maxSkip int) error {
+// snapshotDir resolves the -index-cache flag against the -load directory.
+func snapshotDir(idxCache, load string) string {
+	switch idxCache {
+	case "off":
+		return ""
+	case "auto":
+		return filepath.Join(load, "ribsnap")
+	default:
+		return idxCache
+	}
+}
+
+func run(scale int, seed int64, load, save string, asJSON, serial bool, workers int, strict bool, maxSkip int, idxCache string) error {
 	cfg := dropscope.DefaultConfig()
 	cfg.Scale = scale
 	cfg.Seed = seed
@@ -128,7 +155,11 @@ func run(scale int, seed int64, load, save string, asJSON, serial bool, workers 
 		err   error
 	)
 	if load != "" {
-		opts := dropscope.IngestOptions{Strict: strict, MaxSkip: maxSkip}
+		opts := dropscope.IngestOptions{
+			Strict:      strict,
+			MaxSkip:     maxSkip,
+			SnapshotDir: snapshotDir(idxCache, load),
+		}
 		if serial {
 			opts.Workers = 1
 		}
@@ -141,6 +172,7 @@ func run(scale int, seed int64, load, save string, asJSON, serial bool, workers 
 	if err != nil {
 		return err
 	}
+	defer study.Close()
 	if save != "" {
 		if err := study.WriteArchives(save); err != nil {
 			return err

@@ -25,12 +25,18 @@
 package dropscope
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"dropscope/internal/analysis"
 	"dropscope/internal/archive"
 	"dropscope/internal/ingest"
+	"dropscope/internal/ribsnap"
 	"dropscope/internal/scenario"
 )
 
@@ -45,6 +51,24 @@ func DefaultConfig() Config { return scenario.DefaultParams() }
 type Study struct {
 	World    *scenario.World
 	Pipeline *analysis.Pipeline
+
+	// snap is the index snapshot a warm-started study was loaded from;
+	// nil after a generated or cold-built study. It is retained because
+	// the pipeline's index may alias the snapshot's file mapping.
+	snap *ribsnap.Snapshot
+}
+
+// Close releases resources the study holds beyond the Go heap —
+// currently the snapshot file mapping behind a warm-started index.
+// The study must not be used afterwards. Close is a no-op (and always
+// safe) on generated or cold-built studies.
+func (s *Study) Close() error {
+	if s.snap == nil {
+		return nil
+	}
+	snap := s.snap
+	s.snap = nil
+	return snap.Close()
 }
 
 // NewStudy generates a world and builds the analysis pipeline over its
@@ -103,7 +127,27 @@ type IngestOptions struct {
 	// Workers bounds the RIB-loading pool: <= 0 means
 	// runtime.GOMAXPROCS(0), 1 loads serially.
 	Workers int
+	// SnapshotDir enables warm starts. When non-empty, the loader keeps a
+	// persistent snapshot of the frozen RIB index at
+	// SnapshotDir/index.ribsnap, keyed on a digest of the archive's MRT
+	// bytes. When the snapshot matches, MRT decode and index construction
+	// are skipped entirely and the index is served from the snapshot
+	// (memory-mapped and used in place on little-endian platforms); the
+	// study's rendered output is byte-identical to a cold build's. When
+	// the snapshot is missing, stale, version-skewed, or damaged, the
+	// loader falls back to a cold build — never to wrong results — counts
+	// the discarded snapshot in the health report (lenient mode), and
+	// rewrites the snapshot after a clean rebuild.
+	SnapshotDir string
 }
+
+// snapshotSource is the ingest.Health source name under which a
+// discarded snapshot's skip is accounted.
+const snapshotSource = "ribsnap/index"
+
+// snapshotFile is the file name of the index snapshot inside
+// IngestOptions.SnapshotDir.
+const snapshotFile = "index.ribsnap"
 
 // LoadStudyWithOptions is LoadStudy under explicit ingest options. After
 // a lenient load, per-source skip accounting and quarantine decisions
@@ -111,34 +155,134 @@ type IngestOptions struct {
 // report's data-health section; over undamaged archives the lenient
 // path's output is byte-identical to the strict path's.
 func LoadStudyWithOptions(dir string, cfg Config, opts IngestOptions) (*Study, error) {
-	var (
-		b   *archive.Bundle
-		h   *ingest.Health
-		err error
-	)
-	if opts.Strict {
-		b, err = archive.Load(dir)
-	} else {
+	var h *ingest.Health
+	if !opts.Strict {
 		h = ingest.NewHealth()
-		b, err = archive.LoadWithHealth(dir, h)
 	}
+
+	// Warm path: try the snapshot before touching the MRT archives. Any
+	// failure past this point degrades to a cold build; a snapshot can
+	// cost time, never correctness.
+	var (
+		snap       *ribsnap.Snapshot
+		digest     [32]byte
+		haveDigest bool
+	)
+	if opts.SnapshotDir != "" {
+		if d, derr := ribsnap.DigestMRT(filepath.Join(dir, "mrt")); derr == nil {
+			digest, haveDigest = d, true
+			var lerr error
+			snap, lerr = ribsnap.Load(filepath.Join(opts.SnapshotDir, snapshotFile), digest)
+			switch {
+			case lerr != nil:
+				snap = nil
+				countSnapshotSkip(h, lerr)
+			case snap.Window != cfg.Window:
+				snap.Close()
+				snap = nil
+				if h != nil {
+					h.Source(snapshotSource).Skip(ingest.Unsupported)
+				}
+			}
+		}
+		// A digest error (e.g. missing mrt/ directory) falls through; the
+		// cold load below surfaces the real problem.
+	}
+
+	b, err := archive.LoadWithOptions(dir, archive.LoadOptions{Health: h, SkipMRT: snap != nil})
 	if err != nil {
+		if snap != nil {
+			snap.Close()
+		}
 		return nil, fmt.Errorf("dropscope: load: %w", err)
+	}
+	aopts := analysis.Options{
+		Workers: opts.Workers,
+		Lenient: !opts.Strict,
+		MaxSkip: opts.MaxSkip,
+		Health:  h,
+	}
+	if snap != nil {
+		aopts.Index = snap.Index
 	}
 	p, err := analysis.NewWithOptions(analysis.Dataset{
 		Window: cfg.Window,
 		DROP:   b.DROP, SBL: b.SBL, IRR: b.IRR, RPKI: b.RPKI, RIR: b.RIR,
 		MRT: b.MRT,
-	}, analysis.Options{
-		Workers: opts.Workers,
-		Lenient: !opts.Strict,
-		MaxSkip: opts.MaxSkip,
-		Health:  h,
-	})
+	}, aopts)
 	if err != nil {
+		if snap != nil {
+			snap.Close()
+		}
 		return nil, fmt.Errorf("dropscope: pipeline: %w", err)
 	}
-	return &Study{Pipeline: p}, nil
+	if snap != nil && h != nil {
+		// Replay the per-collector record counts the snapshot preserved,
+		// so the health report (and the rendered output derived from it)
+		// matches a cold build's byte for byte.
+		for _, c := range snap.Counts {
+			h.Source("mrt/" + c.Collector).Accept(c.Records)
+		}
+	}
+	if snap == nil && haveDigest {
+		writeSnapshot(filepath.Join(opts.SnapshotDir, snapshotFile), p, b, cfg, h, digest)
+	}
+	return &Study{Pipeline: p, snap: snap}, nil
+}
+
+// countSnapshotSkip classifies a discarded snapshot in the health
+// accounting. A missing snapshot (first run) is not damage and counts
+// nothing; truncation, corruption, version skew, and digest staleness
+// each count one skip so the rendered report records why the load went
+// cold.
+func countSnapshotSkip(h *ingest.Health, err error) {
+	if h == nil || os.IsNotExist(err) {
+		return
+	}
+	src := h.Source(snapshotSource)
+	switch {
+	case errors.Is(err, ribsnap.ErrTruncated):
+		src.Skip(ingest.Truncated)
+	case errors.Is(err, ribsnap.ErrVersion), errors.Is(err, ribsnap.ErrStale):
+		src.Skip(ingest.Unsupported)
+	default:
+		src.Skip(ingest.Corrupt)
+	}
+}
+
+// writeSnapshot persists the freshly built index for the next run. It
+// is best-effort — a failure leaves the study unaffected — and it
+// refuses to persist an index built from damaged MRT ingest: a partial
+// index must never masquerade as the archive's.
+func writeSnapshot(path string, p *analysis.Pipeline, b *archive.Bundle, cfg Config, h *ingest.Health, digest [32]byte) {
+	if h != nil {
+		for _, s := range h.Sources() {
+			if strings.HasPrefix(s.Name, "mrt/") && !s.Clean() {
+				return
+			}
+		}
+	}
+	f, err := p.Index.Frozen()
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	names := make([]string, 0, len(b.MRT))
+	for name := range b.MRT {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	counts := make([]ribsnap.CollectorCount, 0, len(names))
+	for _, name := range names {
+		n := uint64(len(b.MRT[name]))
+		if h != nil {
+			n = h.Source("mrt/" + name).Records
+		}
+		counts = append(counts, ribsnap.CollectorCount{Collector: name, Records: n})
+	}
+	_ = ribsnap.Write(path, f, cfg.Window, digest, counts)
 }
 
 // WriteArchives persists every archive of the study's world under dir in

@@ -87,6 +87,13 @@ type Options struct {
 	// same Health the archive was loaded with so decode-stage skips count
 	// toward each collector's budget.
 	Health *ingest.Health
+	// Index, when non-nil, is a prebuilt, closed RIB index — typically
+	// warm-loaded from a snapshot (internal/ribsnap) — installed as
+	// Pipeline.Index verbatim. MRT reassembly (load, merge, close) is
+	// skipped entirely and ds.MRT may be nil; everything else (listings,
+	// classification, registry annotation) proceeds normally. The caller
+	// vouches that the index matches the dataset's MRT state and window.
+	Index *rib.Index
 }
 
 // New builds the pipeline: loads every collector's MRT stream into a RIB
@@ -141,26 +148,30 @@ func NewWithOptions(ds Dataset, opts Options) (*Pipeline, error) {
 		p.Health = opts.Health
 	}
 
-	collectors := make([]string, 0, len(ds.MRT))
-	for name := range ds.MRT {
-		collectors = append(collectors, name)
-	}
-	sort.Strings(collectors)
+	if opts.Index != nil {
+		p.Index = opts.Index
+	} else {
+		collectors := make([]string, 0, len(ds.MRT))
+		for name := range ds.MRT {
+			collectors = append(collectors, name)
+		}
+		sort.Strings(collectors)
 
-	ribs, err := loadCollectors(ds.MRT, collectors, opts)
-	if err != nil {
-		return nil, err
-	}
-	p.Index = rib.NewIndex()
-	for _, c := range ribs {
-		if c == nil {
-			continue // quarantined
+		ribs, err := loadCollectors(ds.MRT, collectors, opts)
+		if err != nil {
+			return nil, err
 		}
-		if err := p.Index.Merge(c); err != nil {
-			return nil, fmt.Errorf("analysis: %s: %w", c.Collector(), err)
+		p.Index = rib.NewIndex()
+		for _, c := range ribs {
+			if c == nil {
+				continue // quarantined
+			}
+			if err := p.Index.Merge(c); err != nil {
+				return nil, fmt.Errorf("analysis: %s: %w", c.Collector(), err)
+			}
 		}
+		p.Index.Close(ds.Window.Last)
 	}
-	p.Index.Close(ds.Window.Last)
 
 	for _, l := range ds.DROP.Listings() {
 		el := &Listing{Listing: l, Classification: ds.SBL.ClassifyRef(l.SBLRef)}

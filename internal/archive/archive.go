@@ -71,7 +71,7 @@ func Write(dir string, b *Bundle) error {
 // record or malformed line fails the load; use LoadWithHealth to read
 // damaged archives.
 func Load(dir string) (*Bundle, error) {
-	return load(dir, nil)
+	return load(dir, LoadOptions{})
 }
 
 // LoadWithHealth is the lenient variant of Load: corrupt MRT records and
@@ -81,14 +81,34 @@ func Load(dir string) (*Bundle, error) {
 // — from h's per-source counters — whether any source is too damaged to
 // use. h must not be nil.
 func LoadWithHealth(dir string, h *ingest.Health) (*Bundle, error) {
-	return load(dir, h)
+	return LoadWithOptions(dir, LoadOptions{Health: h})
 }
 
-func load(dir string, h *ingest.Health) (*Bundle, error) {
+// LoadOptions configures LoadWithOptions.
+type LoadOptions struct {
+	// Health enables lenient loading with per-source skip accounting, as
+	// in LoadWithHealth. Nil loads strictly.
+	Health *ingest.Health
+	// SkipMRT leaves Bundle.MRT nil and never opens the mrt/
+	// subdirectory. Warm-start callers set it when a verified index
+	// snapshot already carries everything the MRT streams would be
+	// decoded into.
+	SkipMRT bool
+}
+
+// LoadWithOptions is Load under explicit options.
+func LoadWithOptions(dir string, opts LoadOptions) (*Bundle, error) {
+	return load(dir, opts)
+}
+
+func load(dir string, opts LoadOptions) (*Bundle, error) {
+	h := opts.Health
 	b := &Bundle{SBL: sbl.NewDB(), DROP: drop.NewArchive(), IRR: &irr.DB{}, RPKI: &rpki.Archive{}, RIR: &rirstats.Timeline{}}
 	var err error
-	if b.MRT, err = loadMRT(filepath.Join(dir, "mrt"), h); err != nil {
-		return nil, err
+	if !opts.SkipMRT {
+		if b.MRT, err = loadMRT(filepath.Join(dir, "mrt"), h); err != nil {
+			return nil, err
+		}
 	}
 	if err = loadDROP(filepath.Join(dir, "drop"), b.DROP, h); err != nil {
 		return nil, err

@@ -25,6 +25,7 @@ type PathInterner struct {
 	meta    []PathMeta
 	strs    []string // lazily rendered String() per path; "" = not yet
 	scratch []byte
+	frozen  bool // built by FrozenPathInterner: lookup-only, no ids map
 }
 
 // appendPathKey serializes p into an unambiguous byte key: per segment
@@ -56,6 +57,9 @@ func (in *PathInterner) InternShared(p ASPath) PathID {
 }
 
 func (in *PathInterner) intern(p ASPath, copy bool) PathID {
+	if in.frozen {
+		panic("bgp: Intern on a frozen PathInterner")
+	}
 	in.scratch = appendPathKey(in.scratch[:0], p)
 	if id, ok := in.ids[string(in.scratch)]; ok {
 		return id
@@ -119,3 +123,30 @@ func (in *PathInterner) String(id PathID) string {
 // Len returns the number of distinct interned paths. IDs are exactly
 // 0..Len()-1.
 func (in *PathInterner) Len() int { return len(in.paths) }
+
+// Paths returns the canonical interned paths in id order: element i is
+// Path(PathID(i)). The returned slice and its paths are the interner's
+// own storage — callers must not mutate them. Serialization layers use
+// this to lay the whole dictionary out flat.
+func (in *PathInterner) Paths() []ASPath { return in.paths }
+
+// FrozenPathInterner wraps externally reconstructed canonical paths —
+// typically decoded from a snapshot, in their original id order — into
+// a lookup-only interner: Path, Meta, String, Len, and Paths work
+// exactly as on the interner the paths came from, with the per-path
+// metadata recomputed once here. The key map is never built, so Intern
+// and InternShared panic; a frozen interner serves closed, immutable
+// indexes that never intern again. The interner adopts paths without
+// copying.
+func FrozenPathInterner(paths []ASPath) *PathInterner {
+	in := &PathInterner{
+		paths:  paths,
+		meta:   make([]PathMeta, len(paths)),
+		strs:   make([]string, len(paths)),
+		frozen: true,
+	}
+	for i, p := range paths {
+		in.meta[i] = metaOf(p)
+	}
+	return in
+}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"dropscope/internal/ingest"
 	"dropscope/internal/netx"
@@ -98,11 +99,18 @@ func parse(r io.Reader, src *ingest.Source) ([]Entry, error) {
 type Archive struct {
 	days  []timex.Day
 	byDay map[timex.Day][]Entry
+
+	// Listing events are a pure function of the snapshots, and diffing
+	// every consecutive snapshot pair is the dominant cost of a repeat
+	// Listings call, so the result is cached until the next AddSnapshot.
+	mu          sync.Mutex
+	listings    []Listing
+	listingsFor int // len(days) the cache was diffed at; -1 = no cache
 }
 
 // NewArchive returns an empty archive.
 func NewArchive() *Archive {
-	return &Archive{byDay: make(map[timex.Day][]Entry)}
+	return &Archive{byDay: make(map[timex.Day][]Entry), listingsFor: -1}
 }
 
 // AddSnapshot records the DROP list content for one day. Snapshots must
@@ -118,6 +126,9 @@ func (a *Archive) AddSnapshot(day timex.Day, entries []Entry) error {
 	copy(cp, entries)
 	a.days = append(a.days, day)
 	a.byDay[day] = cp
+	a.mu.Lock()
+	a.listingsFor = -1
+	a.mu.Unlock()
 	return nil
 }
 
@@ -166,8 +177,22 @@ type Listing struct {
 // Listings diffs consecutive snapshots into per-prefix listing events,
 // ordered by (Added, Prefix). A prefix relisted after removal yields a
 // second Listing. Prefixes present in the first snapshot are treated as
-// added on that day.
+// added on that day. The diff is cached between AddSnapshot calls; the
+// returned slice is the caller's to keep.
 func (a *Archive) Listings() []Listing {
+	a.mu.Lock()
+	if a.listingsFor != len(a.days) {
+		a.listings = a.diffListings()
+		a.listingsFor = len(a.days)
+	}
+	cached := a.listings
+	a.mu.Unlock()
+	out := make([]Listing, len(cached))
+	copy(out, cached)
+	return out
+}
+
+func (a *Archive) diffListings() []Listing {
 	type open struct {
 		added  timex.Day
 		sblRef string

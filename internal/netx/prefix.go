@@ -214,6 +214,24 @@ func SortPrefixes(ps []Prefix) {
 	sort.Slice(ps, func(i, j int) bool { return ps[i].Compare(ps[j]) < 0 })
 }
 
+// SearchPrefixes binary-searches ps — which must be sorted as by
+// SortPrefixes — for p. It returns the index at which p is (or would be
+// inserted) and whether p is present. The search is hand-rolled rather
+// than closure-based so callers on allocation-free query paths stay at
+// zero allocations.
+func SearchPrefixes(ps []Prefix, p Prefix) (int, bool) {
+	i, j := 0, len(ps)
+	for i < j {
+		m := int(uint(i+j) >> 1)
+		if ps[m].Compare(p) < 0 {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	return i, i < len(ps) && ps[i] == p
+}
+
 // SlashEquivalents expresses n addresses as the equivalent number of
 // prefixes of the given length. The paper reports address space as
 // "/8 equivalents": SlashEquivalents(n, 8).

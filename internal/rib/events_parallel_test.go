@@ -1,0 +1,71 @@
+package rib
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/mrt"
+	"dropscope/internal/netx"
+	"dropscope/internal/timex"
+)
+
+// TestBuildEventsParallelMatchesSerial pins the determinism contract of
+// the parallel event builder: whatever the worker count, the stitched
+// evDay/evCount/evOff columns are identical to the serial pass's. The
+// world is sized well past minPrefixesPerWorker so the parallel path
+// actually engages.
+func TestBuildEventsParallelMatchesSerial(t *testing.T) {
+	ix := NewIndex()
+	recs := []mrt.Record{peerTable()}
+	for i := 0; i < 4*minPrefixesPerWorker; i++ {
+		p := netx.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", i/256, i%256))
+		peer := i % 2
+		recs = append(recs,
+			announce(day0+timex.Day(i%5), peer, bgp.Sequence(64500, bgp.ASN(100+i%7)), p),
+			withdraw(day0+timex.Day(10+i%11), peer, p),
+		)
+		if i%3 == 0 { // second peer, overlapping span
+			recs = append(recs,
+				announce(day0+timex.Day(2+i%4), 1-peer, bgp.Sequence(64501, bgp.ASN(100+i%7)), p),
+			)
+		}
+	}
+	if err := ix.Load("rv1", recs); err != nil {
+		t.Fatal(err)
+	}
+	ix.Close(day0 + 60)
+	if n := len(ix.sorted); n < 2*minPrefixesPerWorker {
+		t.Fatalf("world too small to engage parallel build: %d prefixes", n)
+	}
+
+	type cols struct {
+		day   []int32
+		count []int32
+		off   []uint32
+	}
+	capture := func() cols {
+		day := make([]int32, len(ix.evDay))
+		for i, d := range ix.evDay {
+			day[i] = int32(d)
+		}
+		return cols{
+			day:   day,
+			count: slices.Clone(ix.evCount),
+			off:   slices.Clone(ix.evOff),
+		}
+	}
+
+	ix.buildEvents(1)
+	serial := capture()
+	for _, workers := range []int{2, 3, 7, 16} {
+		ix.buildEvents(workers)
+		got := capture()
+		if !slices.Equal(got.day, serial.day) ||
+			!slices.Equal(got.count, serial.count) ||
+			!slices.Equal(got.off, serial.off) {
+			t.Fatalf("buildEvents(%d) differs from serial build", workers)
+		}
+	}
+}

@@ -30,15 +30,18 @@
 // Index and calling Close must happen on a single goroutine; merging in a
 // fixed collector order yields an Index identical to serial loading in
 // that order. After Close the Index is immutable (Close builds the
-// columnar store and the covering-query trie eagerly), so every query
-// method is safe for unlimited concurrent readers. Close is idempotent:
-// repeated calls do not re-sort or re-intern anything.
+// columnar store eagerly; covering queries binary-search its sorted
+// prefix column), so every query method is safe for unlimited
+// concurrent readers. Close is idempotent: repeated calls do not
+// re-sort or re-intern anything.
 package rib
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"dropscope/internal/bgp"
 	"dropscope/internal/ingest"
@@ -59,17 +62,23 @@ func (p PeerRef) String() string {
 	return fmt.Sprintf("%s/%s/%s", p.Collector, p.AS, p.Addr)
 }
 
-// rawSpan is a half-open day interval [from, to) during which a peer
-// carried a route for a prefix. to == openEnd while the route is still
-// installed. Prefixes and paths are interner handles; origin, neighbor,
-// and transit ASes live in the path interner's per-path metadata, stored
-// once per distinct path instead of once per span.
-type rawSpan struct {
-	prefix uint32 // netx.Interner handle
-	peer   int32
-	from   timex.Day
-	to     timex.Day
-	path   bgp.PathID
+// Span is a half-open day interval [From, To) during which a peer
+// carried a route for a prefix — one 20-byte entry of the flat span
+// store. To == openEnd while the route is still installed. Prefix and
+// Path are dense handles (a netx interner / sorted-prefix id and a
+// bgp.PathID); origin, neighbor, and transit ASes live in the path
+// interner's per-path metadata, stored once per distinct path instead
+// of once per span. The fields are exported so snapshot layers
+// (internal/ribsnap) can lay spans out as flat binary sections and map
+// them back without copying; treat them as read-only handles. Inside
+// the columnar store built at Close, Prefix holds the address-sorted
+// prefix id rather than the load-time interner handle.
+type Span struct {
+	Prefix uint32
+	Peer   int32
+	From   timex.Day
+	To     timex.Day
+	Path   bgp.PathID
 }
 
 const openEnd = timex.Day(1<<31 - 1)
@@ -92,20 +101,23 @@ type Index struct {
 	peerTables map[string][]int
 
 	prefixes netx.Interner
-	paths    bgp.PathInterner
-	spans    []rawSpan
+	paths    *bgp.PathInterner
+	spans    []Span
 	closed   bool
 
-	// Columnar store, built once at Close.
+	// Columnar store, built once at Close. Every slice is flat and
+	// position-addressed — no pointers — so a snapshot layer can write
+	// the whole store as binary sections and adopt mapped memory back
+	// via FromFrozen without copying. Exact-prefix lookup and the
+	// covering/covered-by walks are binary searches over sorted, so no
+	// pointer trie (and no per-node allocation) survives the build.
 	built   bool
-	rank    []uint32      // interner handle -> address-sorted id
 	sorted  []netx.Prefix // address-sorted distinct prefixes
-	col     []rawSpan     // spans grouped by (sorted prefix, peer), insertion order within
+	col     []Span        // grouped by sorted-prefix id (stored in Span.Prefix), then peer, insertion order within
 	spanOff []uint32      // len(sorted)+1 offsets into col
 	evDay   []timex.Day   // per-prefix visibility events: day ...
 	evCount []int32       // ... and the peer count from that day on
 	evOff   []uint32      // len(sorted)+1 offsets into evDay/evCount
-	trie    netx.Trie[uint32]
 }
 
 // NewIndex returns an empty Index.
@@ -113,6 +125,7 @@ func NewIndex() *Index {
 	return &Index{
 		peerIDs:    make(map[PeerRef]int),
 		peerTables: make(map[string][]int),
+		paths:      &bgp.PathInterner{},
 	}
 }
 
@@ -121,7 +134,12 @@ func NewIndex() *Index {
 func (ix *Index) Peers() []PeerRef { return ix.peers }
 
 // NumPrefixes returns the number of distinct prefixes ever observed.
-func (ix *Index) NumPrefixes() int { return ix.prefixes.Len() }
+func (ix *Index) NumPrefixes() int {
+	if ix.built {
+		return len(ix.sorted)
+	}
+	return ix.prefixes.Len()
+}
 
 func (ix *Index) peerID(ref PeerRef) int {
 	if id, ok := ix.peerIDs[ref]; ok {
@@ -146,7 +164,7 @@ type CollectorRIB struct {
 	table     []int // MRT peer index -> local peer id; nil until the index table
 	prefixes  netx.Interner
 	paths     bgp.PathInterner
-	spans     []rawSpan
+	spans     []Span
 	open      map[openKey]int32 // (prefix, peer) -> index+1 of its open span
 	// copyPaths forces a deep copy when interning paths. Loading from a
 	// materialized []mrt.Record aliases the records' path storage (as the
@@ -312,16 +330,16 @@ func (c *CollectorRIB) openSpan(pfx uint32, pid int, day timex.Day, path bgp.ASP
 	k := openKey{prefix: pfx, peer: int32(pid)}
 	if si := c.open[k]; si != 0 {
 		s := &c.spans[si-1]
-		if s.path == id {
+		if s.Path == id {
 			return // implicit re-announcement of the same route
 		}
 		// Implicit withdraw: route replaced by a different path same day.
-		s.to = day
-		if s.to < s.from {
-			s.to = s.from
+		s.To = day
+		if s.To < s.From {
+			s.To = s.From
 		}
 	}
-	c.spans = append(c.spans, rawSpan{prefix: pfx, peer: int32(pid), from: day, to: openEnd, path: id})
+	c.spans = append(c.spans, Span{Prefix: pfx, Peer: int32(pid), From: day, To: openEnd, Path: id})
 	c.open[k] = int32(len(c.spans))
 }
 
@@ -330,9 +348,9 @@ func (c *CollectorRIB) closeSpan(pfx uint32, pid int, day timex.Day) {
 	k := openKey{prefix: pfx, peer: int32(pid)}
 	if si := c.open[k]; si != 0 {
 		s := &c.spans[si-1]
-		s.to = day
-		if s.to < s.from {
-			s.to = s.from
+		s.To = day
+		if s.To < s.From {
+			s.To = s.From
 		}
 		delete(c.open, k)
 	}
@@ -372,17 +390,17 @@ func (ix *Index) Merge(c *CollectorRIB) error {
 		prefixRemap[i] = ix.prefixes.Intern(c.prefixes.At(uint32(i)))
 	}
 	if cap(ix.spans)-len(ix.spans) < len(c.spans) {
-		grown := make([]rawSpan, len(ix.spans), len(ix.spans)+len(c.spans))
+		grown := make([]Span, len(ix.spans), len(ix.spans)+len(c.spans))
 		copy(grown, ix.spans)
 		ix.spans = grown
 	}
 	for _, s := range c.spans {
-		ix.spans = append(ix.spans, rawSpan{
-			prefix: prefixRemap[s.prefix],
-			peer:   int32(remap[s.peer]),
-			from:   s.from,
-			to:     s.to,
-			path:   pathRemap[s.path],
+		ix.spans = append(ix.spans, Span{
+			Prefix: prefixRemap[s.Prefix],
+			Peer:   int32(remap[s.Peer]),
+			From:   s.From,
+			To:     s.To,
+			Path:   pathRemap[s.Path],
 		})
 	}
 	return nil
@@ -407,29 +425,35 @@ func (ix *Index) Load(collector string, recs []mrt.Record) error {
 // Close finalizes the index. Routes still installed are treated as
 // remaining installed through end. Queries before Close see open routes
 // as present at any later day, so Close is optional but recommended:
-// it builds the columnar span store, the per-prefix visibility events,
-// and the covering-query trie, leaving the index fully immutable —
-// after Close every query method is safe for concurrent readers and
-// the point queries are allocation-free. Close is idempotent; calls
-// after the first return immediately without re-sorting or
-// re-interning anything.
+// it builds the columnar span store and the per-prefix visibility
+// events, leaving the index fully immutable — after Close every query
+// method is safe for concurrent readers and the point queries are
+// allocation-free. Close is idempotent; calls after the first return
+// immediately without re-sorting or re-interning anything.
 func (ix *Index) Close(end timex.Day) {
 	if ix.closed {
 		return
 	}
 	for i := range ix.spans {
-		if ix.spans[i].to == openEnd {
-			ix.spans[i].to = end + 1
+		if ix.spans[i].To == openEnd {
+			ix.spans[i].To = end + 1
 		}
 	}
 	ix.build()
+	// The raw span array is fully superseded by the columnar store: no
+	// query reads it once built, and Merge/Load refuse a closed index.
+	// Dropping it halves the live span memory.
+	ix.spans = nil
 	ix.closed = true
 }
 
 // build constructs the columnar store: spans counting-sorted into
 // address-ordered per-prefix buckets (stable, so insertion order within
-// a (prefix, peer) group survives), per-prefix cumulative visibility
-// events, and the covering trie.
+// a (prefix, peer) group survives) and per-prefix cumulative visibility
+// events. Span.Prefix is rewritten to the sorted-prefix id as each span
+// lands in its bucket, so the finished store references only
+// position-addressed flat arrays — exactly what the snapshot layer
+// serializes and what covering queries binary-search.
 func (ix *Index) build() {
 	n := ix.prefixes.Len()
 	order := make([]uint32, n)
@@ -440,10 +464,10 @@ func (ix *Index) build() {
 		return ix.prefixes.At(order[i]).Compare(ix.prefixes.At(order[j])) < 0
 	})
 	ix.sorted = make([]netx.Prefix, n)
-	ix.rank = make([]uint32, n)
+	rank := make([]uint32, n) // load-time interner handle -> sorted id
 	for sid, lid := range order {
 		ix.sorted[sid] = ix.prefixes.At(lid)
-		ix.rank[lid] = uint32(sid)
+		rank[lid] = uint32(sid)
 	}
 
 	// Two-pass LSD radix: a stable counting sort by peer, then by
@@ -451,110 +475,189 @@ func (ix *Index) build() {
 	// sub-grouped by peer and insertion (time) order intact within —
 	// linear time, no per-prefix comparison sorts.
 	npeer := len(ix.peers)
-	byPeer := make([]rawSpan, len(ix.spans))
+	byPeer := make([]Span, len(ix.spans))
 	pcnt := make([]uint32, npeer+1)
 	for _, s := range ix.spans {
-		pcnt[s.peer+1]++
+		pcnt[s.Peer+1]++
 	}
 	for i := 1; i <= npeer; i++ {
 		pcnt[i] += pcnt[i-1]
 	}
 	for _, s := range ix.spans {
-		byPeer[pcnt[s.peer]] = s
-		pcnt[s.peer]++
+		byPeer[pcnt[s.Peer]] = s
+		pcnt[s.Peer]++
 	}
 
 	offs := make([]uint32, n+1)
 	for _, s := range byPeer {
-		offs[ix.rank[s.prefix]+1]++
+		offs[rank[s.Prefix]+1]++
 	}
 	for i := 1; i <= n; i++ {
 		offs[i] += offs[i-1]
 	}
 	pos := make([]uint32, n)
 	copy(pos, offs[:n])
-	col := make([]rawSpan, len(byPeer))
+	col := make([]Span, len(byPeer))
 	for _, s := range byPeer {
-		sid := ix.rank[s.prefix]
+		sid := rank[s.Prefix]
+		s.Prefix = sid
 		col[pos[sid]] = s
 		pos[sid]++
 	}
 	ix.col = col
 	ix.spanOff = offs
 
-	ix.buildEvents()
-
-	ix.trie = netx.Trie[uint32]{}
-	for sid, p := range ix.sorted {
-		ix.trie.Insert(p, uint32(sid))
-	}
+	ix.buildEvents(0)
 	ix.built = true
 }
+
+// minPrefixesPerWorker bounds the buildEvents fan-out: below this many
+// prefixes per worker the goroutine and stitching overhead outweighs
+// the per-prefix interval-union work.
+const minPrefixesPerWorker = 64
 
 // buildEvents derives, per prefix, a sorted event list (day, peer count
 // from that day on). A peer's spans may overlap — the same collector
 // merged twice, or duplicated dump records — so each peer's intervals
 // are unioned first, keeping every peer's contribution to the count in
 // {0, 1} exactly as the per-peer observedBy scan behaved.
-func (ix *Index) buildEvents() {
+//
+// Each prefix's event list depends only on that prefix's own span
+// bucket, so the union is embarrassingly parallel: workers (<= 0 means
+// runtime.GOMAXPROCS(0), clamped so every worker gets at least
+// minPrefixesPerWorker prefixes) each process one contiguous sid range
+// into worker-local buffers, which are then stitched back in sid order.
+// The output is byte-identical to the serial pass whatever the worker
+// count, and workers share only the immutable columnar store.
+func (ix *Index) buildEvents(workers int) {
 	n := len(ix.sorted)
 	ix.evOff = make([]uint32, n+1)
-	ix.evDay = ix.evDay[:0]
-	ix.evCount = ix.evCount[:0]
 
-	// One reused sorter (and scratch slices) across all prefixes: the
-	// closure-based sort helpers allocate per call, which at one call per
-	// prefix dominated the whole build.
-	es := &evSorter{}
-	var sorter sort.Interface = es
-	var ivs []dayIV
-	var evs []visEvent
-	for sid := 0; sid < n; sid++ {
-		spans := ix.col[ix.spanOff[sid]:ix.spanOff[sid+1]]
-		evs = evs[:0]
-		for i := 0; i < len(spans); {
-			j := i
-			for j < len(spans) && spans[j].peer == spans[i].peer {
-				j++
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := n / minPrefixesPerWorker; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		ix.evDay = ix.evDay[:0]
+		ix.evCount = ix.evCount[:0]
+		var sc evScratch
+		for sid := 0; sid < n; sid++ {
+			ix.evDay, ix.evCount = appendPrefixEvents(
+				ix.evDay, ix.evCount, ix.col[ix.spanOff[sid]:ix.spanOff[sid+1]], &sc)
+			ix.evOff[sid+1] = uint32(len(ix.evDay))
+		}
+		return
+	}
+
+	type evChunk struct {
+		lo, hi    int // sid range [lo, hi)
+		days      []timex.Day
+		counts    []int32
+		perPrefix []uint32 // events emitted per prefix in the range
+	}
+	chunks := make([]evChunk, workers)
+	for w := range chunks {
+		chunks[w].lo = n * w / workers
+		chunks[w].hi = n * (w + 1) / workers
+		chunks[w].perPrefix = make([]uint32, chunks[w].hi-chunks[w].lo)
+	}
+	var wg sync.WaitGroup
+	for w := range chunks {
+		wg.Add(1)
+		go func(c *evChunk) {
+			defer wg.Done()
+			var sc evScratch
+			for sid := c.lo; sid < c.hi; sid++ {
+				before := len(c.days)
+				c.days, c.counts = appendPrefixEvents(
+					c.days, c.counts, ix.col[ix.spanOff[sid]:ix.spanOff[sid+1]], &sc)
+				c.perPrefix[sid-c.lo] = uint32(len(c.days) - before)
 			}
-			ivs = ivs[:0]
-			for _, s := range spans[i:j] {
-				if s.from < s.to {
-					ivs = append(ivs, dayIV{s.from, s.to})
+		}(&chunks[w])
+	}
+	wg.Wait()
+
+	total := 0
+	for i := range chunks {
+		total += len(chunks[i].days)
+	}
+	ix.evDay = make([]timex.Day, 0, total)
+	ix.evCount = make([]int32, 0, total)
+	off, sid := uint32(0), 0
+	for i := range chunks {
+		c := &chunks[i]
+		ix.evDay = append(ix.evDay, c.days...)
+		ix.evCount = append(ix.evCount, c.counts...)
+		for _, cnt := range c.perPrefix {
+			off += cnt
+			sid++
+			ix.evOff[sid] = off
+		}
+	}
+}
+
+// evScratch is one worker's reusable sorter and interval scratch; the
+// closure-based sort helpers allocate per call, which at one call per
+// prefix dominated the whole build, so each worker reuses one typed
+// sorter and one interval buffer across its prefixes.
+type evScratch struct {
+	es  evSorter
+	ivs []dayIV
+}
+
+// appendPrefixEvents unions one prefix's span bucket into (day, count)
+// events appended to days/counts, returning the grown slices. It is a
+// pure function of the bucket, so concurrent calls over different
+// buckets (with distinct scratch) produce identical output to a serial
+// sweep.
+func appendPrefixEvents(days []timex.Day, counts []int32, spans []Span, sc *evScratch) ([]timex.Day, []int32) {
+	evs := sc.es.evs[:0]
+	ivs := sc.ivs
+	for i := 0; i < len(spans); {
+		j := i
+		for j < len(spans) && spans[j].Peer == spans[i].Peer {
+			j++
+		}
+		ivs = ivs[:0]
+		for _, s := range spans[i:j] {
+			if s.From < s.To {
+				ivs = append(ivs, dayIV{s.From, s.To})
+			}
+		}
+		i = j
+		if len(ivs) == 0 {
+			continue
+		}
+		sortIVs(ivs)
+		cur := ivs[0]
+		for _, v := range ivs[1:] {
+			if v.from <= cur.to {
+				if v.to > cur.to {
+					cur.to = v.to
 				}
-			}
-			i = j
-			if len(ivs) == 0 {
 				continue
 			}
-			sortIVs(ivs)
-			cur := ivs[0]
-			for _, v := range ivs[1:] {
-				if v.from <= cur.to {
-					if v.to > cur.to {
-						cur.to = v.to
-					}
-					continue
-				}
-				evs = append(evs, visEvent{cur.from, 1}, visEvent{cur.to, -1})
-				cur = v
-			}
 			evs = append(evs, visEvent{cur.from, 1}, visEvent{cur.to, -1})
+			cur = v
 		}
-		es.evs = evs
-		sort.Sort(sorter)
-		var count int32
-		for k := 0; k < len(evs); {
-			day := evs[k].day
-			for k < len(evs) && evs[k].day == day {
-				count += evs[k].delta
-				k++
-			}
-			ix.evDay = append(ix.evDay, day)
-			ix.evCount = append(ix.evCount, count)
-		}
-		ix.evOff[sid+1] = uint32(len(ix.evDay))
+		evs = append(evs, visEvent{cur.from, 1}, visEvent{cur.to, -1})
 	}
+	sc.ivs = ivs
+	sc.es.evs = evs
+	sort.Sort(&sc.es)
+	var count int32
+	for k := 0; k < len(evs); {
+		day := evs[k].day
+		for k < len(evs) && evs[k].day == day {
+			count += evs[k].delta
+			k++
+		}
+		days = append(days, day)
+		counts = append(counts, count)
+	}
+	return days, counts
 }
 
 type dayIV struct{ from, to timex.Day }
@@ -604,37 +707,58 @@ func (ix *Index) eventCount(sid uint32, d timex.Day) int32 {
 	return ix.evCount[i-1]
 }
 
+// sortedID returns p's address-sorted prefix id in the built store: a
+// hand-rolled binary search over sorted, so the point-query paths stay
+// allocation-free and need no interner map — a warm-loaded (snapshot)
+// index has only the flat arrays.
+func (ix *Index) sortedID(p netx.Prefix) (uint32, bool) {
+	i, ok := netx.SearchPrefixes(ix.sorted, p)
+	return uint32(i), ok
+}
+
+// prefixAt returns the i-th distinct prefix: address order once built,
+// interner (first-seen) order before.
+func (ix *Index) prefixAt(i int) netx.Prefix {
+	if ix.built {
+		return ix.sorted[i]
+	}
+	return ix.prefixes.At(uint32(i))
+}
+
 // spansOf returns p's spans grouped by peer (ascending), insertion
 // order within each group — the columnar bucket after Close, a filtered
 // copy of the raw span array before.
-func (ix *Index) spansOf(p netx.Prefix) []rawSpan {
+func (ix *Index) spansOf(p netx.Prefix) []Span {
+	if ix.built {
+		sid, ok := ix.sortedID(p)
+		if !ok {
+			return nil
+		}
+		return ix.col[ix.spanOff[sid]:ix.spanOff[sid+1]]
+	}
 	lid, ok := ix.prefixes.Lookup(p)
 	if !ok {
 		return nil
 	}
-	if ix.built {
-		sid := ix.rank[lid]
-		return ix.col[ix.spanOff[sid]:ix.spanOff[sid+1]]
-	}
-	var out []rawSpan
+	var out []Span
 	for _, s := range ix.spans {
-		if s.prefix == lid {
+		if s.Prefix == lid {
 			out = append(out, s)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].peer < out[j].peer })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
 	return out
 }
 
 // firstCovering walks peer groups in ascending-peer order and reports
 // each peer's first span covering day d (the same "first matching span
 // wins" rule the per-peer scan used). fn returning false stops the walk.
-func firstCovering(spans []rawSpan, d timex.Day, fn func(s rawSpan) bool) {
+func firstCovering(spans []Span, d timex.Day, fn func(s Span) bool) {
 	for i := 0; i < len(spans); {
 		j := i
 		found := -1
-		for j < len(spans) && spans[j].peer == spans[i].peer {
-			if found < 0 && d >= spans[j].from && d < spans[j].to {
+		for j < len(spans) && spans[j].Peer == spans[i].Peer {
+			if found < 0 && d >= spans[j].From && d < spans[j].To {
 				found = j
 			}
 			j++
@@ -648,15 +772,14 @@ func firstCovering(spans []rawSpan, d timex.Day, fn func(s rawSpan) bool) {
 
 // visCount returns how many peers observed p on day d.
 func (ix *Index) visCount(p netx.Prefix, d timex.Day) int {
-	lid, ok := ix.prefixes.Lookup(p)
-	if !ok {
+	if ix.built {
+		if sid, ok := ix.sortedID(p); ok {
+			return int(ix.eventCount(sid, d))
+		}
 		return 0
 	}
-	if ix.built {
-		return int(ix.eventCount(ix.rank[lid], d))
-	}
 	n := 0
-	firstCovering(ix.spansOf(p), d, func(rawSpan) bool { n++; return true })
+	firstCovering(ix.spansOf(p), d, func(Span) bool { n++; return true })
 	return n
 }
 
@@ -664,8 +787,8 @@ func (ix *Index) visCount(p netx.Prefix, d timex.Day) int {
 // day d.
 func (ix *Index) PeersObserving(p netx.Prefix, d timex.Day) []PeerRef {
 	var out []PeerRef
-	firstCovering(ix.spansOf(p), d, func(s rawSpan) bool {
-		out = append(out, ix.peers[s.peer])
+	firstCovering(ix.spansOf(p), d, func(s Span) bool {
+		out = append(out, ix.peers[s.Peer])
 		return true
 	})
 	return out
@@ -696,16 +819,16 @@ func (ix *Index) PeerObserved(ref PeerRef, p netx.Prefix, d timex.Day) bool {
 	spans := ix.spansOf(p)
 	if ix.built {
 		// Bucket is sorted by peer: jump to the peer's group.
-		k := sort.Search(len(spans), func(i int) bool { return spans[i].peer >= int32(pid) })
-		for ; k < len(spans) && spans[k].peer == int32(pid); k++ {
-			if d >= spans[k].from && d < spans[k].to {
+		k := sort.Search(len(spans), func(i int) bool { return spans[i].Peer >= int32(pid) })
+		for ; k < len(spans) && spans[k].Peer == int32(pid); k++ {
+			if d >= spans[k].From && d < spans[k].To {
 				return true
 			}
 		}
 		return false
 	}
 	for _, s := range spans {
-		if s.peer == int32(pid) && d >= s.from && d < s.to {
+		if s.Peer == int32(pid) && d >= s.From && d < s.To {
 			return true
 		}
 	}
@@ -716,8 +839,8 @@ func (ix *Index) PeerObserved(ref PeerRef, p netx.Prefix, d timex.Day) bool {
 // day d.
 func (ix *Index) OriginAt(p netx.Prefix, d timex.Day) (bgp.ASN, bool) {
 	counts := make(map[bgp.ASN]int)
-	firstCovering(ix.spansOf(p), d, func(s rawSpan) bool {
-		counts[ix.paths.Meta(s.path).Origin]++
+	firstCovering(ix.spansOf(p), d, func(s Span) bool {
+		counts[ix.paths.Meta(s.Path).Origin]++
 		return true
 	})
 	var best bgp.ASN
@@ -736,8 +859,8 @@ func (ix *Index) OriginAt(p netx.Prefix, d timex.Day) (bgp.ASN, bool) {
 func (ix *Index) PathAt(p netx.Prefix, d timex.Day) (bgp.ASPath, bool) {
 	var path bgp.ASPath
 	found := false
-	firstCovering(ix.spansOf(p), d, func(s rawSpan) bool {
-		path, found = ix.paths.Path(s.path), true
+	firstCovering(ix.spansOf(p), d, func(s Span) bool {
+		path, found = ix.paths.Path(s.Path), true
 		return false
 	})
 	return path, found
@@ -760,8 +883,8 @@ func (ix *Index) OriginTimeline(p netx.Prefix) []OriginSpan {
 	}
 	all := make([]OriginSpan, 0, len(spans))
 	for _, s := range spans {
-		m := ix.paths.Meta(s.path)
-		all = append(all, OriginSpan{From: s.from, To: s.to, Origin: m.Origin, Transit: m.Transit})
+		m := ix.paths.Meta(s.Path)
+		all = append(all, OriginSpan{From: s.From, To: s.To, Origin: m.Origin, Transit: m.Transit})
 	}
 	// Full-key comparison: ties must order identically however the spans
 	// arrived, or merged timelines would depend on arrival order.
@@ -798,8 +921,8 @@ func (ix *Index) FirstObserved(p netx.Prefix) (timex.Day, bool) {
 	var first timex.Day
 	found := false
 	for _, s := range ix.spansOf(p) {
-		if !found || s.from < first {
-			first, found = s.from, true
+		if !found || s.From < first {
+			first, found = s.From, true
 		}
 	}
 	return first, found
@@ -810,19 +933,31 @@ func (ix *Index) FirstObserved(p netx.Prefix) (timex.Day, bool) {
 // is the "is this address space routed" test used for ROA routing status.
 func (ix *Index) AnyOverlapObserved(p netx.Prefix, d timex.Day) bool {
 	if ix.built {
-		found := false
-		check := func(_ netx.Prefix, sid uint32) bool {
-			if ix.eventCount(sid, d) > 0 {
-				found = true
-				return false
+		// Covering prefixes: probe each of the <= 33 possible
+		// shorter-or-equal lengths directly (p itself at b == Bits()).
+		for b := 0; b <= p.Bits(); b++ {
+			q := netx.PrefixFrom(p.Addr(), b)
+			if sid, ok := ix.sortedID(q); ok && ix.eventCount(sid, d) > 0 {
+				return true
 			}
-			return true
 		}
-		ix.trie.Covering(p, check)
-		if !found {
-			ix.trie.CoveredBy(p, check)
+		// Covered prefixes: IPv4 prefix ranges are laminar, so every
+		// distinct prefix inside p's address range is one contiguous run
+		// of sorted starting at p's insertion point. Entries at p.Addr()
+		// with shorter length sort before that point and were probed
+		// above; the Covers filter only excludes them defensively.
+		i, _ := netx.SearchPrefixes(ix.sorted, p)
+		last := p.LastAddr()
+		for ; i < len(ix.sorted); i++ {
+			q := ix.sorted[i]
+			if q.Addr() > last {
+				break
+			}
+			if p.Covers(q) && ix.eventCount(uint32(i), d) > 0 {
+				return true
+			}
 		}
-		return found
+		return false
 	}
 	for i := 0; i < ix.prefixes.Len(); i++ {
 		q := ix.prefixes.At(uint32(i))
@@ -868,8 +1003,8 @@ func (ix *Index) MOASConflicts(d timex.Day) []MOAS {
 	var out []MOAS
 	collect := func(p netx.Prefix) {
 		origins := make(map[bgp.ASN]bool)
-		firstCovering(ix.spansOf(p), d, func(s rawSpan) bool {
-			origins[ix.paths.Meta(s.path).Origin] = true
+		firstCovering(ix.spansOf(p), d, func(s Span) bool {
+			origins[ix.paths.Meta(s.Path).Origin] = true
 			return true
 		})
 		if len(origins) < 2 {
@@ -908,11 +1043,14 @@ type OriginActivity struct {
 	OriginatedDays int           // sum of span lengths across prefixes and peers' merged spans
 }
 
-// ByOrigin aggregates origination activity per origin AS.
+// ByOrigin aggregates origination activity per origin AS. Iteration
+// order (interner order before Close, address order after) does not
+// leak into the result: the per-origin prefix lists are sorted and the
+// day sums are order-independent.
 func (ix *Index) ByOrigin() map[bgp.ASN]*OriginActivity {
 	out := make(map[bgp.ASN]*OriginActivity)
-	for i := 0; i < ix.prefixes.Len(); i++ {
-		p := ix.prefixes.At(uint32(i))
+	for i, n := 0, ix.NumPrefixes(); i < n; i++ {
+		p := ix.prefixAt(i)
 		for _, span := range ix.OriginTimeline(p) {
 			act := out[span.Origin]
 			if act == nil {

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package ribsnap
+
+import "os"
+
+// mapFile reads the whole file on platforms without the mmap path.
+// The zero-copy casts still apply to the read buffer when aligned, so
+// only the one-time file read costs more than the mapped variant.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

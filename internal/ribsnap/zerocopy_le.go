@@ -1,0 +1,71 @@
+// Zero-copy section adoption for little-endian platforms: the on-disk
+// little-endian layout of every numeric column is exactly its in-memory
+// layout here, so a mapped (or whole-read) file's bytes can be
+// reinterpreted as the typed slices rib.FromFrozen adopts. Each cast
+// verifies the platform alignment of the element type and returns nil
+// — selecting the copying fallback — when the backing bytes are not
+// aligned; mmap returns page-aligned memory and sections are 8-byte
+// aligned within the file, so in practice the casts always apply on
+// the mapped path.
+
+//go:build 386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm
+
+package ribsnap
+
+import (
+	"unsafe"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/rib"
+	"dropscope/internal/timex"
+)
+
+// The span cast depends on rib.Span's exact 20-byte field layout;
+// these compile-time assertions pin it so a struct change breaks the
+// build here instead of silently corrupting snapshots.
+var (
+	_ [unsafe.Sizeof(rib.Span{})]byte        = [20]byte{}
+	_ [unsafe.Offsetof(rib.Span{}.Peer)]byte = [4]byte{}
+	_ [unsafe.Offsetof(rib.Span{}.From)]byte = [8]byte{}
+	_ [unsafe.Offsetof(rib.Span{}.To)]byte   = [12]byte{}
+	_ [unsafe.Offsetof(rib.Span{}.Path)]byte = [16]byte{}
+)
+
+func aligned(b []byte, align uintptr) bool {
+	return uintptr(unsafe.Pointer(unsafe.SliceData(b)))%align == 0
+}
+
+func spansZeroCopy(b []byte) []rib.Span {
+	if len(b) == 0 || len(b)%20 != 0 || !aligned(b, unsafe.Alignof(rib.Span{})) {
+		return nil
+	}
+	return unsafe.Slice((*rib.Span)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/20)
+}
+
+func u32sZeroCopy(b []byte) []uint32 {
+	if len(b) == 0 || len(b)%4 != 0 || !aligned(b, 4) {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/4)
+}
+
+func i32sZeroCopy(b []byte) []int32 {
+	if len(b) == 0 || len(b)%4 != 0 || !aligned(b, 4) {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/4)
+}
+
+func daysZeroCopy(b []byte) []timex.Day {
+	if len(b) == 0 || len(b)%4 != 0 || !aligned(b, 4) {
+		return nil
+	}
+	return unsafe.Slice((*timex.Day)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/4)
+}
+
+func asnsZeroCopy(b []byte) []bgp.ASN {
+	if len(b) == 0 || len(b)%4 != 0 || !aligned(b, 4) {
+		return nil
+	}
+	return unsafe.Slice((*bgp.ASN)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/4)
+}

@@ -1,0 +1,20 @@
+// On big-endian platforms the little-endian file layout never matches
+// memory, so every zero-copy cast declines and the explicit
+// little-endian copying decoders in ribsnap.go run instead. Answers
+// are identical either way; only load cost differs.
+
+//go:build !(386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm)
+
+package ribsnap
+
+import (
+	"dropscope/internal/bgp"
+	"dropscope/internal/rib"
+	"dropscope/internal/timex"
+)
+
+func spansZeroCopy([]byte) []rib.Span { return nil }
+func u32sZeroCopy([]byte) []uint32    { return nil }
+func i32sZeroCopy([]byte) []int32     { return nil }
+func daysZeroCopy([]byte) []timex.Day { return nil }
+func asnsZeroCopy([]byte) []bgp.ASN   { return nil }

@@ -1,17 +1,18 @@
 #!/usr/bin/env bash
-# bench.sh — measurement harness for the allocation-disciplined hot
-# path. Runs the two end-to-end benchmarks (BenchmarkPipelineNew,
-# BenchmarkEndToEnd) with -benchmem, averages the runs, and gates CI on
-# allocs/op against the committed BENCH_PR4.json.
+# bench.sh — measurement harness for the hot path. Runs the end-to-end
+# benchmarks (BenchmarkPipelineNew, BenchmarkEndToEnd, BenchmarkWarmStart)
+# with -benchmem, averages the runs, and gates CI on allocs/op against
+# the committed BENCH_PR5.json.
 #
 # Usage:
-#   scripts/bench.sh run                 # measure now; writes bench-pr4-raw.txt
-#                                        # and bench-pr4-current.json
+#   scripts/bench.sh run                 # measure now; writes bench-raw.txt
+#                                        # and bench-current.json (gitignored)
 #   scripts/bench.sh compare OLD NEW     # two raw files: benchstat when
 #                                        # installed, an awk delta table otherwise
+#                                        # (e.g. a cold-only vs warm-enabled run)
 #   scripts/bench.sh check               # CI gate: fresh allocs/op must be within
 #                                        # BENCH_ALLOC_TOLERANCE % of the committed
-#                                        # "after" numbers in BENCH_PR4.json
+#                                        # "after" numbers in BENCH_PR5.json
 #
 # Environment:
 #   BENCH_COUNT            repetitions per benchmark (default 3)
@@ -20,7 +21,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES='BenchmarkPipelineNew|BenchmarkEndToEnd'
+BENCHES='BenchmarkPipelineNew|BenchmarkEndToEnd|BenchmarkWarmStart'
+BASELINE=BENCH_PR5.json
 COUNT="${BENCH_COUNT:-3}"
 TIME="${BENCH_TIME:-3x}"
 TOL="${BENCH_ALLOC_TOLERANCE:-10}"
@@ -60,9 +62,9 @@ json_results() {
 
 run() {
   echo "== bench: $BENCHES (count=$COUNT, benchtime=$TIME)"
-  run_benches | tee bench-pr4-raw.txt
+  run_benches | tee bench-raw.txt
   local summary
-  summary="$(summarize bench-pr4-raw.txt)"
+  summary="$(summarize bench-raw.txt)"
   {
     printf '{\n'
     printf '  "config": { "count": %s, "benchtime": "%s", "go": "%s" },\n' \
@@ -70,10 +72,10 @@ run() {
     printf '  "results": [\n'
     json_results "$summary"
     printf '  ]\n}\n'
-  } >bench-pr4-current.json
+  } >bench-current.json
   echo "== averages (ns/op, B/op, allocs/op)"
   echo "$summary" | awk '{ printf "%-28s %14s %14s %10s\n", $1, $2, $3, $4 }'
-  echo "== wrote bench-pr4-raw.txt, bench-pr4-current.json"
+  echo "== wrote bench-raw.txt, bench-current.json"
 }
 
 compare() {
@@ -95,8 +97,8 @@ compare() {
 }
 
 check() {
-  if [ ! -f BENCH_PR4.json ]; then
-    echo "BENCH_PR4.json missing; nothing to gate against" >&2
+  if [ ! -f "$BASELINE" ]; then
+    echo "$BASELINE missing; nothing to gate against" >&2
     exit 1
   fi
   run
@@ -104,7 +106,7 @@ check() {
   while read -r line; do
     name=$(sed 's/.*"bench": *"\([^"]*\)".*/\1/' <<<"$line")
     committed=$(sed 's/.*"after": *{[^}]*"allocs_op": *\([0-9]*\).*/\1/' <<<"$line")
-    measured=$(awk -v k="$name" '$1 == k { print $4 }' <(summarize bench-pr4-raw.txt))
+    measured=$(awk -v k="$name" '$1 == k { print $4 }' <(summarize bench-raw.txt))
     if [ -z "$measured" ]; then
       echo "GATE MISS  $name: not measured" >&2
       fail=1
@@ -117,7 +119,7 @@ check() {
       echo "GATE FAIL  $name: allocs/op $measured exceeds committed $committed by more than ${TOL}%" >&2
       fail=1
     fi
-  done < <(grep '"bench"' BENCH_PR4.json)
+  done < <(grep '"bench"' "$BASELINE")
   exit "$fail"
 }
 

@@ -3,7 +3,7 @@
 # (.github/workflows/ci.yml) and the Makefile both run these commands, so
 # local runs and the gate stay in lockstep.
 #
-# Usage: scripts/check.sh [build|vet|fmt|test|race|bench|fuzz|faults|chaos|all]
+# Usage: scripts/check.sh [build|vet|fmt|test|race|bench|fuzz|faults|chaos|warmstart|all]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,9 +50,10 @@ bench() { go test -bench=. -benchtime=1x -run='^$' ./...; }
 
 # benchgate is the allocation-regression gate: the zero-alloc unit tests
 # (mrt.Reader.Next in reuse mode, the post-Close rib point queries) plus
-# scripts/bench.sh check, which re-measures BenchmarkPipelineNew and
-# BenchmarkEndToEnd and fails if allocs/op regresses more than
-# BENCH_ALLOC_TOLERANCE % over the committed BENCH_PR4.json numbers.
+# scripts/bench.sh check, which re-measures BenchmarkPipelineNew,
+# BenchmarkEndToEnd, and BenchmarkWarmStart and fails if allocs/op
+# regresses more than BENCH_ALLOC_TOLERANCE % over the committed
+# BENCH_PR5.json numbers.
 benchgate() {
   go test -run 'TestReaderNextReuseAllocs' ./internal/mrt
   go test -run 'TestPointQueryAllocs' ./internal/rib
@@ -96,6 +97,75 @@ chaos() {
     ./internal/rtr
 }
 
+# warmstart is the warm-start acceptance gate, driven through the real
+# CLI. It saves an archive, renders it with the index cache disabled,
+# renders it once more with the cache on (a cold build that writes the
+# snapshot), then renders three warm loads — parallel, serial, strict —
+# and requires all five reports byte-identical. It finishes by checking
+# the committed BENCH_PR5.json holds the warm-start bar: WarmStart at
+# most WARM_RATIO % (default 20) of PipelineNew/serial in both ns/op
+# and allocs/op.
+warmstart() {
+  local tmp scale
+  tmp="$(mktemp -d)"
+  # shellcheck disable=SC2064 -- expand now: $tmp is a function local.
+  trap "rm -rf '$tmp'" EXIT
+  scale="${WARMSTART_SCALE:-512}"
+  echo "--- warmstart: generating archive (scale $scale)"
+  go run ./cmd/dropscope -scale "$scale" -save "$tmp/arch" >/dev/null
+  echo "--- warmstart: cold render, cache off"
+  go run ./cmd/dropscope -load "$tmp/arch" -index-cache off >"$tmp/cold.txt"
+  echo "--- warmstart: first cached load (cold build, writes snapshot)"
+  go run ./cmd/dropscope -load "$tmp/arch" >"$tmp/first.txt"
+  if [ ! -f "$tmp/arch/ribsnap/index.ribsnap" ]; then
+    echo "warmstart: snapshot was not written" >&2
+    return 1
+  fi
+  echo "--- warmstart: warm loads (parallel, serial, strict)"
+  go run ./cmd/dropscope -load "$tmp/arch" >"$tmp/warm.txt"
+  go run ./cmd/dropscope -load "$tmp/arch" -serial >"$tmp/warm-serial.txt"
+  go run ./cmd/dropscope -load "$tmp/arch" -strict >"$tmp/warm-strict.txt"
+  local f
+  for f in first warm warm-serial warm-strict; do
+    if ! cmp -s "$tmp/cold.txt" "$tmp/$f.txt"; then
+      echo "warmstart: $f render differs from the cold render" >&2
+      return 1
+    fi
+  done
+  echo "--- warmstart: all renders byte-identical"
+  warmratio
+}
+
+# warmratio checks the committed warm/cold ratio in BENCH_PR5.json.
+warmratio() {
+  if [ ! -f BENCH_PR5.json ]; then
+    echo "BENCH_PR5.json missing; nothing to gate against" >&2
+    return 1
+  fi
+  awk -v tol="${WARM_RATIO:-20}" '
+    /"bench"/ {
+      name = $0; sub(/.*"bench": *"/, "", name); sub(/".*/, "", name)
+      after = $0; sub(/.*"after": *{/, "", after)
+      ns = after; sub(/.*"ns_op": */, "", ns); sub(/[,}].*/, "", ns)
+      al = after; sub(/.*"allocs_op": */, "", al); sub(/[,}].*/, "", al)
+      NS[name] = ns; AL[name] = al
+    }
+    END {
+      if (NS["WarmStart"] == "" || NS["PipelineNew/serial"] == "") {
+        print "warmratio: WarmStart or PipelineNew/serial missing from BENCH_PR5.json" > "/dev/stderr"
+        exit 1
+      }
+      rns = NS["WarmStart"] / NS["PipelineNew/serial"] * 100
+      ral = AL["WarmStart"] / AL["PipelineNew/serial"] * 100
+      printf "warm/cold committed ratio: %.1f%% ns/op, %.1f%% allocs/op (bar %d%%)\n", rns, ral, tol
+      if (rns > tol || ral > tol) {
+        print "WARM GATE FAIL: warm start exceeds the ratio bar" > "/dev/stderr"
+        exit 1
+      }
+      print "WARM GATE OK"
+    }' BENCH_PR5.json
+}
+
 all() { build; vet; fmt; test_; race; bench; }
 
 case "${1:-all}" in
@@ -109,9 +179,11 @@ case "${1:-all}" in
   fuzz) fuzz ;;
   faults) faults ;;
   chaos) chaos ;;
+  warmstart) warmstart ;;
+  warmratio) warmratio ;;
   all) all ;;
   *)
-    echo "usage: $0 [build|vet|fmt|test|race|bench|benchgate|fuzz|faults|chaos|all]" >&2
+    echo "usage: $0 [build|vet|fmt|test|race|bench|benchgate|fuzz|faults|chaos|warmstart|all]" >&2
     exit 2
     ;;
 esac

@@ -1,7 +1,7 @@
 # Convenience wrappers over scripts/check.sh — the same commands CI runs
 # (.github/workflows/ci.yml), so a green `make all` locally means a green
 # gate.
-.PHONY: all build vet fmt test race bench benchgate fuzz faults chaos warmstart
+.PHONY: all build vet fmt test race bench benchgate fuzz faults chaos warmstart serve lint loadtest
 
 all:
 	scripts/check.sh all
@@ -38,3 +38,12 @@ chaos:
 
 warmstart:
 	scripts/check.sh warmstart
+
+serve:
+	scripts/check.sh serve
+
+lint:
+	scripts/check.sh lint
+
+loadtest:
+	scripts/loadtest.sh

@@ -1,0 +1,209 @@
+// Command dropscoped is the long-lived query daemon over a study
+// archive: it loads the archive once (memory-mapping the persistent
+// index snapshot when it matches), then answers the paper's per-prefix
+// questions over HTTP — /v1/visibility, /v1/rov, /v1/drop, /v1/origins,
+// /v1/figures/{day} — plus /healthz and /metrics.
+//
+// Usage:
+//
+//	dropscoped -archive DIR [-listen ADDR] [-snapshot DIR|off] [-first DAY] [-last DAY]
+//	           [-workers N] [-max-skip N]
+//	dropscoped -archive DIR -loadtest [-clients N] [-duration D] [-seed N] [-ring N] [-swaps M]
+//
+// SIGHUP reloads the archive directory and swaps the new generation in
+// atomically: queries in flight finish against the generation they
+// started on, new queries land on the new one, and the old mapping is
+// unmapped after its last reader exits. Every response carries the
+// generation digest (body field "generation" and the
+// X-Dropscope-Generation header), so a client can always tell which
+// archive state answered it.
+//
+// -loadtest boots the daemon on a loopback listener, drives a seeded
+// deterministic request mix against it for -duration, and prints a QPS
+// and latency-percentile summary as JSON — the measurement behind
+// BENCH_PR6.json and the CI serve gate. -swaps M additionally performs
+// M in-process generation swaps spread over the run, so the measured
+// load includes swap traffic.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"dropscope"
+	"dropscope/internal/serve"
+	"dropscope/internal/timex"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dropscoped:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		archiveDir = flag.String("archive", "", "study archive directory (required)")
+		listen     = flag.String("listen", "127.0.0.1:8434", "listen address")
+		snapshot   = flag.String("snapshot", "auto", `index snapshot directory ("auto" = ARCHIVE/ribsnap, "off" disables)`)
+		first      = flag.String("first", "", "window first day (default: the study default)")
+		last       = flag.String("last", "", "window last day (default: the study default)")
+		workers    = flag.Int("workers", 0, "cold-build RIB loading workers (0 = GOMAXPROCS)")
+		maxSkip    = flag.Int("max-skip", 0, "per-collector skip budget (0 = default, negative = unlimited)")
+
+		loadtest = flag.Bool("loadtest", false, "run the deterministic load driver and exit")
+		clients  = flag.Int("clients", 8, "loadtest: concurrent clients")
+		duration = flag.Duration("duration", 2*time.Second, "loadtest: run length")
+		seed     = flag.Uint64("seed", 1, "loadtest: request-mix seed")
+		ring     = flag.Int("ring", 4096, "loadtest: distinct requests in the mix")
+		swaps    = flag.Int("swaps", 0, "loadtest: in-process generation swaps during the run")
+	)
+	flag.Parse()
+	if *archiveDir == "" {
+		fmt.Fprintln(os.Stderr, "dropscoped: -archive is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	window := dropscope.DefaultConfig().Window
+	if *first != "" {
+		d, err := timex.ParseDay(*first)
+		if err != nil {
+			fatal(err)
+		}
+		window.First = d
+	}
+	if *last != "" {
+		d, err := timex.ParseDay(*last)
+		if err != nil {
+			fatal(err)
+		}
+		window.Last = d
+	}
+	opts := serve.LoadOptions{
+		Window:  window,
+		MaxSkip: *maxSkip,
+		Workers: *workers,
+	}
+	switch *snapshot {
+	case "off":
+	case "auto":
+		opts.SnapshotDir = filepath.Join(*archiveDir, "ribsnap")
+	default:
+		opts.SnapshotDir = *snapshot
+	}
+
+	t0 := time.Now()
+	gen, err := serve.Load(*archiveDir, opts)
+	if err != nil {
+		fatal(err)
+	}
+	srv := serve.New(gen)
+	log.Printf("dropscoped: loaded generation %s in %v (window %s)",
+		gen.DigestHex()[:12], time.Since(t0).Round(time.Millisecond), gen.Window())
+
+	if *loadtest {
+		runLoadtest(srv, gen, *archiveDir, opts, *clients, *duration, *seed, *ring, *swaps)
+		return
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("dropscoped: serving on http://%s", ln.Addr())
+	httpSrv := &http.Server{Handler: srv}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	for s := range sig {
+		if s != syscall.SIGHUP {
+			break
+		}
+		// Reload and swap. A failed reload keeps the current generation
+		// serving: a broken archive must never take the daemon down.
+		t0 := time.Now()
+		next, err := serve.Load(*archiveDir, opts)
+		if err != nil {
+			log.Printf("dropscoped: SIGHUP reload failed, keeping generation %s: %v",
+				srv.Generation().DigestHex()[:12], err)
+			continue
+		}
+		srv.Swap(next)
+		log.Printf("dropscoped: SIGHUP swapped in generation %s in %v",
+			next.DigestHex()[:12], time.Since(t0).Round(time.Millisecond))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+}
+
+// runLoadtest boots a loopback listener, drives the seeded request mix,
+// and prints the LoadResult JSON. With swaps > 0 it reloads the archive
+// and swaps generations mid-load at even intervals, so the run also
+// proves swap-under-load keeps every request whole.
+func runLoadtest(srv *serve.Server, gen *serve.Generation, archiveDir string, opts serve.LoadOptions, clients int, duration time.Duration, seed uint64, ring, swaps int) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	paths := serve.RequestMix(gen, seed, ring)
+	done := make(chan struct{})
+	if swaps > 0 {
+		go func() {
+			interval := duration / time.Duration(swaps+1)
+			for i := 0; i < swaps; i++ {
+				select {
+				case <-done:
+					return
+				case <-time.After(interval):
+				}
+				next, err := serve.Load(archiveDir, opts)
+				if err != nil {
+					log.Printf("dropscoped: loadtest swap %d failed: %v", i+1, err)
+					continue
+				}
+				srv.Swap(next)
+			}
+		}()
+	}
+	res, err := serve.RunLoad("http://"+ln.Addr().String(), paths, serve.RunOptions{
+		Clients:  clients,
+		Duration: duration,
+	})
+	close(done)
+	if err != nil {
+		fatal(err)
+	}
+	out := struct {
+		serve.LoadResult
+		Swaps   uint64 `json:"swaps"`
+		Clients int    `json:"clients"`
+		Seed    uint64 `json:"seed"`
+	}{res, srv.Swaps(), clients, seed}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}

@@ -783,6 +783,16 @@ func (ix *Index) visCount(p netx.Prefix, d timex.Day) int {
 	return n
 }
 
+// NumPeers returns the number of registered peers across all collectors.
+func (ix *Index) NumPeers() int { return len(ix.peers) }
+
+// VisibleCount returns how many peers carried an exact route for p on
+// day d. After Close it is two binary searches and allocates nothing —
+// the point query serving layers sit in their request hot path.
+func (ix *Index) VisibleCount(p netx.Prefix, d timex.Day) int {
+	return ix.visCount(p, d)
+}
+
 // PeersObserving returns the peers that carried an exact route for p on
 // day d.
 func (ix *Index) PeersObserving(p netx.Prefix, d timex.Day) []PeerRef {

@@ -47,6 +47,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"dropscope/internal/bgp"
 	"dropscope/internal/netx"
@@ -92,6 +93,14 @@ var (
 	ErrStale     = errors.New("ribsnap: snapshot stale (archive digest mismatch)")
 )
 
+// ErrClosed is returned by Acquire once Close has been called: the
+// mapping is (or is about to be) gone, and a reader that proceeded
+// anyway would fault on the unmapped pages. Long-lived readers — the
+// query daemon's request handlers — must bracket every use of the
+// index with Acquire/Release and treat ErrClosed as "this generation
+// is retired, look up the current one".
+var ErrClosed = errors.New("ribsnap: snapshot closed")
+
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // CollectorCount records how many MRT records one collector
@@ -107,22 +116,86 @@ type CollectorCount struct {
 // ingest bookkeeping a warm start must replay. When the file was
 // memory-mapped, the index's columnar store aliases the mapping;
 // Close unmaps it, after which the index must not be used.
+//
+// # Lifetime under concurrent readers
+//
+// The mapped slices carry no lifetime information of their own: a
+// reader still walking the index when the mapping is released faults.
+// Single-owner callers (the warm-start CLI path) simply Close when
+// done. Concurrent-reader callers — the query daemon, where any number
+// of in-flight requests share one snapshot while a reload retires it —
+// bracket each use with Acquire/Release. Close then only marks the
+// snapshot closed: new Acquire calls fail with ErrClosed, and the
+// mapping is actually released by whichever of Close or the final
+// Release runs last. The zero Snapshot (no mapping) supports the same
+// protocol with a no-op unmap, so cold-built indexes can share the
+// daemon's generation plumbing.
 type Snapshot struct {
 	Index  *rib.Index
 	Window timex.Range
 	Counts []CollectorCount
+	// Digest is the archive digest the snapshot was keyed on — the
+	// generation identity a serving layer reports with every response.
+	Digest [32]byte
 
 	unmap func() error
+
+	mu     sync.Mutex
+	refs   int
+	closed bool
 }
 
-// Close releases the file mapping backing the index, if any.
-func (s *Snapshot) Close() error {
-	if s.unmap == nil {
-		return nil
+// Acquire registers a reader. It fails with ErrClosed once Close has
+// run; on success the caller must Release exactly once when done, and
+// until then the index and every slice derived from it stay valid.
+func (s *Snapshot) Acquire() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
 	}
-	u := s.unmap
-	s.unmap = nil
-	return u()
+	s.refs++
+	return nil
+}
+
+// Release drops one Acquire. The reader must not touch the index
+// afterwards. If Close already ran and this was the last reader, the
+// mapping is released now.
+func (s *Snapshot) Release() {
+	s.mu.Lock()
+	if s.refs <= 0 {
+		s.mu.Unlock()
+		panic("ribsnap: Release without matching Acquire")
+	}
+	s.refs--
+	last := s.refs == 0 && s.closed
+	var u func() error
+	if last {
+		u, s.unmap = s.unmap, nil
+	}
+	s.mu.Unlock()
+	if u != nil {
+		u()
+	}
+}
+
+// Close retires the snapshot: subsequent Acquire calls fail with
+// ErrClosed. With no readers in flight the file mapping is released
+// immediately and its error returned; otherwise the last Release
+// unmaps and Close returns nil. Close is idempotent and safe to call
+// concurrently with Acquire/Release.
+func (s *Snapshot) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	var u func() error
+	if s.refs == 0 {
+		u, s.unmap = s.unmap, nil
+	}
+	s.mu.Unlock()
+	if u != nil {
+		return u()
+	}
+	return nil
 }
 
 // DigestMRT hashes the MRT archive state under dir: for every *.mrt
@@ -519,6 +592,7 @@ func decode(data []byte, digest [32]byte) (*Snapshot, error) {
 	if stored != digest {
 		return nil, ErrStale
 	}
+	snapDigest := stored
 
 	if nsec < 0 || nsec*tableEntry > len(payload) {
 		return nil, fmt.Errorf("%w: section table overruns payload", ErrCorrupt)
@@ -546,6 +620,7 @@ func decode(data []byte, digest [32]byte) (*Snapshot, error) {
 	}
 
 	var snap Snapshot
+	snap.Digest = snapDigest
 
 	meta, err := need(secMeta)
 	if err != nil {

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"net/http"
+	"net/url"
+	"testing"
+)
+
+// nullWriter is a reusable non-allocating http.ResponseWriter: the
+// header map persists across requests (so the in-place setHeader path
+// engages) and writes are counted, not stored. It isolates the
+// handlers' own allocation behavior from net/http's connection
+// plumbing, which the zero-alloc guarantee explicitly excludes.
+type nullWriter struct {
+	header  http.Header
+	status  int
+	written int
+}
+
+func (w *nullWriter) Header() http.Header { return w.header }
+func (w *nullWriter) WriteHeader(c int)   { w.status = c }
+func (w *nullWriter) Write(b []byte) (int, error) {
+	w.written += len(b)
+	return len(b), nil
+}
+
+// TestPointHandlerAllocs is the PR 6 allocation gate: the steady-state
+// point-query handlers — visibility, rov with explicit origin, drop —
+// must run ServeHTTP end to end (routing, parsing, query, encoding)
+// without a single heap allocation. Skipped under -race like the other
+// allocation guards: instrumentation perturbs the counts.
+func TestPointHandlerAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	g := loadGen(t)
+	s := New(g)
+	p := escapePrefix(g.samples[len(g.samples)/2])
+	day := g.window.Last.String()
+
+	cases := []struct {
+		name string
+		path string
+	}{
+		{"visibility", "/v1/visibility?prefix=" + p + "&day=" + day},
+		{"rov", "/v1/rov?prefix=" + p + "&day=" + day + "&origin=64500&as0=1"},
+		{"drop", "/v1/drop?prefix=" + p + "&day=" + day},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			u, err := url.Parse(c.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One long-lived request and writer, as a keep-alive
+			// connection's handler sees them.
+			req := &http.Request{Method: http.MethodGet, URL: u}
+			w := &nullWriter{header: make(http.Header)}
+			avg := testing.AllocsPerRun(200, func() {
+				w.written = 0
+				s.ServeHTTP(w, req)
+				if w.written == 0 {
+					t.Fatal("handler wrote nothing")
+				}
+			})
+			if avg != 0 {
+				t.Errorf("%s: %v allocs/op, want 0", c.name, avg)
+			}
+		})
+	}
+}

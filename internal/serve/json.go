@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/netx"
+	"dropscope/internal/timex"
+)
+
+// reqState is the pooled per-request scratch: the response body under
+// construction and a small buffer percent-decoded query values land in.
+// One reqState serves one request at a time; the pool recycles them so
+// steady-state point queries allocate nothing.
+type reqState struct {
+	body    []byte
+	scratch [64]byte
+}
+
+// params is the decoded point-query parameter set. bad names the first
+// malformed parameter ("" when the query parsed).
+type params struct {
+	prefix    netx.Prefix
+	hasPrefix bool
+	day       timex.Day
+	hasDay    bool
+	origin    bgp.ASN
+	hasOrigin bool
+	as0       bool
+	bad       string
+}
+
+// parseParams scans a raw query string without allocating: values are
+// percent-decoded into st.scratch and parsed to values in place.
+// Unknown keys are ignored.
+func parseParams(raw string, st *reqState) params {
+	var q params
+	for len(raw) > 0 {
+		var kv string
+		if i := indexByte(raw, '&'); i >= 0 {
+			kv, raw = raw[:i], raw[i+1:]
+		} else {
+			kv, raw = raw, ""
+		}
+		eq := indexByte(kv, '=')
+		if eq < 0 {
+			continue
+		}
+		k, v := kv[:eq], kv[eq+1:]
+		val, ok := unescape(st.scratch[:0], v)
+		if !ok {
+			q.bad = k
+			return q
+		}
+		switch k {
+		case "prefix":
+			q.prefix, ok = parsePrefixBytes(val)
+			q.hasPrefix = ok
+		case "day":
+			q.day, ok = parseDayBytes(val)
+			q.hasDay = ok
+		case "origin":
+			q.origin, ok = parseASNBytes(val)
+			q.hasOrigin = ok
+		case "as0":
+			q.as0, ok = parseBoolBytes(val)
+		default:
+			continue
+		}
+		if !ok {
+			q.bad = k
+			return q
+		}
+	}
+	return q
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// unescape percent-decodes s into dst ('+' decodes to space). It
+// reports false on a malformed or over-long escape sequence.
+func unescape(dst []byte, s string) ([]byte, bool) {
+	for i := 0; i < len(s); i++ {
+		if len(dst) == cap(dst) {
+			return nil, false
+		}
+		switch c := s[i]; c {
+		case '%':
+			if i+2 >= len(s) {
+				return nil, false
+			}
+			hi, ok1 := unhex(s[i+1])
+			lo, ok2 := unhex(s[i+2])
+			if !ok1 || !ok2 {
+				return nil, false
+			}
+			dst = append(dst, hi<<4|lo)
+			i += 2
+		case '+':
+			dst = append(dst, ' ')
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst, true
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// parsePrefixBytes parses "a.b.c.d/len" with netx.ParsePrefix semantics
+// (host bits below the mask must be zero) from bytes, allocation-free.
+func parsePrefixBytes(b []byte) (netx.Prefix, bool) {
+	slash := -1
+	for i := 0; i < len(b); i++ {
+		if b[i] == '/' {
+			slash = i
+			break
+		}
+	}
+	if slash < 0 {
+		return netx.Prefix{}, false
+	}
+	var addr uint32
+	part, val := 0, -1
+	for _, c := range b[:slash] {
+		switch {
+		case c >= '0' && c <= '9':
+			if val < 0 {
+				val = 0
+			}
+			val = val*10 + int(c-'0')
+			if val > 255 {
+				return netx.Prefix{}, false
+			}
+		case c == '.':
+			if val < 0 || part == 3 {
+				return netx.Prefix{}, false
+			}
+			addr = addr<<8 | uint32(val)
+			val, part = -1, part+1
+		default:
+			return netx.Prefix{}, false
+		}
+	}
+	if part != 3 || val < 0 {
+		return netx.Prefix{}, false
+	}
+	addr = addr<<8 | uint32(val)
+	bits, ok := parseUint(b[slash+1:], 32)
+	if !ok {
+		return netx.Prefix{}, false
+	}
+	p := netx.PrefixFrom(netx.Addr(addr), int(bits))
+	if p.Addr() != netx.Addr(addr) { // host bits were set
+		return netx.Prefix{}, false
+	}
+	return p, true
+}
+
+// parseDayBytes parses "YYYY-MM-DD" or "YYYYMMDD". The round-trip check
+// through Date rejects normalized nonsense dates like February 30.
+func parseDayBytes(b []byte) (timex.Day, bool) {
+	var y, m, dd uint64
+	var ok bool
+	switch len(b) {
+	case 10:
+		if b[4] != '-' || b[7] != '-' {
+			return 0, false
+		}
+		if y, ok = parseUint(b[:4], 9999); !ok {
+			return 0, false
+		}
+		if m, ok = parseUint(b[5:7], 12); !ok {
+			return 0, false
+		}
+		dd, ok = parseUint(b[8:], 31)
+	case 8:
+		if y, ok = parseUint(b[:4], 9999); !ok {
+			return 0, false
+		}
+		if m, ok = parseUint(b[4:6], 12); !ok {
+			return 0, false
+		}
+		dd, ok = parseUint(b[6:], 31)
+	default:
+		return 0, false
+	}
+	if !ok || m == 0 || dd == 0 {
+		return 0, false
+	}
+	d := timex.DateDay(int(y), time.Month(m), int(dd))
+	ry, rm, rd := d.Date()
+	if ry != int(y) || rm != time.Month(m) || rd != int(dd) {
+		return 0, false
+	}
+	return d, true
+}
+
+// parseASNBytes parses a decimal AS number, with an optional "AS"/"as"
+// prefix.
+func parseASNBytes(b []byte) (bgp.ASN, bool) {
+	if len(b) >= 2 && (b[0] == 'A' || b[0] == 'a') && (b[1] == 'S' || b[1] == 's') {
+		b = b[2:]
+	}
+	n, ok := parseUint(b, 1<<32-1)
+	return bgp.ASN(n), ok
+}
+
+func parseBoolBytes(b []byte) (bool, bool) {
+	switch string(b) { // compiler-recognized: no allocation in a switch
+	case "1", "true":
+		return true, true
+	case "0", "false", "":
+		return false, true
+	}
+	return false, false
+}
+
+func parseUint(b []byte, max uint64) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + uint64(c-'0')
+		if n > max {
+			return 0, false
+		}
+	}
+	return n, true
+}
+
+// appendPrefix renders p as "a.b.c.d/len".
+func appendPrefix(b []byte, p netx.Prefix) []byte {
+	o1, o2, o3, o4 := p.Addr().Octets()
+	b = strconv.AppendUint(b, uint64(o1), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(o2), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(o3), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(o4), 10)
+	b = append(b, '/')
+	return strconv.AppendUint(b, uint64(p.Bits()), 10)
+}
+
+// appendDay renders d as "YYYY-MM-DD" (years 1000-9999, the study's
+// working range).
+func appendDay(b []byte, d timex.Day) []byte {
+	y, m, dd := d.Date()
+	return append(b,
+		byte('0'+y/1000%10), byte('0'+y/100%10), byte('0'+y/10%10), byte('0'+y%10), '-',
+		byte('0'+int(m)/10), byte('0'+int(m)%10), '-',
+		byte('0'+dd/10), byte('0'+dd%10))
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, "true"...)
+	}
+	return append(b, "false"...)
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// setHeader sets a single-valued header without allocating when the
+// header was set on this map before: http.Header.Set always allocates a
+// fresh one-element slice, so we mutate the existing slice in place. The
+// first set on a fresh map still allocates; a pooled or reused
+// ResponseWriter (and the steady-state alloc guarantee) relies on the
+// in-place path.
+func setHeader(h http.Header, k, v string) {
+	if vs, ok := h[k]; ok && len(vs) == 1 {
+		vs[0] = v
+		return
+	}
+	h[k] = []string{v}
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dropscope/internal/analysis"
+	"dropscope/internal/archive"
+	"dropscope/internal/ingest"
+	"dropscope/internal/ribsnap"
+	"dropscope/internal/timex"
+)
+
+// snapshotSource and snapshotFile mirror the facade's warm-start
+// accounting so a daemon load reports snapshot health under the same
+// source name a batch load does.
+const (
+	snapshotSource = "ribsnap/index"
+	snapshotFile   = "index.ribsnap"
+)
+
+// LoadOptions configures Load.
+type LoadOptions struct {
+	// Window is the study window the generation must cover.
+	Window timex.Range
+	// MaxSkip is the per-collector skip budget (0 = ingest default,
+	// negative = unlimited). Daemon loads are always lenient: a damaged
+	// collector quarantines, it does not take the service down.
+	MaxSkip int
+	// Workers bounds the cold-build RIB loading pool.
+	Workers int
+	// SnapshotDir, when non-empty, warm-starts from
+	// SnapshotDir/index.ribsnap when it matches the archive digest, and
+	// persists a fresh snapshot there after a clean cold build so the
+	// next load (a SIGHUP reload, a restart) maps instead of rebuilding.
+	SnapshotDir string
+}
+
+// Load builds one serving generation from the archive directory: warm
+// from the snapshot when it matches the archive's MRT digest, cold
+// otherwise. A cold build over clean MRT ingest persists the snapshot
+// for the next load. The returned generation always carries the archive
+// digest — it is the identity every response reports.
+func Load(dir string, opts LoadOptions) (*Generation, error) {
+	h := ingest.NewHealth()
+	var (
+		snap       *ribsnap.Snapshot
+		digest     [32]byte
+		haveDigest bool
+		snapPath   string
+	)
+	if opts.SnapshotDir != "" {
+		snapPath = filepath.Join(opts.SnapshotDir, snapshotFile)
+	}
+	if d, derr := ribsnap.DigestMRT(filepath.Join(dir, "mrt")); derr == nil {
+		digest, haveDigest = d, true
+		if snapPath != "" {
+			s, lerr := ribsnap.Load(snapPath, digest)
+			switch {
+			case lerr != nil:
+				countSnapshotSkip(h, lerr)
+			case s.Window != opts.Window:
+				s.Close()
+				h.Source(snapshotSource).Skip(ingest.Unsupported)
+			default:
+				snap = s
+			}
+		}
+	}
+
+	b, err := archive.LoadWithOptions(dir, archive.LoadOptions{Health: h, SkipMRT: snap != nil})
+	if err != nil {
+		if snap != nil {
+			snap.Close()
+		}
+		return nil, fmt.Errorf("serve: load: %w", err)
+	}
+	aopts := analysis.Options{
+		Workers: opts.Workers,
+		Lenient: true,
+		MaxSkip: opts.MaxSkip,
+		Health:  h,
+	}
+	if snap != nil {
+		aopts.Index = snap.Index
+	}
+	p, err := analysis.NewWithOptions(analysis.Dataset{
+		Window: opts.Window,
+		DROP:   b.DROP, SBL: b.SBL, IRR: b.IRR, RPKI: b.RPKI, RIR: b.RIR,
+		MRT: b.MRT,
+	}, aopts)
+	if err != nil {
+		if snap != nil {
+			snap.Close()
+		}
+		return nil, fmt.Errorf("serve: pipeline: %w", err)
+	}
+	if snap != nil {
+		// Replay the per-collector record counts the snapshot preserved
+		// so /metrics reports what a cold build would.
+		for _, c := range snap.Counts {
+			h.Source("mrt/" + c.Collector).Accept(c.Records)
+		}
+	} else {
+		if haveDigest && snapPath != "" {
+			persistSnapshot(snapPath, p, b, opts.Window, h, digest)
+		}
+		// Serve the cold-built index behind a mapping-free snapshot: the
+		// generation lifecycle (refcount, Close-on-swap) is identical.
+		snap = &ribsnap.Snapshot{Index: p.Index, Window: opts.Window, Digest: digest}
+	}
+	return newGeneration(snap, p), nil
+}
+
+// countSnapshotSkip classifies a discarded snapshot in the health
+// accounting, as the batch loader does: a missing snapshot (first run)
+// counts nothing; truncation, corruption, version skew, and staleness
+// each count one skip.
+func countSnapshotSkip(h *ingest.Health, err error) {
+	if os.IsNotExist(err) {
+		return
+	}
+	src := h.Source(snapshotSource)
+	switch {
+	case errors.Is(err, ribsnap.ErrTruncated):
+		src.Skip(ingest.Truncated)
+	case errors.Is(err, ribsnap.ErrVersion), errors.Is(err, ribsnap.ErrStale):
+		src.Skip(ingest.Unsupported)
+	default:
+		src.Skip(ingest.Corrupt)
+	}
+}
+
+// persistSnapshot writes the freshly built index for the next load.
+// Best-effort, and it refuses to persist an index built from damaged
+// MRT ingest: a partial index must never masquerade as the archive's.
+func persistSnapshot(path string, p *analysis.Pipeline, b *archive.Bundle, window timex.Range, h *ingest.Health, digest [32]byte) {
+	for _, s := range h.Sources() {
+		if strings.HasPrefix(s.Name, "mrt/") && !s.Clean() {
+			return
+		}
+	}
+	f, err := p.Index.Frozen()
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	names := make([]string, 0, len(b.MRT))
+	for name := range b.MRT {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	counts := make([]ribsnap.CollectorCount, 0, len(names))
+	for _, name := range names {
+		counts = append(counts, ribsnap.CollectorCount{
+			Collector: name,
+			Records:   h.Source("mrt/" + name).Records,
+		})
+	}
+	_ = ribsnap.Write(path, f, window, digest, counts)
+}

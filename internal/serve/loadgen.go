@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"dropscope/internal/netx"
+	"dropscope/internal/timex"
+)
+
+// splitmix64 steps the deterministic request-mix generator — the same
+// PRNG discipline the fault-injection harness uses, so a load run is
+// reproducible from its seed alone.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e91b
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RequestMix builds a deterministic ring of n request paths over the
+// generation's own prefix universe and window: a wrk-style mix weighted
+// toward the zero-alloc point queries (visibility 50%, rov 25%, drop
+// 15%), with origins, figures, and healthz filling the tail. Prefixes
+// are percent-encoded so the driver also exercises the server's
+// unescaper.
+func RequestMix(g *Generation, seed uint64, n int) []string {
+	state := seed
+	days := g.window.Days()
+	if days < 1 {
+		days = 1
+	}
+	paths := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		p := g.samples[splitmix64(&state)%uint64(len(g.samples))]
+		d := g.window.First + timex.Day(splitmix64(&state)%uint64(days))
+		var path string
+		switch r := splitmix64(&state) % 100; {
+		case r < 50:
+			path = fmt.Sprintf("/v1/visibility?prefix=%s&day=%s", escapePrefix(p), d)
+		case r < 75:
+			// Half the rov requests pin an origin (the zero-alloc path),
+			// half derive the observed origin — but only where one exists,
+			// or the mix would bake in 404s.
+			_, observed := g.pipe.Index.OriginAt(p, d)
+			if !observed || splitmix64(&state)%2 == 0 {
+				path = fmt.Sprintf("/v1/rov?prefix=%s&day=%s&origin=%d",
+					escapePrefix(p), d, splitmix64(&state)%70000)
+			} else {
+				path = fmt.Sprintf("/v1/rov?prefix=%s&day=%s", escapePrefix(p), d)
+			}
+		case r < 90:
+			path = fmt.Sprintf("/v1/drop?prefix=%s&day=%s", escapePrefix(p), d)
+		case r < 95:
+			path = fmt.Sprintf("/v1/origins?prefix=%s", escapePrefix(p))
+		case r < 99:
+			path = fmt.Sprintf("/v1/figures/%s", d)
+		default:
+			path = "/healthz"
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+// escapePrefix percent-encodes the slash in a prefix for a query value.
+func escapePrefix(p netx.Prefix) string {
+	s := p.String()
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			return s[:i] + "%2F" + s[i+1:]
+		}
+	}
+	return s
+}
+
+// RunOptions configures RunLoad.
+type RunOptions struct {
+	// Clients is the number of concurrent request loops (default 8).
+	Clients int
+	// Duration is how long each client drives requests (default 2s).
+	Duration time.Duration
+}
+
+// LoadResult is the load run's summary, JSON-shaped for the committed
+// BENCH_PR6.json baseline and the CI serve gate.
+type LoadResult struct {
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	Seconds  float64 `json:"seconds"`
+	QPS      float64 `json:"qps"`
+	P50us    float64 `json:"p50_us"`
+	P90us    float64 `json:"p90_us"`
+	P99us    float64 `json:"p99_us"`
+	Maxus    float64 `json:"max_us"`
+}
+
+// RunLoad drives the request ring against baseURL from opts.Clients
+// concurrent loops for opts.Duration and aggregates QPS and latency
+// percentiles. Client i starts at a distinct offset into the ring, so
+// the overall mix is stable regardless of client count.
+func RunLoad(baseURL string, paths []string, opts RunOptions) (LoadResult, error) {
+	if len(paths) == 0 {
+		return LoadResult{}, fmt.Errorf("serve: empty request ring")
+	}
+	clients := opts.Clients
+	if clients <= 0 {
+		clients = 8
+	}
+	dur := opts.Duration
+	if dur <= 0 {
+		dur = 2 * time.Second
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        clients * 2,
+		MaxIdleConnsPerHost: clients * 2,
+	}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr, Timeout: 30 * time.Second}
+
+	lats := make([][]int64, clients)
+	errs := make([]uint64, clients)
+	var firstErr error
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(dur)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			buf := make([]byte, 4096)
+			i := c * len(paths) / clients
+			for time.Now().Before(deadline) {
+				path := paths[i]
+				i++
+				if i == len(paths) {
+					i = 0
+				}
+				t0 := time.Now()
+				resp, err := client.Get(baseURL + path)
+				if err != nil {
+					errs[c]++
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				for {
+					if _, err := resp.Body.Read(buf); err != nil {
+						break
+					}
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs[c]++
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+					})
+					continue
+				}
+				lats[c] = append(lats[c], time.Since(t0).Nanoseconds())
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var all []int64
+	var res LoadResult
+	for c := 0; c < clients; c++ {
+		all = append(all, lats[c]...)
+		res.Errors += errs[c]
+	}
+	res.Requests = uint64(len(all)) + res.Errors
+	res.Seconds = elapsed
+	if elapsed > 0 {
+		res.QPS = float64(len(all)) / elapsed
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		res.P50us = float64(all[len(all)*50/100]) / 1e3
+		res.P90us = float64(all[len(all)*90/100]) / 1e3
+		res.P99us = float64(all[len(all)*99/100]) / 1e3
+		res.Maxus = float64(all[len(all)-1]) / 1e3
+	}
+	if res.Errors > 0 {
+		return res, fmt.Errorf("serve: %d request errors (first: %w)", res.Errors, firstErr)
+	}
+	return res, nil
+}

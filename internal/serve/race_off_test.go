@@ -1,0 +1,8 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-regression tests skip under it: instrumentation perturbs
+// allocation counts.
+const raceEnabled = false

@@ -1,0 +1,460 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dropscope/internal/archive"
+	"dropscope/internal/bgp"
+	"dropscope/internal/netx"
+	"dropscope/internal/rpki"
+	"dropscope/internal/scenario"
+	"dropscope/internal/timex"
+)
+
+// worldRoot holds the per-seed cached archive directories for the whole
+// test run; TestMain removes it.
+var (
+	worldRoot string
+	worldMu   sync.Mutex
+	worldDirs = map[int64]string{}
+)
+
+func TestMain(m *testing.M) {
+	var err error
+	worldRoot, err = os.MkdirTemp("", "servetest")
+	if err != nil {
+		panic(err)
+	}
+	code := m.Run()
+	os.RemoveAll(worldRoot)
+	os.Exit(code)
+}
+
+// writeWorld generates a small deterministic world and persists its
+// archives, returning the directory and study window. Worlds are cached
+// by seed across tests: generation and archive encoding dominate the
+// suite's wall clock otherwise.
+func writeWorld(t testing.TB, seed int64) (string, timex.Range) {
+	t.Helper()
+	p := scenario.DefaultParams()
+	p.Seed = seed
+	p.Scale = 1024
+	worldMu.Lock()
+	defer worldMu.Unlock()
+	if dir, ok := worldDirs[seed]; ok {
+		return dir, p.Window
+	}
+	w, err := scenario.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(worldRoot, fmt.Sprintf("seed%d", seed))
+	err = archive.Write(dir, &archive.Bundle{
+		MRT: w.MRT, DROP: w.DROP, SBL: w.SBL,
+		IRR: w.IRR, RPKI: w.RPKI, RIR: w.RIR,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worldDirs[seed] = dir
+	return dir, p.Window
+}
+
+var (
+	genOnce   sync.Once
+	cachedGen *Generation
+	cachedErr error
+)
+
+// loadGen loads one shared read-only generation for the differential
+// tests (a cold build without snapshot persistence).
+func loadGen(t testing.TB) *Generation {
+	t.Helper()
+	genOnce.Do(func() {
+		dir, window := writeWorld(t, 1)
+		cachedGen, cachedErr = Load(dir, LoadOptions{Window: window})
+	})
+	if cachedErr != nil {
+		t.Fatal(cachedErr)
+	}
+	return cachedGen
+}
+
+// sampleDays spreads k probe days across the window, including both
+// edges.
+func sampleDays(w timex.Range, k int) []timex.Day {
+	days := []timex.Day{w.First, w.Last}
+	for i := 1; i < k; i++ {
+		days = append(days, w.First+timex.Day(i*w.Days()/k))
+	}
+	return days
+}
+
+// TestROVMatchesArchive is the differential guarantee behind /v1/rov:
+// the flat span table must reproduce rpki.Archive.ValidateAt for every
+// listed-or-announced prefix, across days, origins, and both TAL sets.
+func TestROVMatchesArchive(t *testing.T) {
+	g := loadGen(t)
+	rpkiArch := g.pipe.Dataset().RPKI
+	days := sampleDays(g.window, 6)
+	as0TALs := append(append([]rpki.TrustAnchor{}, rpki.DefaultTALs...), rpki.TAAPNICAS0, rpki.TALACNICAS0)
+	checked := 0
+	for i, p := range g.samples {
+		if i%7 != 0 { // sample the universe; full cross-product is slow
+			continue
+		}
+		for _, d := range days {
+			origin, ok := g.pipe.Index.OriginAt(p, d)
+			if !ok {
+				origin = bgp.ASN(64500 + i%100)
+			}
+			for _, or := range []bgp.ASN{origin, origin + 1, bgp.AS0} {
+				want := rpkiArch.ValidateAt(p, or, d, rpki.DefaultTALs)
+				if got := g.ROV(p, or, d, false); got != want {
+					t.Fatalf("ROV(%s, AS%d, %s, as0=false) = %v, want %v", p, or, d, got, want)
+				}
+				want = rpkiArch.ValidateAt(p, or, d, as0TALs)
+				if got := g.ROV(p, or, d, true); got != want {
+					t.Fatalf("ROV(%s, AS%d, %s, as0=true) = %v, want %v", p, or, d, got, want)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no prefixes checked")
+	}
+}
+
+// TestDropListedMatchesArchive pins /v1/drop to the archive's own
+// ListedAt over every listed prefix and a never-listed control.
+func TestDropListedMatchesArchive(t *testing.T) {
+	g := loadGen(t)
+	dropArch := g.pipe.Dataset().DROP
+	days := sampleDays(g.window, 8)
+	for _, l := range g.pipe.Listings {
+		for _, d := range days {
+			want := dropArch.ListedAt(l.Prefix, d)
+			if got := g.DropListed(l.Prefix, d); got != want {
+				t.Fatalf("DropListed(%s, %s) = %v, want %v", l.Prefix, d, got, want)
+			}
+		}
+		// Probe the listing's own boundary days too.
+		for _, d := range []timex.Day{l.Added - 1, l.Added, l.Removed - 1, l.Removed} {
+			want := dropArch.ListedAt(l.Prefix, d)
+			if got := g.DropListed(l.Prefix, d); got != want {
+				t.Fatalf("DropListed(%s, %s) = %v, want %v", l.Prefix, d, got, want)
+			}
+		}
+	}
+	control := netx.MustParsePrefix("203.0.113.0/24")
+	for _, d := range days {
+		if g.DropListed(control, d) != dropArch.ListedAt(control, d) {
+			t.Fatalf("control prefix disagrees on %s", d)
+		}
+	}
+}
+
+// TestVisibilityMatchesIndex pins /v1/visibility to the index queries.
+func TestVisibilityMatchesIndex(t *testing.T) {
+	g := loadGen(t)
+	days := sampleDays(g.window, 5)
+	for i, p := range g.samples {
+		if i%13 != 0 {
+			continue
+		}
+		for _, d := range days {
+			vis, peers := g.Visibility(p, d)
+			if peers != g.pipe.Index.NumPeers() {
+				t.Fatalf("peer total %d != %d", peers, g.pipe.Index.NumPeers())
+			}
+			wantFrac := g.pipe.Index.VisibleFraction(p, d)
+			frac := 0.0
+			if peers > 0 {
+				frac = float64(vis) / float64(peers)
+			}
+			if frac != wantFrac {
+				t.Fatalf("VisibleFraction(%s, %s) = %v via count, index says %v", p, d, frac, wantFrac)
+			}
+			if (vis > 0) != g.pipe.Index.Observed(p, d) {
+				t.Fatalf("Observed(%s, %s) disagrees", p, d)
+			}
+		}
+	}
+}
+
+type visResp struct {
+	Prefix       string  `json:"prefix"`
+	Day          string  `json:"day"`
+	PeersVisible int     `json:"peers_visible"`
+	PeersTotal   int     `json:"peers_total"`
+	Fraction     float64 `json:"visible_fraction"`
+	Observed     bool    `json:"observed"`
+	Generation   string  `json:"generation"`
+}
+
+// get drives one request through ServeHTTP and returns the recorder.
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+	return w
+}
+
+// TestEndpointsOverHTTP exercises every endpoint end to end: status,
+// JSON shape, the generation digest in body and header.
+func TestEndpointsOverHTTP(t *testing.T) {
+	g := loadGen(t)
+	s := New(g)
+	p := g.samples[len(g.samples)/2]
+	day := g.window.First + timex.Day(g.window.Days()/2)
+
+	w := get(t, s, "/v1/visibility?prefix="+escapePrefix(p)+"&day="+day.String())
+	if w.Code != 200 {
+		t.Fatalf("visibility status %d: %s", w.Code, w.Body.String())
+	}
+	var vr visResp
+	if err := json.Unmarshal(w.Body.Bytes(), &vr); err != nil {
+		t.Fatalf("visibility: %v", err)
+	}
+	if vr.Prefix != p.String() || vr.Day != day.String() || vr.Generation != g.DigestHex() {
+		t.Fatalf("visibility echo mismatch: %+v", vr)
+	}
+	if got := w.Header().Get("X-Dropscope-Generation"); got != g.DigestHex() {
+		t.Fatalf("generation header %q", got)
+	}
+	if vr.PeersTotal != g.pipe.Index.NumPeers() {
+		t.Fatalf("peers_total %d", vr.PeersTotal)
+	}
+
+	w = get(t, s, "/v1/rov?prefix="+escapePrefix(p)+"&day="+day.String()+"&origin=64500")
+	if w.Code != 200 {
+		t.Fatalf("rov status %d: %s", w.Code, w.Body.String())
+	}
+	var rr struct {
+		Validity   string `json:"validity"`
+		Origin     uint32 `json:"origin"`
+		Generation string `json:"generation"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if want := g.ROV(p, 64500, day, false).String(); rr.Validity != want {
+		t.Fatalf("rov validity %q, want %q", rr.Validity, want)
+	}
+	if rr.Origin != 64500 || rr.Generation != g.DigestHex() {
+		t.Fatalf("rov echo mismatch: %+v", rr)
+	}
+
+	w = get(t, s, "/v1/drop?prefix="+escapePrefix(p)+"&day="+day.String())
+	if w.Code != 200 {
+		t.Fatalf("drop status %d", w.Code)
+	}
+	var dr struct {
+		Listed     bool   `json:"listed"`
+		Generation string `json:"generation"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Listed != g.DropListed(p, day) || dr.Generation != g.DigestHex() {
+		t.Fatalf("drop echo mismatch: %+v", dr)
+	}
+
+	w = get(t, s, "/v1/origins?prefix="+escapePrefix(p))
+	if w.Code != 200 {
+		t.Fatalf("origins status %d", w.Code)
+	}
+	var or struct {
+		Spans []struct {
+			From    string `json:"from"`
+			To      string `json:"to"`
+			Origin  uint32 `json:"origin"`
+			Transit uint32 `json:"transit"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &or); err != nil {
+		t.Fatal(err)
+	}
+	spans := g.pipe.Index.OriginTimeline(p)
+	if len(or.Spans) != len(spans) {
+		t.Fatalf("origins: %d spans, want %d", len(or.Spans), len(spans))
+	}
+	for i, sp := range spans {
+		got := or.Spans[i]
+		if got.From != sp.From.String() || got.To != sp.To.String() ||
+			bgp.ASN(got.Origin) != sp.Origin || bgp.ASN(got.Transit) != sp.Transit {
+			t.Fatalf("origins span %d: %+v vs %+v", i, got, sp)
+		}
+	}
+
+	w = get(t, s, "/v1/figures/"+day.String())
+	if w.Code != 200 {
+		t.Fatalf("figures status %d: %s", w.Code, w.Body.String())
+	}
+	var fr struct {
+		Day         string  `json:"day"`
+		RoutedAddrs uint64  `json:"routed_addrs"`
+		Slash8      float64 `json:"routed_slash8"`
+		MOAS        int     `json:"moas_conflicts"`
+		DropListed  int     `json:"drop_listed"`
+		ROAsLive    int     `json:"roas_live"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &fr); err != nil {
+		t.Fatal(err)
+	}
+	f := g.pipe.FigureDay(day)
+	if fr.Day != day.String() || fr.RoutedAddrs != f.RoutedAddrs || fr.Slash8 != f.RoutedSlash8 ||
+		fr.MOAS != f.MOASConflicts || fr.DropListed != f.DROPListed || fr.ROAsLive != f.ROAsLive {
+		t.Fatalf("figures mismatch: %+v vs %+v", fr, f)
+	}
+
+	w = get(t, s, "/healthz")
+	if w.Code != 200 {
+		t.Fatalf("healthz status %d", w.Code)
+	}
+	var hr struct {
+		Status     string `json:"status"`
+		Prefixes   int    `json:"prefixes"`
+		Generation string `json:"generation"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.Prefixes != len(g.samples) || hr.Generation != g.DigestHex() {
+		t.Fatalf("healthz mismatch: %+v", hr)
+	}
+
+	w = get(t, s, "/metrics")
+	if w.Code != 200 {
+		t.Fatalf("metrics status %d", w.Code)
+	}
+	var mr struct {
+		Requests map[string]uint64 `json:"requests"`
+		Total    uint64            `json:"requests_total"`
+		Ingest   json.RawMessage   `json:"ingest"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Requests["visibility"] != 1 || mr.Requests["metrics"] != 1 {
+		t.Fatalf("metrics counters: %+v", mr.Requests)
+	}
+	if len(mr.Ingest) == 0 || string(mr.Ingest) == "null" {
+		t.Fatal("metrics: no ingest report")
+	}
+}
+
+// TestROVDerivedOrigin checks the origin-less rov path uses the
+// plurality observed origin.
+func TestROVDerivedOrigin(t *testing.T) {
+	g := loadGen(t)
+	s := New(g)
+	day := g.window.Last
+	var probed bool
+	for _, p := range g.samples {
+		origin, ok := g.pipe.Index.OriginAt(p, day)
+		if !ok {
+			continue
+		}
+		w := get(t, s, "/v1/rov?prefix="+escapePrefix(p))
+		if w.Code != 200 {
+			t.Fatalf("rov status %d", w.Code)
+		}
+		var rr struct {
+			Origin   uint32 `json:"origin"`
+			Validity string `json:"validity"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &rr); err != nil {
+			t.Fatal(err)
+		}
+		if bgp.ASN(rr.Origin) != origin {
+			t.Fatalf("derived origin %d, want %d", rr.Origin, origin)
+		}
+		if want := g.ROV(p, origin, day, false).String(); rr.Validity != want {
+			t.Fatalf("validity %q, want %q", rr.Validity, want)
+		}
+		probed = true
+		break
+	}
+	if !probed {
+		t.Fatal("no observed prefix to probe")
+	}
+}
+
+// TestErrorStatuses locks in the failure-path contract.
+func TestErrorStatuses(t *testing.T) {
+	g := loadGen(t)
+	s := New(g)
+	cases := []struct {
+		path string
+		code int
+	}{
+		{"/v1/visibility", 400},                                     // missing prefix
+		{"/v1/visibility?prefix=bogus", 400},                        // malformed prefix
+		{"/v1/visibility?prefix=10.0.0.1%2F24", 400},                // host bits set
+		{"/v1/visibility?prefix=10.0.0.0%2F24&day=x", 400},          // malformed day
+		{"/v1/visibility?prefix=10.0.0.0%2F24&day=2019-02-30", 400}, // nonsense date
+		{"/v1/rov?prefix=198.51.100.0%2F24&origin=zz", 400},         // malformed origin
+		{"/v1/rov?prefix=198.51.100.0%2F24", 404},                   // unobserved, no origin
+		{"/v1/figures/not-a-day", 400},
+		{"/v1/figures/1999-01-01", 404}, // outside the window
+		{"/v1/nope", 404},
+	}
+	for _, c := range cases {
+		w := get(t, s, c.path)
+		if w.Code != c.code {
+			t.Errorf("GET %s = %d, want %d (%s)", c.path, w.Code, c.code, w.Body.String())
+		}
+		var er struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error == "" {
+			t.Errorf("GET %s: error body %q not JSON", c.path, w.Body.String())
+		}
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest("POST", "/v1/visibility", nil))
+	if w.Code != 405 {
+		t.Errorf("POST = %d, want 405", w.Code)
+	}
+	empty := New(nil)
+	if w := get(t, empty, "/healthz"); w.Code != 503 {
+		t.Errorf("no generation: %d, want 503", w.Code)
+	}
+}
+
+// TestRequestMixDeterministic pins the load driver's reproducibility:
+// same seed, same ring.
+func TestRequestMixDeterministic(t *testing.T) {
+	g := loadGen(t)
+	a := RequestMix(g, 42, 256)
+	b := RequestMix(g, 42, 256)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("mix diverges at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := RequestMix(g, 43, 256)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical mixes")
+	}
+	s := New(g)
+	for _, path := range a[:64] {
+		if w := get(t, s, path); w.Code != 200 && w.Code != 404 {
+			t.Fatalf("mix request %q: status %d: %s", path, w.Code, w.Body.String())
+		}
+	}
+}

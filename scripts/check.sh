@@ -166,6 +166,175 @@ warmratio() {
     }' BENCH_PR5.json
 }
 
+# serve is the serving-layer acceptance gate, driven through the real
+# daemon binary. It boots dropscoped over a synthgen archive, probes
+# every endpoint, then exercises the SIGHUP generation swap while a
+# request loop runs against the daemon — the swap must change the
+# reported generation digest without a single failed request. It
+# finishes with a measured load run (scripts/loadtest.sh) gated against
+# the committed BENCH_PR6.json by servegate.
+serve() {
+  local tmp scale addr pid
+  tmp="$(mktemp -d)"
+  # shellcheck disable=SC2064 -- expand now: $tmp is a function local.
+  trap "rm -rf '$tmp'" EXIT
+  scale="${SERVE_SCALE:-512}"
+  addr="${SERVE_ADDR:-127.0.0.1:8434}"
+
+  echo "--- serve: building binaries"
+  go build -o "$tmp/dropscoped" ./cmd/dropscoped
+  go build -o "$tmp/synthgen" ./cmd/synthgen
+  echo "--- serve: generating archive (scale $scale, seed 1)"
+  "$tmp/synthgen" -dir "$tmp/arch-1" -scale "$scale" -seed 1 >/dev/null
+  ln -s "$tmp/arch-1" "$tmp/arch"
+
+  "$tmp/dropscoped" -archive "$tmp/arch" -listen "$addr" &
+  pid=$!
+  # shellcheck disable=SC2064
+  trap "kill $pid 2>/dev/null || true; rm -rf '$tmp'" EXIT
+
+  echo "--- serve: waiting for /healthz on $addr"
+  local i up=""
+  for i in $(seq 1 100); do
+    if curl -sf "http://$addr/healthz" >"$tmp/healthz.json" 2>/dev/null; then
+      up=1
+      break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "serve: daemon exited before becoming healthy" >&2
+      return 1
+    fi
+    sleep 0.3
+  done
+  if [ -z "$up" ]; then
+    echo "serve: daemon never became healthy" >&2
+    return 1
+  fi
+  local gen1
+  gen1="$(sed 's/.*"generation":"\([0-9a-f]*\)".*/\1/' "$tmp/healthz.json")"
+  echo "--- serve: serving generation ${gen1:0:12}"
+
+  echo "--- serve: probing every endpoint"
+  probe() {
+    local body
+    if ! body="$(curl -sf "http://$addr$1")"; then
+      echo "serve: GET $1 failed" >&2
+      return 1
+    fi
+    case "$body" in
+      *"$2"*) ;;
+      *)
+        echo "serve: GET $1: expected $2 in response: $body" >&2
+        return 1
+        ;;
+    esac
+  }
+  probe "/v1/visibility?prefix=192.0.2.0%2F24" '"peers_total"'
+  probe "/v1/rov?prefix=192.0.2.0%2F24&origin=64500" '"validity"'
+  probe "/v1/drop?prefix=192.0.2.0%2F24" '"listed"'
+  probe "/v1/origins?prefix=192.0.2.0%2F24" '"spans"'
+  probe "/v1/figures/2022-03-30" '"routed_addrs"'
+  probe "/healthz" '"status":"ok"'
+  probe "/metrics" '"requests_total"'
+
+  echo "--- serve: SIGHUP swap under load (seed 2 archive)"
+  "$tmp/synthgen" -dir "$tmp/arch-2" -scale "$scale" -seed 2 >/dev/null
+  : >"$tmp/load-failures"
+  (
+    while [ ! -f "$tmp/stop" ]; do
+      curl -sf "http://$addr/v1/visibility?prefix=192.0.2.0%2F24" >/dev/null \
+        || echo fail >>"$tmp/load-failures"
+    done
+  ) &
+  local loader=$!
+  ln -sfn "$tmp/arch-2" "$tmp/arch"
+  kill -HUP "$pid"
+  local gen2=""
+  for i in $(seq 1 100); do
+    gen2="$(curl -sf "http://$addr/healthz" | sed 's/.*"generation":"\([0-9a-f]*\)".*/\1/' || true)"
+    if [ -n "$gen2" ] && [ "$gen2" != "$gen1" ]; then
+      break
+    fi
+    sleep 0.3
+  done
+  touch "$tmp/stop"
+  wait "$loader"
+  if [ -z "$gen2" ] || [ "$gen2" = "$gen1" ]; then
+    echo "serve: generation digest did not change after SIGHUP" >&2
+    return 1
+  fi
+  if [ -s "$tmp/load-failures" ]; then
+    echo "serve: $(wc -l <"$tmp/load-failures") requests failed during the swap" >&2
+    return 1
+  fi
+  echo "--- serve: swapped to generation ${gen2:0:12} with zero dropped requests"
+  kill "$pid"
+  wait "$pid" 2>/dev/null || true
+
+  echo "--- serve: measured load run"
+  scripts/loadtest.sh "$tmp/load.json"
+  cat "$tmp/load.json"
+  servegate "$tmp/load.json"
+}
+
+# servegate compares a loadtest JSON against the committed BENCH_PR6.json
+# baseline: QPS may not fall below baseline/SERVE_RATIO and p99 may not
+# exceed baseline*SERVE_RATIO (default factor 5 — CI runners vary widely
+# in absolute speed; a real serving regression blows past 5x).
+servegate() {
+  local f="${1:-}"
+  if [ ! -f BENCH_PR6.json ]; then
+    echo "BENCH_PR6.json missing; nothing to gate against" >&2
+    return 1
+  fi
+  if [ -z "$f" ] || [ ! -f "$f" ]; then
+    echo "servegate: usage: servegate LOADTEST.json" >&2
+    return 1
+  fi
+  awk -v tol="${SERVE_RATIO:-5}" '
+    function val(s) { sub(/.*: */, "", s); sub(/[,}].*/, "", s); return s + 0 }
+    FNR == 1 { file++ }
+    /"qps"/ { q[file] = val($0) }
+    /"p99_us"/ { p[file] = val($0) }
+    END {
+      if (q[1] == 0 || p[1] == 0 || q[2] == 0 || p[2] == 0) {
+        print "servegate: qps/p99_us missing from baseline or run" > "/dev/stderr"
+        exit 1
+      }
+      printf "serve gate: qps %.0f (baseline %.0f, floor %.0f), p99 %.0f us (baseline %.0f, ceiling %.0f)\n",
+        q[2], q[1], q[1] / tol, p[2], p[1], p[1] * tol
+      if (q[2] < q[1] / tol) {
+        print "SERVE GATE FAIL: QPS below baseline/" tol > "/dev/stderr"
+        exit 1
+      }
+      if (p[2] > p[1] * tol) {
+        print "SERVE GATE FAIL: p99 above baseline*" tol > "/dev/stderr"
+        exit 1
+      }
+      print "SERVE GATE OK"
+    }' BENCH_PR6.json "$f"
+}
+
+# lint runs gofmt/vet plus staticcheck (correctness checks) and
+# govulncheck when installed. CI installs both pinned; locally they are
+# optional and skipped with a notice, never fetched implicitly.
+lint() {
+  fmt
+  vet
+  if command -v staticcheck >/dev/null 2>&1; then
+    echo "--- lint: staticcheck"
+    staticcheck -checks 'SA*' ./...
+  else
+    echo "--- lint: staticcheck not installed; skipping (CI installs it pinned)"
+  fi
+  if command -v govulncheck >/dev/null 2>&1; then
+    echo "--- lint: govulncheck"
+    govulncheck ./...
+  else
+    echo "--- lint: govulncheck not installed; skipping (CI installs it pinned)"
+  fi
+}
+
 all() { build; vet; fmt; test_; race; bench; }
 
 case "${1:-all}" in
@@ -181,9 +350,12 @@ case "${1:-all}" in
   chaos) chaos ;;
   warmstart) warmstart ;;
   warmratio) warmratio ;;
+  serve) serve ;;
+  servegate) shift; servegate "${1:-}" ;;
+  lint) lint ;;
   all) all ;;
   *)
-    echo "usage: $0 [build|vet|fmt|test|race|bench|benchgate|fuzz|faults|chaos|warmstart|all]" >&2
+    echo "usage: $0 [build|vet|fmt|test|race|bench|benchgate|fuzz|faults|chaos|warmstart|serve|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# loadtest.sh — the committed wrk-style load driver for the dropscoped
+# serving layer. It generates the synthgen example archive, boots the
+# daemon in -loadtest mode (its own loopback listener), drives the
+# seeded deterministic request mix, and prints QPS and latency
+# percentiles as JSON — the measurement committed as BENCH_PR6.json and
+# gated by scripts/check.sh serve.
+#
+# Usage: scripts/loadtest.sh [OUT.json]
+#   SCALE=512 DURATION=5s CLIENTS=8 SEED=1 RING=4096 SWAPS=0 to override.
+#
+# The run is deterministic in its request sequence (seeded splitmix64
+# over the archive's own prefix universe); timings of course are not.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-/dev/stdout}"
+scale="${SCALE:-512}"
+duration="${DURATION:-5s}"
+clients="${CLIENTS:-8}"
+seed="${SEED:-1}"
+ring="${RING:-4096}"
+swaps="${SWAPS:-0}"
+
+tmp="$(mktemp -d)"
+# shellcheck disable=SC2064 -- expand now: $tmp is a script local.
+trap "rm -rf '$tmp'" EXIT
+
+echo "--- loadtest: generating archive (scale $scale, seed $seed)" >&2
+go run ./cmd/synthgen -dir "$tmp/arch" -scale "$scale" -seed "$seed" >&2
+
+echo "--- loadtest: $clients clients for $duration (ring $ring, swaps $swaps)" >&2
+go run ./cmd/dropscoped -archive "$tmp/arch" -loadtest \
+  -clients "$clients" -duration "$duration" -seed "$seed" \
+  -ring "$ring" -swaps "$swaps" >"$out"

@@ -1,7 +1,7 @@
 # Convenience wrappers over scripts/check.sh — the same commands CI runs
 # (.github/workflows/ci.yml), so a green `make all` locally means a green
 # gate.
-.PHONY: all build vet fmt test race bench benchgate fuzz faults chaos warmstart serve lint loadtest
+.PHONY: all build vet fmt test race bench benchgate fuzz faults chaos warmstart serve soak overload lint loadtest
 
 all:
 	scripts/check.sh all
@@ -41,6 +41,12 @@ warmstart:
 
 serve:
 	scripts/check.sh serve
+
+soak:
+	scripts/check.sh soak
+
+overload:
+	scripts/check.sh overload
 
 lint:
 	scripts/check.sh lint

@@ -7,28 +7,48 @@
 // Usage:
 //
 //	dropscoped -archive DIR [-listen ADDR] [-snapshot DIR|off] [-first DAY] [-last DAY]
-//	           [-workers N] [-max-skip N]
-//	dropscoped -archive DIR -loadtest [-clients N] [-duration D] [-seed N] [-ring N] [-swaps M]
+//	           [-workers N] [-max-skip N] [-max-inflight N] [-queue N] [-queue-wait D]
+//	           [-request-timeout D] [-watch D] [-drain-timeout D]
+//	           [-read-header-timeout D] [-read-timeout D] [-write-timeout D] [-idle-timeout D]
+//	dropscoped -archive DIR -loadtest [-clients N] [-duration D] [-seed N] [-ring N]
+//	           [-swaps M] [-overload]
 //
-// SIGHUP reloads the archive directory and swaps the new generation in
+// The daemon serves behind an overload-resilient request path: a
+// bounded-inflight admission gate with a short wait queue (excess load
+// is shed with 503 + Retry-After), per-request deadlines, panic
+// isolation, and an http.Server with every timeout set (slowloris
+// clients are cut at -read-header-timeout).
+//
+// SIGHUP — or, with -watch, any observed change to the archive
+// directory — reloads the archive and swaps the new generation in
 // atomically: queries in flight finish against the generation they
 // started on, new queries land on the new one, and the old mapping is
-// unmapped after its last reader exits. Every response carries the
-// generation digest (body field "generation" and the
-// X-Dropscope-Generation header), so a client can always tell which
-// archive state answered it.
+// unmapped after its last reader exits. A failing reload is retried
+// under jittered backoff with a restart budget; while it fails, the
+// daemon keeps serving the generation it has and reports itself
+// degraded in /healthz and /metrics — stale but available, never down.
+// Every response carries the generation digest (body field
+// "generation" and the X-Dropscope-Generation header), so a client can
+// always tell which archive state answered it.
+//
+// SIGINT/SIGTERM drain gracefully: new arrivals answer 503 while
+// requests already admitted run to completion, bounded by
+// -drain-timeout.
 //
 // -loadtest boots the daemon on a loopback listener, drives a seeded
 // deterministic request mix against it for -duration, and prints a QPS
 // and latency-percentile summary as JSON — the measurement behind
 // BENCH_PR6.json and the CI serve gate. -swaps M additionally performs
-// M in-process generation swaps spread over the run, so the measured
-// load includes swap traffic.
+// M in-process generation swaps spread over the run. -overload counts
+// 503 responses as shed load instead of failures — combined with a
+// small -max-inflight and many -clients it measures the admission
+// gate: shed rate and the p99 of admitted requests (BENCH_PR7.json).
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -60,12 +80,27 @@ func main() {
 		workers    = flag.Int("workers", 0, "cold-build RIB loading workers (0 = GOMAXPROCS)")
 		maxSkip    = flag.Int("max-skip", 0, "per-collector skip budget (0 = default, negative = unlimited)")
 
+		maxInflight  = flag.Int("max-inflight", 256, "admission: max concurrently executing requests")
+		queue        = flag.Int("queue", 0, "admission: max queued requests waiting for a slot (0 = max-inflight)")
+		queueWait    = flag.Duration("queue-wait", 100*time.Millisecond, "admission: max time a queued request waits before it is shed")
+		reqTimeout   = flag.Duration("request-timeout", 5*time.Second, "deadline for allocating endpoints (origins, figures); negative disables")
+		serviceFloor = flag.Duration("service-floor", 0, "loadtest only: minimum in-gate service time per admitted query (simulates production query cost in overload measurements)")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http: slowloris bound on reading request headers")
+		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http: bound on reading a whole request")
+		writeTimeout      = flag.Duration("write-timeout", 30*time.Second, "http: bound on writing a whole response")
+		idleTimeout       = flag.Duration("idle-timeout", 120*time.Second, "http: bound on idle keep-alive connections")
+
+		watch        = flag.Duration("watch", 0, "poll the archive directory at this interval and reload on change (0 disables)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown: max time to drain in-flight requests")
+
 		loadtest = flag.Bool("loadtest", false, "run the deterministic load driver and exit")
 		clients  = flag.Int("clients", 8, "loadtest: concurrent clients")
 		duration = flag.Duration("duration", 2*time.Second, "loadtest: run length")
 		seed     = flag.Uint64("seed", 1, "loadtest: request-mix seed")
 		ring     = flag.Int("ring", 4096, "loadtest: distinct requests in the mix")
 		swaps    = flag.Int("swaps", 0, "loadtest: in-process generation swaps during the run")
+		overload = flag.Bool("overload", false, "loadtest: treat 503 as shed load, not failure (overload measurement)")
 	)
 	flag.Parse()
 	if *archiveDir == "" {
@@ -108,20 +143,52 @@ func main() {
 		fatal(err)
 	}
 	srv := serve.New(gen)
+	if *serviceFloor > 0 && !*loadtest {
+		fatal(errors.New("-service-floor is a loadtest-only knob; refusing to slow a real daemon"))
+	}
+	mw := serve.Wrap(srv, serve.MiddlewareConfig{
+		Gate: serve.GateConfig{
+			MaxInflight: *maxInflight,
+			MaxQueue:    *queue,
+			QueueWait:   *queueWait,
+		},
+		RequestTimeout: *reqTimeout,
+		ServiceFloor:   *serviceFloor,
+	})
 	log.Printf("dropscoped: loaded generation %s in %v (window %s)",
 		gen.DigestHex()[:12], time.Since(t0).Round(time.Millisecond), gen.Window())
 
+	httpCfg := serve.HTTPConfig{
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
 	if *loadtest {
-		runLoadtest(srv, gen, *archiveDir, opts, *clients, *duration, *seed, *ring, *swaps)
+		runLoadtest(mw, gen, *archiveDir, opts, httpCfg, loadtestOptions{
+			clients: *clients, duration: *duration, seed: *seed,
+			ring: *ring, swaps: *swaps, overload: *overload,
+		})
 		return
 	}
+
+	reloader := serve.NewReloader(srv, serve.ReloadConfig{
+		Dir:     *archiveDir,
+		Opts:    opts,
+		Watch:   *watch,
+		OnEvent: func(msg string) { log.Print("dropscoped: ", msg) },
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go reloader.Run(ctx)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)
 	}
 	log.Printf("dropscoped: serving on http://%s", ln.Addr())
-	httpSrv := &http.Server{Handler: srv}
+	httpSrv := serve.NewHTTPServer(mw, httpCfg)
 	go func() {
 		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			fatal(err)
@@ -134,45 +201,56 @@ func main() {
 		if s != syscall.SIGHUP {
 			break
 		}
-		// Reload and swap. A failed reload keeps the current generation
-		// serving: a broken archive must never take the daemon down.
-		t0 := time.Now()
-		next, err := serve.Load(*archiveDir, opts)
-		if err != nil {
-			log.Printf("dropscoped: SIGHUP reload failed, keeping generation %s: %v",
-				srv.Generation().DigestHex()[:12], err)
-			continue
-		}
-		srv.Swap(next)
-		log.Printf("dropscoped: SIGHUP swapped in generation %s in %v",
-			next.DigestHex()[:12], time.Since(t0).Round(time.Millisecond))
+		// Hand the reload to the supervisor: it retries failures under
+		// backoff and keeps the current generation serving meanwhile. A
+		// broken archive must never take the daemon down.
+		reloader.Trigger()
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := httpSrv.Shutdown(ctx); err != nil {
-		fatal(err)
+
+	// Graceful drain: stop the reload loop, answer 503 to new arrivals,
+	// and give requests already admitted up to -drain-timeout to finish
+	// before the listener is torn down.
+	cancel()
+	mw.StartDrain()
+	log.Printf("dropscoped: draining (up to %v)", *drainTimeout)
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer dcancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("dropscoped: drain timed out, closing: %v", err)
+		httpSrv.Close()
 	}
+}
+
+type loadtestOptions struct {
+	clients  int
+	duration time.Duration
+	seed     uint64
+	ring     int
+	swaps    int
+	overload bool
 }
 
 // runLoadtest boots a loopback listener, drives the seeded request mix,
 // and prints the LoadResult JSON. With swaps > 0 it reloads the archive
 // and swaps generations mid-load at even intervals, so the run also
-// proves swap-under-load keeps every request whole.
-func runLoadtest(srv *serve.Server, gen *serve.Generation, archiveDir string, opts serve.LoadOptions, clients int, duration time.Duration, seed uint64, ring, swaps int) {
+// proves swap-under-load keeps every request whole. With overload set,
+// 503 responses count as shed load — the admission-gate measurement.
+func runLoadtest(mw *serve.Middleware, gen *serve.Generation, archiveDir string, opts serve.LoadOptions, httpCfg serve.HTTPConfig, lt loadtestOptions) {
+	srv := mw.Server()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fatal(err)
 	}
-	httpSrv := &http.Server{Handler: srv}
+	httpSrv := serve.NewHTTPServer(mw, httpCfg)
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
 
-	paths := serve.RequestMix(gen, seed, ring)
+	paths := serve.RequestMix(gen, lt.seed, lt.ring)
 	done := make(chan struct{})
-	if swaps > 0 {
+	if lt.swaps > 0 {
 		go func() {
-			interval := duration / time.Duration(swaps+1)
-			for i := 0; i < swaps; i++ {
+			interval := lt.duration / time.Duration(lt.swaps+1)
+			for i := 0; i < lt.swaps; i++ {
 				select {
 				case <-done:
 					return
@@ -188,8 +266,9 @@ func runLoadtest(srv *serve.Server, gen *serve.Generation, archiveDir string, op
 		}()
 	}
 	res, err := serve.RunLoad("http://"+ln.Addr().String(), paths, serve.RunOptions{
-		Clients:  clients,
-		Duration: duration,
+		Clients:   lt.clients,
+		Duration:  lt.duration,
+		AllowShed: lt.overload,
 	})
 	close(done)
 	if err != nil {
@@ -197,10 +276,14 @@ func runLoadtest(srv *serve.Server, gen *serve.Generation, archiveDir string, op
 	}
 	out := struct {
 		serve.LoadResult
-		Swaps   uint64 `json:"swaps"`
-		Clients int    `json:"clients"`
-		Seed    uint64 `json:"seed"`
-	}{res, srv.Swaps(), clients, seed}
+		Swaps       uint64 `json:"swaps"`
+		Clients     int    `json:"clients"`
+		Seed        uint64 `json:"seed"`
+		MaxInflight int    `json:"max_inflight,omitempty"`
+	}{res, srv.Swaps(), lt.clients, lt.seed, 0}
+	if lt.overload {
+		out.MaxInflight = mw.Gate().MaxInflight()
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {

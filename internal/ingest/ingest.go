@@ -110,6 +110,16 @@ type Source struct {
 	Reconnects    uint64
 	StaleRetained uint64
 	StaleSwept    uint64
+
+	// Serving-layer resilience counters, filled by the query daemon's
+	// admission gate, panic-recovery middleware, and reload
+	// supervisor. Shed counts requests rejected with 503 by admission
+	// control; Panics counts handler panics contained by the recovery
+	// middleware; ReloadRetries counts failed generation-reload
+	// attempts the supervisor retried under backoff.
+	Shed          uint64
+	Panics        uint64
+	ReloadRetries uint64
 }
 
 // Accept counts n records as successfully ingested.
@@ -139,6 +149,15 @@ func (s *Source) RetainStale(n uint64) { s.StaleRetained += n }
 
 // SweepStale counts n retained routes swept unrefreshed.
 func (s *Source) SweepStale(n uint64) { s.StaleSwept += n }
+
+// CountShed counts n requests rejected by admission control.
+func (s *Source) CountShed(n uint64) { s.Shed += n }
+
+// CountPanic counts one contained handler panic.
+func (s *Source) CountPanic() { s.Panics++ }
+
+// CountReloadRetry counts one failed, retried reload attempt.
+func (s *Source) CountReloadRetry() { s.ReloadRetries++ }
 
 // Quarantine marks the whole source as dropped from the study.
 func (s *Source) Quarantine(note string) {
@@ -208,6 +227,9 @@ func (h *Health) Report() Report {
 			Reconnects:    s.Reconnects,
 			StaleRetained: s.StaleRetained,
 			StaleSwept:    s.StaleSwept,
+			Shed:          s.Shed,
+			Panics:        s.Panics,
+			ReloadRetries: s.ReloadRetries,
 		}
 		r.Sources = append(r.Sources, sr)
 	}
@@ -235,6 +257,9 @@ type SourceReport struct {
 	Reconnects    uint64   `json:"reconnects,omitempty"`
 	StaleRetained uint64   `json:"stale_retained,omitempty"`
 	StaleSwept    uint64   `json:"stale_swept,omitempty"`
+	Shed          uint64   `json:"shed,omitempty"`
+	Panics        uint64   `json:"panics,omitempty"`
+	ReloadRetries uint64   `json:"reload_retries,omitempty"`
 }
 
 // Clean reports whether nothing was skipped and nothing quarantined —

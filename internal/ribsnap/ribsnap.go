@@ -179,6 +179,16 @@ func (s *Snapshot) Release() {
 	}
 }
 
+// Refs reports the number of in-flight readers. A retired generation
+// has drained exactly when Refs reports zero — the serving layer's
+// leak and soak tests assert it, and the panic-isolation middleware's
+// whole job is keeping it reachable.
+func (s *Snapshot) Refs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refs
+}
+
 // Close retires the snapshot: subsequent Acquire calls fail with
 // ErrClosed. With no readers in flight the file mapping is released
 // immediately and its error returned; otherwise the last Release

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// HTTPConfig carries the four http.Server timeouts the daemon must
+// never run without. Zero values take the defaults; negative values
+// disable the corresponding timeout (tests only — a production daemon
+// with a disabled ReadHeaderTimeout is one slow client away from
+// connection exhaustion).
+type HTTPConfig struct {
+	// ReadHeaderTimeout bounds how long a client may dribble request
+	// headers — the classic slowloris hold. Default 5s.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds the whole request read. Default 30s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds the whole response write, and is the
+	// backstop deadline for every handler. Default 30s.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit
+	// between requests. Default 120s.
+	IdleTimeout time.Duration
+}
+
+func (c HTTPConfig) withDefaults() HTTPConfig {
+	pick := func(d *time.Duration, def time.Duration) {
+		switch {
+		case *d == 0:
+			*d = def
+		case *d < 0:
+			*d = 0
+		}
+	}
+	pick(&c.ReadHeaderTimeout, 5*time.Second)
+	pick(&c.ReadTimeout, 30*time.Second)
+	pick(&c.WriteTimeout, 30*time.Second)
+	pick(&c.IdleTimeout, 120*time.Second)
+	return c
+}
+
+// NewHTTPServer returns an http.Server over h with every timeout set.
+// The bare &http.Server{Handler: h} construction is banned from the
+// daemon: without ReadHeaderTimeout a single adversarial client holding
+// its request open pins a connection (and its goroutine) forever.
+func NewHTTPServer(h http.Handler, cfg HTTPConfig) *http.Server {
+	cfg = cfg.withDefaults()
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: cfg.ReadHeaderTimeout,
+		ReadTimeout:       cfg.ReadTimeout,
+		WriteTimeout:      cfg.WriteTimeout,
+		IdleTimeout:       cfg.IdleTimeout,
+	}
+}

@@ -38,6 +38,11 @@ type LoadOptions struct {
 	// persists a fresh snapshot there after a clean cold build so the
 	// next load (a SIGHUP reload, a restart) maps instead of rebuilding.
 	SnapshotDir string
+	// Health, when non-nil, receives the load's ingest accounting
+	// instead of a fresh accumulator — the reload supervisor seeds it
+	// with the retry count that preceded a successful reload, so the
+	// generation's own health report records how it came to be.
+	Health *ingest.Health
 }
 
 // Load builds one serving generation from the archive directory: warm
@@ -46,7 +51,10 @@ type LoadOptions struct {
 // for the next load. The returned generation always carries the archive
 // digest — it is the identity every response reports.
 func Load(dir string, opts LoadOptions) (*Generation, error) {
-	h := ingest.NewHealth()
+	h := opts.Health
+	if h == nil {
+		h = ingest.NewHealth()
+	}
 	var (
 		snap       *ribsnap.Snapshot
 		digest     [32]byte

@@ -84,13 +84,23 @@ type RunOptions struct {
 	Clients int
 	// Duration is how long each client drives requests (default 2s).
 	Duration time.Duration
+	// AllowShed treats 503 responses as load shedding rather than
+	// errors — the overload mode, where the driver deliberately offers
+	// more concurrency than the admission gate admits. Shed responses
+	// are counted separately and excluded from the latency
+	// percentiles, so P99us reads "p99 of admitted requests".
+	AllowShed bool
 }
 
 // LoadResult is the load run's summary, JSON-shaped for the committed
-// BENCH_PR6.json baseline and the CI serve gate.
+// BENCH_PR6.json / BENCH_PR7.json baselines and the CI serve and soak
+// gates. QPS and the percentiles cover admitted (200) requests; Shed
+// counts 503 rejections in overload runs.
 type LoadResult struct {
 	Requests uint64  `json:"requests"`
 	Errors   uint64  `json:"errors"`
+	Shed     uint64  `json:"shed"`
+	ShedRate float64 `json:"shed_rate"`
 	Seconds  float64 `json:"seconds"`
 	QPS      float64 `json:"qps"`
 	P50us    float64 `json:"p50_us"`
@@ -124,6 +134,7 @@ func RunLoad(baseURL string, paths []string, opts RunOptions) (LoadResult, error
 
 	lats := make([][]int64, clients)
 	errs := make([]uint64, clients)
+	sheds := make([]uint64, clients)
 	var firstErr error
 	var errOnce sync.Once
 	var wg sync.WaitGroup
@@ -155,6 +166,10 @@ func RunLoad(baseURL string, paths []string, opts RunOptions) (LoadResult, error
 				}
 				resp.Body.Close()
 				if resp.StatusCode != http.StatusOK {
+					if opts.AllowShed && resp.StatusCode == http.StatusServiceUnavailable {
+						sheds[c]++
+						continue
+					}
 					errs[c]++
 					errOnce.Do(func() {
 						firstErr = fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
@@ -173,8 +188,12 @@ func RunLoad(baseURL string, paths []string, opts RunOptions) (LoadResult, error
 	for c := 0; c < clients; c++ {
 		all = append(all, lats[c]...)
 		res.Errors += errs[c]
+		res.Shed += sheds[c]
 	}
-	res.Requests = uint64(len(all)) + res.Errors
+	res.Requests = uint64(len(all)) + res.Errors + res.Shed
+	if res.Requests > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Requests)
+	}
 	res.Seconds = elapsed
 	if elapsed > 0 {
 		res.QPS = float64(len(all)) / elapsed

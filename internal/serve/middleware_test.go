@@ -1,0 +1,400 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dropscope/internal/ribsnap"
+)
+
+// mwServer builds a middleware-wrapped server over the shared read-only
+// generation with a tiny admission gate, for the shed-path tests.
+func mwServer(t *testing.T, cfg MiddlewareConfig) (*Middleware, *Generation) {
+	t.Helper()
+	g := loadGen(t)
+	return Wrap(New(g), cfg), g
+}
+
+// getMW drives one request through the middleware.
+func getMW(m *Middleware, path string) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	m.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+	return w
+}
+
+// TestAdmissionShed pins the shed contract: with the single inflight
+// slot held and no queue, the next request answers 503 with a
+// Retry-After hint and a JSON error body, and the shed counter moves.
+// /healthz and /metrics bypass the gate — overload must never make the
+// daemon unobservable.
+func TestAdmissionShed(t *testing.T) {
+	m, g := mwServer(t, MiddlewareConfig{
+		Gate:       GateConfig{MaxInflight: 1, MaxQueue: -1},
+		RetryAfter: 3 * time.Second,
+	})
+	day := g.window.Last.String()
+	point := "/v1/visibility?prefix=" + escapePrefix(g.samples[0]) + "&day=" + day
+
+	// Hold the only slot from a blocked request.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	m.srv.testHook = func(r *http.Request) {
+		if r.URL.Path == "/v1/hold" {
+			close(entered)
+			<-release
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		getMW(m, "/v1/hold") // 404 after the hold, immaterial
+	}()
+	<-entered
+
+	w := getMW(m, point)
+	if w.Code != 503 {
+		t.Fatalf("saturated gate: status %d, want 503", w.Code)
+	}
+	if got := w.Header().Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After %q, want %q", got, "3")
+	}
+	var er struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error != "overloaded" {
+		t.Fatalf("shed body %q", w.Body.String())
+	}
+	if m.stats.Shed.Load() != 1 {
+		t.Fatalf("shed counter %d, want 1", m.stats.Shed.Load())
+	}
+	// Observability endpoints bypass the gate even when it is saturated.
+	for _, p := range []string{"/healthz", "/metrics"} {
+		if w := getMW(m, p); w.Code != 200 {
+			t.Fatalf("%s through saturated gate: status %d", p, w.Code)
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	// The slot is free again: the same point query is admitted.
+	if w := getMW(m, point); w.Code != 200 {
+		t.Fatalf("after release: status %d: %s", w.Code, w.Body.String())
+	}
+	if got := m.stats.Inflight.Load(); got != 0 {
+		t.Fatalf("inflight %d after drain, want 0", got)
+	}
+}
+
+// TestAdmissionQueueAdmits pins the queue path: a request that arrives
+// while the gate is full waits (briefly) and is admitted when the slot
+// frees within the queue wait.
+func TestAdmissionQueueAdmits(t *testing.T) {
+	m, g := mwServer(t, MiddlewareConfig{
+		Gate: GateConfig{MaxInflight: 1, MaxQueue: 1, QueueWait: 5 * time.Second},
+	})
+	point := "/v1/drop?prefix=" + escapePrefix(g.samples[1]) + "&day=" + g.window.Last.String()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	m.srv.testHook = func(r *http.Request) {
+		if r.URL.Path == "/v1/hold" {
+			close(entered)
+			<-release
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		getMW(m, "/v1/hold")
+	}()
+	<-entered
+
+	queued := make(chan *httptest.ResponseRecorder, 1)
+	go func() { queued <- getMW(m, point) }()
+	// Wait until the second request is actually parked in the queue,
+	// then free the slot; it must be admitted, not shed.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.stats.Queued.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	w := <-queued
+	wg.Wait()
+	if w.Code != 200 {
+		t.Fatalf("queued request: status %d, want 200: %s", w.Code, w.Body.String())
+	}
+	if m.stats.Shed.Load() != 0 {
+		t.Fatalf("shed %d, want 0", m.stats.Shed.Load())
+	}
+	if m.stats.Queued.Load() != 0 {
+		t.Fatalf("queued gauge %d after drain, want 0", m.stats.Queued.Load())
+	}
+}
+
+// TestDrainRejectsNewArrivals pins the shutdown contract: once
+// StartDrain is called every new request — the query endpoints and
+// /healthz alike, so load balancers eject the instance — answers 503,
+// while a request already admitted runs to completion.
+func TestDrainRejectsNewArrivals(t *testing.T) {
+	m, g := mwServer(t, MiddlewareConfig{})
+	point := "/v1/visibility?prefix=" + escapePrefix(g.samples[2]) + "&day=" + g.window.First.String()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	m.srv.testHook = func(r *http.Request) {
+		if r.URL.Path == point2URLPath(point) {
+			select {
+			case <-entered:
+			default:
+				close(entered)
+				<-release
+			}
+		}
+	}
+	inflight := make(chan *httptest.ResponseRecorder, 1)
+	go func() { inflight <- getMW(m, point) }()
+	<-entered
+
+	if m.Draining() {
+		t.Fatal("draining before StartDrain")
+	}
+	m.StartDrain()
+	m.StartDrain() // idempotent
+	if !m.Draining() {
+		t.Fatal("not draining after StartDrain")
+	}
+	for _, p := range []string{point, "/healthz", "/metrics"} {
+		w := getMW(m, p)
+		if w.Code != 503 {
+			t.Fatalf("%s during drain: status %d, want 503", p, w.Code)
+		}
+		if !strings.Contains(w.Body.String(), "draining") {
+			t.Fatalf("%s drain body %q", p, w.Body.String())
+		}
+	}
+	// The admitted request still completes normally.
+	close(release)
+	if w := <-inflight; w.Code != 200 {
+		t.Fatalf("in-flight request during drain: status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// point2URLPath strips the query from a test path.
+func point2URLPath(p string) string {
+	if i := strings.IndexByte(p, '?'); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+// TestPanicReleasesGeneration is the panic-isolation acceptance test: a
+// handler that panics answers 500 (not a killed connection), increments
+// the panics counter, and — the part that matters for the swap protocol
+// — still releases its generation pin during unwind. After swapping the
+// panicked-on generation out, it must drain to refcount zero and refuse
+// new Acquires with ribsnap.ErrClosed; a leaked pin would wedge the
+// retired mapping forever.
+func TestPanicReleasesGeneration(t *testing.T) {
+	dirA, dirB, window := swapWorlds(t)
+	first := loadDir(t, dirA, window)
+	s := New(first)
+	m := Wrap(s, MiddlewareConfig{})
+	s.testHook = func(r *http.Request) {
+		if r.URL.Path == "/v1/panic" {
+			panic("deliberate test panic")
+		}
+	}
+
+	const panics = 5
+	for i := 0; i < panics; i++ {
+		w := getMW(m, "/v1/panic")
+		if w.Code != 500 {
+			t.Fatalf("panicking request: status %d, want 500", w.Code)
+		}
+		var er struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error == "" {
+			t.Fatalf("panic body %q not a JSON error", w.Body.String())
+		}
+	}
+	if got := m.stats.Panics.Load(); got != panics {
+		t.Fatalf("panics counter %d, want %d", got, panics)
+	}
+
+	// Retire the generation the panicking requests ran on. Their pins
+	// were released during unwind, so it drains immediately.
+	retired := s.Swap(loadDir(t, dirB, window))
+	if retired != first {
+		t.Fatal("swap retired the wrong generation")
+	}
+	if refs := retired.snap.Refs(); refs != 0 {
+		t.Fatalf("retired generation holds %d refs after panics, want 0", refs)
+	}
+	if err := retired.Acquire(); !errors.Is(err, ribsnap.ErrClosed) {
+		t.Fatalf("retired Acquire = %v, want ErrClosed", err)
+	}
+	// And the server still works.
+	g := s.Generation()
+	point := "/v1/drop?prefix=" + escapePrefix(g.samples[0]) + "&day=" + window.Last.String()
+	if w := getMW(m, point); w.Code != 200 {
+		t.Fatalf("post-panic request: status %d", w.Code)
+	}
+}
+
+// TestRequestDeadlines pins which endpoints run under a context
+// deadline: the allocating endpoints (origins, figures) do, the
+// zero-alloc point queries do not (their bound is the admission queue
+// wait plus the server's WriteTimeout, and arming a context would cost
+// allocations). A stalled slow handler is cut when the deadline fires.
+func TestRequestDeadlines(t *testing.T) {
+	m, g := mwServer(t, MiddlewareConfig{RequestTimeout: 100 * time.Millisecond})
+	var mu sync.Mutex
+	deadlines := map[string]bool{}
+	m.srv.testHook = func(r *http.Request) {
+		_, has := r.Context().Deadline()
+		mu.Lock()
+		deadlines[r.URL.Path] = has
+		mu.Unlock()
+		if r.URL.Path == "/v1/stall" {
+			// A handler that hangs: only the armed deadline frees it.
+			<-r.Context().Done()
+		}
+	}
+	day := g.window.Last.String()
+	getMW(m, "/v1/visibility?prefix="+escapePrefix(g.samples[0])+"&day="+day)
+	getMW(m, "/v1/origins?prefix="+escapePrefix(g.samples[0]))
+	getMW(m, "/v1/figures/"+day)
+
+	mu.Lock()
+	if deadlines["/v1/visibility"] {
+		t.Error("point query ran under a context deadline; that path must stay allocation-free")
+	}
+	if !deadlines["/v1/origins"] || !deadlines["/v1/figures/"+day] {
+		t.Errorf("slow endpoints missing deadlines: %+v", deadlines)
+	}
+	mu.Unlock()
+
+	t0 := time.Now()
+	getMW(m, "/v1/stall")
+	if elapsed := time.Since(t0); elapsed > 3*time.Second {
+		t.Fatalf("stalled handler ran %v; deadline never fired", elapsed)
+	}
+}
+
+// TestMetricsExportsResilienceCounters pins the /metrics additions:
+// inflight, queued, shed_total, panics_total, reload_retries, degraded,
+// generation age, and the serve/http source folded into the ingest
+// report.
+func TestMetricsExportsResilienceCounters(t *testing.T) {
+	m, g := mwServer(t, MiddlewareConfig{Gate: GateConfig{MaxInflight: 1, MaxQueue: -1}})
+	s := m.srv
+
+	// Manufacture one shed and one panic, then flip degraded state.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.testHook = func(r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/hold":
+			close(entered)
+			<-release
+		case "/v1/panic":
+			panic("metric panic")
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); getMW(m, "/v1/hold") }()
+	<-entered
+	getMW(m, "/v1/visibility?prefix="+escapePrefix(g.samples[0])) // shed
+	close(release)
+	wg.Wait()
+	getMW(m, "/v1/panic")
+	s.stats.ReloadRetries.Add(2)
+	s.stats.Degraded.Store(true)
+	s.stats.SetReloadError("archive on fire")
+
+	w := getMW(m, "/metrics")
+	if w.Code != 200 {
+		t.Fatalf("metrics status %d", w.Code)
+	}
+	var mr struct {
+		Inflight      int64   `json:"inflight"`
+		Queued        int64   `json:"queued"`
+		Shed          uint64  `json:"shed_total"`
+		Panics        uint64  `json:"panics_total"`
+		ReloadRetries uint64  `json:"reload_retries"`
+		Degraded      int     `json:"degraded"`
+		GenAge        float64 `json:"generation_age_seconds"`
+		Ingest        struct {
+			Sources []struct {
+				Name          string `json:"name"`
+				Shed          uint64 `json:"shed"`
+				Panics        uint64 `json:"panics"`
+				ReloadRetries uint64 `json:"reload_retries"`
+			} `json:"sources"`
+		} `json:"ingest"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &mr); err != nil {
+		t.Fatalf("metrics: %v\n%s", err, w.Body.String())
+	}
+	if mr.Inflight != 0 || mr.Queued != 0 {
+		t.Errorf("gauges inflight=%d queued=%d, want 0/0 at rest", mr.Inflight, mr.Queued)
+	}
+	if mr.Shed != 1 || mr.Panics != 1 || mr.ReloadRetries != 2 || mr.Degraded != 1 {
+		t.Errorf("counters shed=%d panics=%d retries=%d degraded=%d",
+			mr.Shed, mr.Panics, mr.ReloadRetries, mr.Degraded)
+	}
+	if mr.GenAge < 0 {
+		t.Errorf("generation_age_seconds %v negative", mr.GenAge)
+	}
+	var found bool
+	for _, src := range mr.Ingest.Sources {
+		if src.Name == "serve/http" {
+			found = true
+			if src.Shed != 1 || src.Panics != 1 || src.ReloadRetries != 2 {
+				t.Errorf("serve/http source: %+v", src)
+			}
+		}
+	}
+	if !found {
+		t.Error("ingest report missing the serve/http source")
+	}
+
+	// Degraded healthz: still 200, status flips, reload_error surfaces.
+	w = getMW(m, "/healthz")
+	if w.Code != 200 {
+		t.Fatalf("degraded healthz status %d, want 200 (stale-but-available is healthy)", w.Code)
+	}
+	var hr struct {
+		Status      string `json:"status"`
+		Degraded    bool   `json:"degraded"`
+		ReloadError string `json:"reload_error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "degraded" || !hr.Degraded || hr.ReloadError != "archive on fire" {
+		t.Errorf("degraded healthz: %+v", hr)
+	}
+
+	// Healed: back to ok, no reload_error key.
+	s.stats.Degraded.Store(false)
+	s.stats.SetReloadError("")
+	w = getMW(m, "/healthz")
+	if !strings.Contains(w.Body.String(), `"status":"ok"`) ||
+		strings.Contains(w.Body.String(), "reload_error") {
+		t.Errorf("healed healthz: %s", w.Body.String())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Endpoint indices for the per-endpoint request counters.
@@ -49,20 +50,31 @@ type Server struct {
 	errs  atomic.Uint64
 	reqs  [numEndpoints]atomic.Uint64
 	pool  sync.Pool
+	stats *Stats
+
+	// testHook, when set (tests only), runs after the generation is
+	// pinned and before routing — the injection point for deliberate
+	// panics and stalls in the chaos and deadline suites.
+	testHook func(*http.Request)
 }
 
 // New builds a server over an initial generation (nil is allowed; every
 // request answers 503 until the first Swap).
 func New(g *Generation) *Server {
-	s := &Server{}
+	s := &Server{stats: &Stats{}}
 	s.pool.New = func() any {
 		return &reqState{body: make([]byte, 0, 4096)}
 	}
 	if g != nil {
 		s.gen.Store(g)
+		s.stats.markGeneration(time.Now())
 	}
 	return s
 }
+
+// Stats returns the server's resilience accounting, shared with the
+// middleware and reload supervisor.
+func (s *Server) Stats() *Stats { return s.stats }
 
 // Generation returns the currently published generation (nil before the
 // first one is installed).
@@ -79,6 +91,7 @@ func (s *Server) Swaps() uint64 { return s.swaps.Load() }
 func (s *Server) Swap(next *Generation) *Generation {
 	old := s.gen.Swap(next)
 	s.swaps.Add(1)
+	s.stats.markGeneration(time.Now())
 	if old != nil {
 		old.snap.Close()
 	}
@@ -114,6 +127,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer g.Release()
+	if h := s.testHook; h != nil {
+		h(r)
+	}
 	path := r.URL.Path
 	switch {
 	case path == "/v1/visibility":
@@ -368,11 +384,23 @@ func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request, g *Genera
 
 // handleHealthz reports liveness plus the serving generation and its
 // shape — the digest here is what the swap acceptance checks watch.
+// Degraded mode (reloads to the next generation failing while this one
+// keeps serving) is surfaced here, still with status 200: stale but
+// available is healthy by the daemon's availability contract, and a
+// load balancer must not eject an instance for it.
 func (s *Server) handleHealthz(w http.ResponseWriter, g *Generation) {
 	st := s.pool.Get().(*reqState)
 	defer s.pool.Put(st)
+	degraded := s.stats.Degraded.Load()
 	b := st.body[:0]
-	b = append(b, `{"status":"ok","window_first":"`...)
+	if degraded {
+		b = append(b, `{"status":"degraded"`...)
+	} else {
+		b = append(b, `{"status":"ok"`...)
+	}
+	b = append(b, `,"degraded":`...)
+	b = appendBool(b, degraded)
+	b = append(b, `,"window_first":"`...)
 	b = appendDay(b, g.window.First)
 	b = append(b, `","window_last":"`...)
 	b = appendDay(b, g.window.Last)
@@ -382,6 +410,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, g *Generation) {
 	b = strconv.AppendInt(b, int64(g.pipe.Index.NumPeers()), 10)
 	b = append(b, `,"swaps":`...)
 	b = strconv.AppendUint(b, s.swaps.Load(), 10)
+	b = append(b, `,"generation_age_seconds":`...)
+	b = appendFloat(b, s.stats.GenerationAge(time.Now()).Seconds())
+	if msg := s.stats.ReloadError(); degraded && msg != "" {
+		b = append(b, `,"reload_error":`...)
+		quoted, _ := json.Marshal(msg)
+		b = append(b, quoted...)
+	}
 	b = g.appendGeneration(b)
 	st.body = b[:0]
 	s.finish(w, g, b)
@@ -412,8 +447,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, g *Generation) {
 	b = strconv.AppendUint(b, s.errs.Load(), 10)
 	b = append(b, `,"swaps":`...)
 	b = strconv.AppendUint(b, s.swaps.Load(), 10)
+	b = append(b, `,"inflight":`...)
+	b = strconv.AppendInt(b, s.stats.Inflight.Load(), 10)
+	b = append(b, `,"queued":`...)
+	b = strconv.AppendInt(b, s.stats.Queued.Load(), 10)
+	b = append(b, `,"shed_total":`...)
+	b = strconv.AppendUint(b, s.stats.Shed.Load(), 10)
+	b = append(b, `,"panics_total":`...)
+	b = strconv.AppendUint(b, s.stats.Panics.Load(), 10)
+	b = append(b, `,"reload_retries":`...)
+	b = strconv.AppendUint(b, s.stats.ReloadRetries.Load(), 10)
+	b = append(b, `,"degraded":`...)
+	if s.stats.Degraded.Load() {
+		b = append(b, '1')
+	} else {
+		b = append(b, '0')
+	}
+	b = append(b, `,"generation_age_seconds":`...)
+	b = appendFloat(b, s.stats.GenerationAge(time.Now()).Seconds())
 	b = append(b, `,"ingest":`...)
-	rep, err := json.Marshal(g.pipe.HealthReport())
+	health := g.pipe.HealthReport()
+	health.Sources = append(health.Sources, s.stats.sourceReport())
+	rep, err := json.Marshal(health)
 	if err != nil {
 		rep = []byte("null")
 	}

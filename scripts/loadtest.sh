@@ -6,21 +6,42 @@
 # percentiles as JSON — the measurement committed as BENCH_PR6.json and
 # gated by scripts/check.sh serve.
 #
-# Usage: scripts/loadtest.sh [OUT.json]
+# Usage: scripts/loadtest.sh [--overload] [OUT.json]
 #   SCALE=512 DURATION=5s CLIENTS=8 SEED=1 RING=4096 SWAPS=0 to override.
+#
+# --overload is the admission-gate measurement (BENCH_PR7.json): 4x the
+# client concurrency against a small bounded gate (MAX_INFLIGHT=8,
+# QUEUE=8, QUEUE_WAIT=2ms by default), with 503 responses counted as
+# shed load. The JSON then reports shed/shed_rate, and p99_us reads "p99
+# of admitted requests" — the number that must stay flat while the
+# excess is shed. SERVICE_FLOOR (default 1ms) sets the simulated
+# service time per admitted query: the synthetic archive's point
+# queries answer in under a microsecond on loopback, which no realistic
+# client count can saturate, so the floor stands in for the cost of a
+# production query against a full-scale archive.
 #
 # The run is deterministic in its request sequence (seeded splitmix64
 # over the archive's own prefix universe); timings of course are not.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+overload=""
+if [ "${1:-}" = "--overload" ]; then
+  overload=1
+  shift
+fi
+
 out="${1:-/dev/stdout}"
 scale="${SCALE:-512}"
 duration="${DURATION:-5s}"
-clients="${CLIENTS:-8}"
 seed="${SEED:-1}"
 ring="${RING:-4096}"
 swaps="${SWAPS:-0}"
+if [ -n "$overload" ]; then
+  clients="${CLIENTS:-32}"
+else
+  clients="${CLIENTS:-8}"
+fi
 
 tmp="$(mktemp -d)"
 # shellcheck disable=SC2064 -- expand now: $tmp is a script local.
@@ -29,7 +50,18 @@ trap "rm -rf '$tmp'" EXIT
 echo "--- loadtest: generating archive (scale $scale, seed $seed)" >&2
 go run ./cmd/synthgen -dir "$tmp/arch" -scale "$scale" -seed "$seed" >&2
 
-echo "--- loadtest: $clients clients for $duration (ring $ring, swaps $swaps)" >&2
+extra=()
+if [ -n "$overload" ]; then
+  extra=(-overload
+    -max-inflight "${MAX_INFLIGHT:-8}"
+    -queue "${QUEUE:-8}"
+    -queue-wait "${QUEUE_WAIT:-2ms}"
+    -service-floor "${SERVICE_FLOOR:-1ms}")
+  echo "--- loadtest: OVERLOAD $clients clients vs ${MAX_INFLIGHT:-8} slots for $duration (ring $ring, swaps $swaps)" >&2
+else
+  echo "--- loadtest: $clients clients for $duration (ring $ring, swaps $swaps)" >&2
+fi
+
 go run ./cmd/dropscoped -archive "$tmp/arch" -loadtest \
   -clients "$clients" -duration "$duration" -seed "$seed" \
-  -ring "$ring" -swaps "$swaps" >"$out"
+  -ring "$ring" -swaps "$swaps" ${extra[@]+"${extra[@]}"} >"$out"

@@ -1,7 +1,7 @@
 # Convenience wrappers over scripts/check.sh — the same commands CI runs
 # (.github/workflows/ci.yml), so a green `make all` locally means a green
 # gate.
-.PHONY: all build vet fmt test race bench benchgate fuzz faults chaos warmstart serve soak overload lint loadtest
+.PHONY: all build vet fmt test race bench benchgate fuzz faults chaos warmstart serve soak crash overload lint loadtest
 
 all:
 	scripts/check.sh all
@@ -44,6 +44,9 @@ serve:
 
 soak:
 	scripts/check.sh soak
+
+crash:
+	scripts/check.sh crash
 
 overload:
 	scripts/check.sh overload

@@ -8,7 +8,8 @@
 //
 //	dropscoped -archive DIR [-listen ADDR] [-snapshot DIR|off] [-first DAY] [-last DAY]
 //	           [-workers N] [-max-skip N] [-max-inflight N] [-queue N] [-queue-wait D]
-//	           [-request-timeout D] [-watch D] [-drain-timeout D]
+//	           [-request-timeout D] [-watch D] [-drain-timeout D] [-retain N]
+//	           [-scrub] [-scrub-chunk N] [-scrub-interval D] [-scrub-pass-interval D]
 //	           [-read-header-timeout D] [-read-timeout D] [-write-timeout D] [-idle-timeout D]
 //	dropscoped -archive DIR -loadtest [-clients N] [-duration D] [-seed N] [-ring N]
 //	           [-swaps M] [-overload]
@@ -30,6 +31,17 @@
 // Every response carries the generation digest (body field
 // "generation" and the X-Dropscope-Generation header), so a client can
 // always tell which archive state answered it.
+//
+// The snapshot directory is a crash-safe generation store: snapshots
+// are written durably (fsync, atomic rename, directory sync), recorded
+// in an append-only checksummed manifest journal, and swept and
+// reconciled at startup, so a crash at any point of a write leaves
+// either the old or the new complete generation — never garbage. A
+// background scrubber (-scrub, on by default) continuously re-verifies
+// the live generation's bytes against its checksums; on a mismatch the
+// daemon reports itself degraded, journals the generation corrupt so
+// it is never re-adopted, and cold-rebuilds a replacement through the
+// reload supervisor. Degraded, never down.
 //
 // SIGINT/SIGTERM drain gracefully: new arrivals answer 503 while
 // requests already admitted run to completion, bounded by
@@ -61,6 +73,7 @@ import (
 	"time"
 
 	"dropscope"
+	"dropscope/internal/ribsnap"
 	"dropscope/internal/serve"
 	"dropscope/internal/timex"
 )
@@ -93,6 +106,12 @@ func main() {
 
 		watch        = flag.Duration("watch", 0, "poll the archive directory at this interval and reload on change (0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown: max time to drain in-flight requests")
+
+		retain        = flag.Int("retain", 0, "snapshot store: retired generations kept on disk (0 = default, negative = all)")
+		scrub         = flag.Bool("scrub", true, "background scrub: continuously re-verify the live snapshot against its checksums")
+		scrubChunk    = flag.Int("scrub-chunk", 1<<20, "scrub: payload bytes verified per step")
+		scrubInterval = flag.Duration("scrub-interval", 50*time.Millisecond, "scrub: pause between steps (the rate limit)")
+		scrubPass     = flag.Duration("scrub-pass-interval", time.Minute, "scrub: idle time between completed passes")
 
 		loadtest = flag.Bool("loadtest", false, "run the deterministic load driver and exit")
 		clients  = flag.Int("clients", 8, "loadtest: concurrent clients")
@@ -129,12 +148,24 @@ func main() {
 		MaxSkip: *maxSkip,
 		Workers: *workers,
 	}
+	snapDir := ""
 	switch *snapshot {
 	case "off":
 	case "auto":
-		opts.SnapshotDir = filepath.Join(*archiveDir, "ribsnap")
+		snapDir = filepath.Join(*archiveDir, "ribsnap")
 	default:
-		opts.SnapshotDir = *snapshot
+		snapDir = *snapshot
+	}
+	if snapDir != "" {
+		// The daemon goes through the manifest-backed store: crash
+		// recovery at open (temp sweep, journal replay), corrupt
+		// generations refused, retired ones garbage-collected.
+		store, serr := ribsnap.OpenStore(snapDir, ribsnap.StoreOptions{Retain: *retain})
+		if serr != nil {
+			log.Printf("dropscoped: snapshot store unavailable, running cold: %v", serr)
+		} else {
+			opts.Store = store
+		}
 	}
 
 	t0 := time.Now()
@@ -182,6 +213,18 @@ func main() {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go reloader.Run(ctx)
+
+	if *scrub && opts.Store != nil {
+		scrubber := serve.NewScrubber(srv, serve.ScrubConfig{
+			Chunk:        *scrubChunk,
+			Interval:     *scrubInterval,
+			PassInterval: *scrubPass,
+			Store:        opts.Store,
+			Reloader:     reloader,
+			OnEvent:      func(msg string) { log.Print("dropscoped: ", msg) },
+		})
+		go scrubber.Run(ctx)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

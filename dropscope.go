@@ -169,6 +169,10 @@ func LoadStudyWithOptions(dir string, cfg Config, opts IngestOptions) (*Study, e
 		haveDigest bool
 	)
 	if opts.SnapshotDir != "" {
+		// Startup sweep: collect temp files orphaned by a write a crash
+		// interrupted. They are never adopted as snapshots — the durable
+		// write only ever publishes by rename — so they are pure debris.
+		_, _ = ribsnap.SweepTemps(opts.SnapshotDir)
 		if d, derr := ribsnap.DigestMRT(filepath.Join(dir, "mrt")); derr == nil {
 			digest, haveDigest = d, true
 			var lerr error

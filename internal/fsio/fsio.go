@@ -1,0 +1,67 @@
+// Package fsio is the filesystem seam under durable write paths: the
+// narrow interface a temp+fsync+rename+syncdir writer needs, with the
+// real OS as the default implementation. It is a leaf package on
+// purpose — the snapshot writer (internal/ribsnap) consumes it and the
+// disk-fault injector (internal/ingest/faultinject) implements it, and
+// keeping the seam dependency-free is what lets the injector avoid
+// importing the writer (which would cycle through the ingest packages
+// the writer's index depends on).
+package fsio
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File a durable writer needs. Sync is the
+// durability point for file contents; WriteAt back-patches headers
+// after a payload is streamed.
+type File interface {
+	io.Writer
+	io.WriterAt
+	Name() string
+	Sync() error
+	Close() error
+}
+
+// FS is the seam writes run through. The default is the real OS (OS);
+// tests and the fault injector substitute their own.
+type FS interface {
+	// CreateTemp creates a new O_EXCL temp file in dir; the pattern's
+	// "*" is replaced with a random string, exactly as os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file (error-path temp cleanup).
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making previously renamed or created
+	// entries durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	// os.CreateTemp opens O_RDWR|O_CREATE|O_EXCL: a colliding name from
+	// a dead writer is never silently adopted.
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

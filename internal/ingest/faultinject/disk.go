@@ -1,0 +1,230 @@
+// Disk-level fault injection: an fsio.FS implementation that wraps a
+// real filesystem and damages the write path deterministically — short
+// writes, exhausted space, silent bit flips, and fail-stop crashes at
+// an exact operation index. The crash model is the interesting one: a
+// kernel panic or power cut stops a process between any two syscalls,
+// so DiskFS counts every mutating operation (create, write, sync,
+// close, rename, directory sync, remove) and, once the configured
+// budget is spent, fails that operation and every later one. Driving a
+// snapshot write with CrashAfter = 0, 1, 2, ... N exercises a crash at
+// every step of the durability protocol, and recovery must find either
+// the old or the new complete snapshot at every single K.
+//
+// Like the stream injectors in this package, all damage is a pure
+// function of the seed.
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"dropscope/internal/fsio"
+)
+
+// ErrCrashed is the failure every operation returns once a DiskFS has
+// fail-stopped. Recovery code never sees it — the "process" is dead —
+// but tests assert on it to distinguish the simulated crash from real
+// filesystem errors.
+var ErrCrashed = errors.New("faultinject: simulated crash (fail-stop)")
+
+// ErrNoSpace models ENOSPC: the write consumed the remaining budget,
+// wrote what fit, and failed.
+var ErrNoSpace = errors.New("faultinject: no space left on device")
+
+// DiskOpts configures a DiskFS. The zero value injects nothing.
+type DiskOpts struct {
+	// CrashAfter fail-stops the filesystem after this many mutating
+	// operations have succeeded; negative (or, for convenience in
+	// zero-valued opts, zero with no other signal) never crashes. Use
+	// NeverCrash for clarity.
+	CrashAfter int
+	// Crash enables the CrashAfter budget (so CrashAfter == 0 can mean
+	// "crash before the very first operation").
+	Crash bool
+	// SpaceBytes is the total byte budget for data writes; negative or
+	// zero means unlimited.
+	SpaceBytes int64
+	// FlipBits silently flips this many pseudo-random bits in every
+	// data write — bitrot at the platter, invisible until a checksum
+	// looks. Requires FlipSeed to vary the damage.
+	FlipBits int
+	// FlipSeed seeds the bit flipper.
+	FlipSeed uint64
+	// ShortEvery makes every Nth data write stop halfway with
+	// io.ErrShortWrite; zero disables.
+	ShortEvery int
+}
+
+// DiskFS wraps an fsio.FS with deterministic fault injection. Safe
+// for concurrent use to the extent the wrapped FS is; the fault state
+// is mutex-guarded.
+type DiskFS struct {
+	base fsio.FS
+
+	mu      sync.Mutex
+	ops     int
+	writes  int
+	space   int64
+	crashed bool
+	opts    DiskOpts
+	flip    *Injector
+}
+
+// NewDiskFS wraps base (nil means the real OS) with the configured
+// faults.
+func NewDiskFS(base fsio.FS, opts DiskOpts) *DiskFS {
+	if base == nil {
+		base = fsio.OS
+	}
+	d := &DiskFS{base: base, opts: opts, space: opts.SpaceBytes}
+	if opts.FlipBits > 0 {
+		d.flip = New(opts.FlipSeed)
+	}
+	return d
+}
+
+// Ops reports how many mutating operations have succeeded — run a
+// clean write first to learn the protocol length, then replay with
+// CrashAfter at each index below it.
+func (d *DiskFS) Ops() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ops
+}
+
+// Crashed reports whether the fail-stop has triggered.
+func (d *DiskFS) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// step spends one operation from the crash budget. After the budget is
+// gone every operation — including cleanup removes — fails, which is
+// exactly what a dead process can(not) do.
+func (d *DiskFS) step() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	if d.opts.Crash && d.ops >= d.opts.CrashAfter {
+		d.crashed = true
+		return ErrCrashed
+	}
+	d.ops++
+	return nil
+}
+
+// mangle applies the data-write faults to p, returning the bytes to
+// hand the real file, how many of the caller's bytes that covers, and
+// the error the write must report.
+func (d *DiskFS) mangle(p []byte) ([]byte, int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(p)
+	var err error
+	if d.opts.ShortEvery > 0 {
+		d.writes++
+		if d.writes%d.opts.ShortEvery == 0 && n > 1 {
+			n = n / 2
+			err = io.ErrShortWrite
+		}
+	}
+	if d.opts.SpaceBytes > 0 {
+		if int64(n) > d.space {
+			n = int(d.space)
+			err = ErrNoSpace
+		}
+		d.space -= int64(n)
+	}
+	out := p[:n]
+	if d.flip != nil && n > 0 {
+		out = d.flip.FlipBits(out, d.opts.FlipBits)
+	}
+	return out, n, err
+}
+
+func (d *DiskFS) CreateTemp(dir, pattern string) (fsio.File, error) {
+	if err := d.step(); err != nil {
+		return nil, err
+	}
+	f, err := d.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &diskFile{d: d, f: f}, nil
+}
+
+func (d *DiskFS) Rename(oldpath, newpath string) error {
+	if err := d.step(); err != nil {
+		return err
+	}
+	return d.base.Rename(oldpath, newpath)
+}
+
+func (d *DiskFS) Remove(name string) error {
+	if err := d.step(); err != nil {
+		return err
+	}
+	return d.base.Remove(name)
+}
+
+func (d *DiskFS) SyncDir(dir string) error {
+	if err := d.step(); err != nil {
+		return err
+	}
+	return d.base.SyncDir(dir)
+}
+
+// diskFile threads every file operation through the owner's fault
+// state.
+type diskFile struct {
+	d *DiskFS
+	f fsio.File
+}
+
+func (df *diskFile) Name() string { return df.f.Name() }
+
+func (df *diskFile) Write(p []byte) (int, error) {
+	if err := df.d.step(); err != nil {
+		return 0, err
+	}
+	out, n, ferr := df.d.mangle(p)
+	if _, err := df.f.Write(out); err != nil {
+		return 0, err
+	}
+	if ferr != nil {
+		return n, ferr
+	}
+	return len(p), nil
+}
+
+func (df *diskFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := df.d.step(); err != nil {
+		return 0, err
+	}
+	out, n, ferr := df.d.mangle(p)
+	if _, err := df.f.WriteAt(out, off); err != nil {
+		return 0, err
+	}
+	if ferr != nil {
+		return n, ferr
+	}
+	return len(p), nil
+}
+
+func (df *diskFile) Sync() error {
+	if err := df.d.step(); err != nil {
+		return err
+	}
+	return df.f.Sync()
+}
+
+func (df *diskFile) Close() error {
+	if err := df.d.step(); err != nil {
+		return err
+	}
+	return df.f.Close()
+}

@@ -1,0 +1,131 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dropscope/internal/ribsnap"
+)
+
+// writeTemp runs the canonical create/write/sync/close/rename/syncdir
+// sequence through fs, returning the first error.
+func writeTemp(fs ribsnap.FS, dir string, payload []byte) error {
+	f, err := fs.CreateTemp(dir, ".ribsnap-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(f.Name(), filepath.Join(dir, "out")); err != nil {
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+func TestDiskFSCountsOps(t *testing.T) {
+	d := NewDiskFS(nil, DiskOpts{})
+	if err := writeTemp(d, t.TempDir(), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if d.Ops() != 6 {
+		t.Fatalf("ops = %d, want 6 (create, write, sync, close, rename, syncdir)", d.Ops())
+	}
+	if d.Crashed() {
+		t.Fatal("clean run must not crash")
+	}
+}
+
+func TestDiskFSFailStop(t *testing.T) {
+	for k := 0; k < 6; k++ {
+		d := NewDiskFS(nil, DiskOpts{Crash: true, CrashAfter: k})
+		err := writeTemp(d, t.TempDir(), []byte("hello"))
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("k=%d: want ErrCrashed, got %v", k, err)
+		}
+		if !d.Crashed() {
+			t.Fatalf("k=%d: Crashed() false after crash", k)
+		}
+		// Fail-stop: every later op fails too, including removes.
+		if err := d.Remove("whatever"); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("k=%d: post-crash op succeeded: %v", k, err)
+		}
+		if d.Ops() != k {
+			t.Fatalf("k=%d: %d ops succeeded", k, d.Ops())
+		}
+	}
+}
+
+func TestDiskFSNoSpace(t *testing.T) {
+	dir := t.TempDir()
+	d := NewDiskFS(nil, DiskOpts{SpaceBytes: 3})
+	f, err := d.CreateTemp(dir, ".ribsnap-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("hello"))
+	if !errors.Is(err, ErrNoSpace) || n != 3 {
+		t.Fatalf("write = (%d, %v), want (3, ErrNoSpace)", n, err)
+	}
+	// The budget is spent; nothing more fits.
+	if n, err := f.Write([]byte("x")); !errors.Is(err, ErrNoSpace) || n != 0 {
+		t.Fatalf("second write = (%d, %v), want (0, ErrNoSpace)", n, err)
+	}
+}
+
+func TestDiskFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	d := NewDiskFS(nil, DiskOpts{ShortEvery: 2})
+	f, err := d.CreateTemp(dir, ".ribsnap-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("full")); err != nil {
+		t.Fatalf("first write should pass: %v", err)
+	}
+	n, err := f.Write([]byte("chopped"))
+	if !errors.Is(err, io.ErrShortWrite) || n != 3 {
+		t.Fatalf("second write = (%d, %v), want (3, ErrShortWrite)", n, err)
+	}
+}
+
+func TestDiskFSBitFlipsDeterministic(t *testing.T) {
+	out := func(seed uint64) []byte {
+		dir := t.TempDir()
+		d := NewDiskFS(nil, DiskOpts{FlipBits: 2, FlipSeed: seed})
+		f, err := d.CreateTemp(dir, ".ribsnap-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("the quick brown fox")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b, c := out(7), out(7), out(8)
+	if string(a) != string(b) {
+		t.Fatal("same seed produced different damage")
+	}
+	if string(a) == string(c) {
+		t.Fatal("different seeds produced identical damage")
+	}
+	if string(a) == "the quick brown fox" {
+		t.Fatal("no bits were flipped")
+	}
+}

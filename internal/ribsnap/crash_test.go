@@ -1,0 +1,257 @@
+// Crash-recovery property tests for the durable write path: a
+// fail-stop crash at *every* operation of the write protocol must
+// leave the snapshot path holding either the old complete snapshot or
+// the new complete snapshot — never a torn file, and never an adopted
+// temp. External test package: the disk injector lives in faultinject,
+// which imports ribsnap.
+package ribsnap_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/ingest/faultinject"
+	"dropscope/internal/mrt"
+	"dropscope/internal/netx"
+	"dropscope/internal/rib"
+	"dropscope/internal/ribsnap"
+	"dropscope/internal/timex"
+)
+
+// tinyFrozen builds the smallest closed index worth snapshotting.
+func tinyFrozen(t testing.TB) (*rib.Frozen, timex.Range) {
+	t.Helper()
+	day0 := timex.MustParseDay("2019-06-05")
+	window := timex.Range{First: day0, Last: day0 + 10}
+	ix := rib.NewIndex()
+	peers := []mrt.Peer{{Addr: netx.AddrFrom4(203, 0, 113, 1), AS: 64500}}
+	recs := []mrt.Record{
+		&mrt.PeerIndexTable{When: day0.Time(), Peers: peers},
+		&mrt.RIBPrefix{When: day0.Time(), Prefix: netx.MustParsePrefix("192.0.2.0/24"),
+			Entries: []mrt.RIBEntry{{PeerIndex: 0, OriginatedTime: (day0 - 5).Time(),
+				Attrs: bgp.Attrs{Path: bgp.Sequence(64500, 100)}}}},
+	}
+	if err := ix.Load("rv0", recs); err != nil {
+		t.Fatal(err)
+	}
+	ix.Close(window.Last)
+	f, err := ix.Frozen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, window
+}
+
+func digestOf(b byte) (d [32]byte) {
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+// loadDigest loads and immediately closes, reporting only the error.
+func loadDigest(path string, d [32]byte) error {
+	s, err := ribsnap.Load(path, d)
+	if err != nil {
+		return err
+	}
+	return s.Close()
+}
+
+// TestCrashAtEveryWriteStep is the central recovery property: for every
+// prefix of the write protocol's operation sequence, a fail-stop crash
+// immediately after that prefix leaves the path loadable as exactly one
+// complete snapshot — the old one if the rename had not happened yet,
+// the new one after — and the startup sweep leaves no temp debris.
+func TestCrashAtEveryWriteStep(t *testing.T) {
+	f, window := tinyFrozen(t)
+	oldDigest, newDigest := digestOf(0xAA), digestOf(0xBB)
+
+	// A clean instrumented run measures the protocol length.
+	clean := faultinject.NewDiskFS(nil, faultinject.DiskOpts{})
+	cleanDir := t.TempDir()
+	cleanPath := filepath.Join(cleanDir, "index.ribsnap")
+	if err := ribsnap.WriteFS(clean, cleanPath, f, window, newDigest, nil); err != nil {
+		t.Fatalf("clean write: %v", err)
+	}
+	nOps := clean.Ops()
+	if nOps < 5 {
+		t.Fatalf("suspiciously short protocol: %d ops", nOps)
+	}
+	t.Logf("write protocol is %d operations", nOps)
+
+	for k := 0; k < nOps; k++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "index.ribsnap")
+		if err := ribsnap.Write(path, f, window, oldDigest, nil); err != nil {
+			t.Fatalf("k=%d: seeding old snapshot: %v", k, err)
+		}
+
+		disk := faultinject.NewDiskFS(nil, faultinject.DiskOpts{Crash: true, CrashAfter: k})
+		err := ribsnap.WriteFS(disk, path, f, window, newDigest, nil)
+		if !errors.Is(err, faultinject.ErrCrashed) {
+			t.Fatalf("k=%d: want simulated crash, got %v", k, err)
+		}
+
+		// "Reboot": the startup sweep collects orphaned temps.
+		if _, err := ribsnap.SweepTemps(dir); err != nil {
+			t.Fatalf("k=%d: sweep: %v", k, err)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.Name() != "index.ribsnap" {
+				t.Fatalf("k=%d: debris survived recovery: %s", k, e.Name())
+			}
+		}
+
+		// Exactly one of the two generations must load completely.
+		switch err := loadDigest(path, newDigest); {
+		case err == nil:
+			// Crash after the rename: the new snapshot won.
+		case errors.Is(err, ribsnap.ErrStale):
+			// Still the old generation; it must be fully intact.
+			if err := loadDigest(path, oldDigest); err != nil {
+				t.Fatalf("k=%d: old snapshot damaged: %v", k, err)
+			}
+		default:
+			t.Fatalf("k=%d: path holds garbage: %v", k, err)
+		}
+	}
+}
+
+// TestCrashWithoutPredecessor covers first-boot crashes: no old
+// snapshot exists, so recovery must find either nothing (plus no
+// debris) or the complete new snapshot.
+func TestCrashWithoutPredecessor(t *testing.T) {
+	f, window := tinyFrozen(t)
+	newDigest := digestOf(0xCC)
+
+	clean := faultinject.NewDiskFS(nil, faultinject.DiskOpts{})
+	if err := ribsnap.WriteFS(clean, filepath.Join(t.TempDir(), "x.ribsnap"), f, window, newDigest, nil); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < clean.Ops(); k++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "index.ribsnap")
+		disk := faultinject.NewDiskFS(nil, faultinject.DiskOpts{Crash: true, CrashAfter: k})
+		if err := ribsnap.WriteFS(disk, path, f, window, newDigest, nil); !errors.Is(err, faultinject.ErrCrashed) {
+			t.Fatalf("k=%d: want simulated crash, got %v", k, err)
+		}
+		if _, err := ribsnap.SweepTemps(dir); err != nil {
+			t.Fatal(err)
+		}
+		if _, statErr := os.Stat(path); statErr == nil {
+			if err := loadDigest(path, newDigest); err != nil {
+				t.Fatalf("k=%d: renamed snapshot damaged: %v", k, err)
+			}
+		} else if !os.IsNotExist(statErr) {
+			t.Fatal(statErr)
+		}
+		entries, _ := os.ReadDir(dir)
+		for _, e := range entries {
+			if e.Name() != "index.ribsnap" {
+				t.Fatalf("k=%d: debris survived recovery: %s", k, e.Name())
+			}
+		}
+	}
+}
+
+// TestWriteENOSPC: an exhausted disk fails the write, and recovery
+// leaves the old snapshot untouched.
+func TestWriteENOSPC(t *testing.T) {
+	f, window := tinyFrozen(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.ribsnap")
+	oldDigest := digestOf(0x11)
+	if err := ribsnap.Write(path, f, window, oldDigest, nil); err != nil {
+		t.Fatal(err)
+	}
+	disk := faultinject.NewDiskFS(nil, faultinject.DiskOpts{SpaceBytes: 256})
+	err := ribsnap.WriteFS(disk, path, f, window, digestOf(0x22), nil)
+	if !errors.Is(err, faultinject.ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	if _, err := ribsnap.SweepTemps(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := loadDigest(path, oldDigest); err != nil {
+		t.Fatalf("old snapshot damaged by failed write: %v", err)
+	}
+}
+
+// TestWriteShortWrite: a half-written buffer fails the write rather
+// than producing a silently truncated temp that could ever be renamed.
+func TestWriteShortWrite(t *testing.T) {
+	f, window := tinyFrozen(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.ribsnap")
+	disk := faultinject.NewDiskFS(nil, faultinject.DiskOpts{ShortEvery: 3})
+	err := ribsnap.WriteFS(disk, path, f, window, digestOf(0x33), nil)
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("want ErrShortWrite, got %v", err)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatalf("short write must not produce a snapshot: %v", statErr)
+	}
+}
+
+// TestWriteBitFlips: silent write-time corruption survives the write
+// call (the disk lied) but can never be loaded — the CRC catches it.
+func TestWriteBitFlips(t *testing.T) {
+	f, window := tinyFrozen(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.ribsnap")
+	d := digestOf(0x44)
+	disk := faultinject.NewDiskFS(nil, faultinject.DiskOpts{FlipBits: 4, FlipSeed: 7})
+	if err := ribsnap.WriteFS(disk, path, f, window, d, nil); err != nil {
+		t.Fatalf("silent corruption must not fail the write: %v", err)
+	}
+	err := loadDigest(path, d)
+	if err == nil {
+		t.Fatal("corrupted snapshot loaded cleanly")
+	}
+	if !errors.Is(err, ribsnap.ErrCorrupt) && !errors.Is(err, ribsnap.ErrTruncated) &&
+		!errors.Is(err, ribsnap.ErrStale) && !errors.Is(err, ribsnap.ErrVersion) {
+		t.Fatalf("want a typed load failure, got %v", err)
+	}
+}
+
+// TestSweepTemps: the startup sweep removes exactly the orphaned write
+// temps and reports them, leaving everything else alone.
+func TestSweepTemps(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{".ribsnap-123", ".ribsnap-abc"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("orphan"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keep := filepath.Join(dir, "index.ribsnap")
+	if err := os.WriteFile(keep, []byte("snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	swept, err := ribsnap.SweepTemps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swept) != 2 {
+		t.Fatalf("swept %v, want the two orphans", swept)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "index.ribsnap" {
+		t.Fatalf("sweep touched the wrong files: %v", entries)
+	}
+	// Missing directory is a clean no-op, not an error.
+	if _, err := ribsnap.SweepTemps(filepath.Join(dir, "nope")); err != nil {
+		t.Fatalf("sweep of missing dir: %v", err)
+	}
+}

@@ -7,29 +7,34 @@ import (
 	"syscall"
 )
 
-// mapFile maps path read-only. The returned release function unmaps;
-// until it runs, slices derived from the data stay valid. A read-only
-// private mapping means a concurrent rewrite of the file (snapshots
-// are replaced atomically by rename) never mutates loaded pages.
-func mapFile(path string) ([]byte, func() error, error) {
+// mapFile maps path read-only and returns the still-open file alongside
+// the mapping. The returned release function unmaps; until it runs,
+// slices derived from the data stay valid. A read-only private mapping
+// means a concurrent rewrite of the file (snapshots are replaced
+// atomically by rename) never mutates loaded pages. The file handle is
+// kept open so the background scrubber can re-read the exact inode the
+// mapping was taken over; the caller closes it when the snapshot is
+// released.
+func mapFile(path string) ([]byte, *os.File, func() error, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
-		return nil, nil, err
+		f.Close()
+		return nil, nil, nil, err
 	}
 	size := st.Size()
 	if size == 0 {
 		// mmap rejects zero-length maps; an empty file is just a
 		// truncated snapshot.
-		return nil, nil, nil
+		return nil, f, nil, nil
 	}
 	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
 	if err != nil {
-		return nil, nil, err
+		f.Close()
+		return nil, nil, nil, err
 	}
-	return data, func() error { return syscall.Munmap(data) }, nil
+	return data, f, func() error { return syscall.Munmap(data) }, nil
 }

@@ -138,12 +138,25 @@ type Snapshot struct {
 	// generation identity a serving layer reports with every response.
 	Digest [32]byte
 
+	// File-backed identity, retained for the background scrubber: the
+	// open handle pins the exact inode the mapping reads, so scrub
+	// verification is immune to the file being renamed over or
+	// unlinked. Zero for cold-built (mapping-free) snapshots.
+	path   string
+	file   *os.File
+	paylen uint64
+	crc    uint32
+
 	unmap func() error
 
 	mu     sync.Mutex
 	refs   int
 	closed bool
 }
+
+// Path returns the snapshot file the mapping was loaded from ("" for a
+// cold-built snapshot).
+func (s *Snapshot) Path() string { return s.path }
 
 // Acquire registers a reader. It fails with ErrClosed once Close has
 // run; on success the caller must Release exactly once when done, and
@@ -339,21 +352,34 @@ func (e *sectionEncoder) bytesPad4(b []byte) {
 
 // Write persists a frozen index, the study window it was closed with,
 // and per-collector record counts as a snapshot at path, atomically
-// (temp file + rename) so a crash never leaves a half-written file
-// where Load expects a snapshot. digest must be DigestMRT of the
-// archive the index was built from.
-func Write(path string, f *rib.Frozen, window timex.Range, digest [32]byte, counts []CollectorCount) (err error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+// and durably: the payload is streamed to an O_EXCL temp file, the
+// temp is fsynced before the rename, and the parent directory is
+// fsynced after it, so a crash (or power loss) at any step leaves
+// either the old complete snapshot or the new complete snapshot at
+// path — never a torn file. digest must be DigestMRT of the archive
+// the index was built from.
+func Write(path string, f *rib.Frozen, window timex.Range, digest [32]byte, counts []CollectorCount) error {
+	return WriteFS(OS, path, f, window, digest, counts)
+}
+
+// WriteFS is Write over an explicit filesystem seam — the entry point
+// the disk-fault injector drives. See fs.go for the durability
+// rationale.
+func WriteFS(fsys FS, path string, f *rib.Frozen, window timex.Range, digest [32]byte, counts []CollectorCount) (err error) {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".ribsnap-*")
+	tmp, err := fsys.CreateTemp(dir, tempPattern)
 	if err != nil {
 		return err
 	}
 	defer func() {
 		if err != nil {
+			// Best effort: under a simulated fail-stop crash the Remove
+			// fails too, leaving the orphan the startup sweep collects.
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fsys.Remove(tmp.Name())
 		}
 	}()
 
@@ -545,10 +571,21 @@ func Write(path string, f *rib.Frozen, window timex.Range, digest [32]byte, coun
 	if _, err = tmp.WriteAt(hdr[:], 0); err != nil {
 		return err
 	}
+	// Durability point for the contents: everything above is in the
+	// page cache until this fsync returns.
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
 	if err = tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err = fsys.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Durability point for the name: the rename itself lives in the
+	// directory's blocks and survives power loss only once the
+	// directory is synced.
+	return fsys.SyncDir(dir)
 }
 
 // --- decoding -----------------------------------------------------------
@@ -560,49 +597,52 @@ func Write(path string, f *rib.Frozen, window timex.Range, digest [32]byte, coun
 // columns without copying (keep the Snapshot alive — and un-Closed —
 // as long as the index is in use); elsewhere the file is read whole.
 func Load(path string, digest [32]byte) (*Snapshot, error) {
-	data, unmap, err := mapFile(path)
+	data, f, unmap, err := mapFile(path)
 	if err != nil {
 		return nil, err
+	}
+	release := func() error {
+		var uerr error
+		if unmap != nil {
+			uerr = unmap()
+		}
+		if f != nil {
+			if cerr := f.Close(); uerr == nil {
+				uerr = cerr
+			}
+		}
+		return uerr
 	}
 	snap, err := decode(data, digest)
 	if err != nil {
-		if unmap != nil {
-			unmap()
-		}
+		release()
 		return nil, err
 	}
-	snap.unmap = unmap
+	snap.path = path
+	snap.file = f
+	snap.unmap = release
 	return snap, nil
 }
 
 func decode(data []byte, digest [32]byte) (*Snapshot, error) {
-	if len(data) < headerSize {
-		return nil, fmt.Errorf("%w: %d header bytes", ErrTruncated, len(data))
+	hdr, err := decodeHeader(data)
+	if err != nil {
+		return nil, err
 	}
-	if string(data[0:8]) != string(magic[:]) {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
-	}
-	if v := binary.LittleEndian.Uint32(data[8:12]); v != Version {
-		return nil, fmt.Errorf("%w: file version %d, want %d", ErrVersion, v, Version)
-	}
-	if binary.LittleEndian.Uint32(data[60:64]) != 0 {
-		return nil, fmt.Errorf("%w: reserved header bytes set", ErrCorrupt)
-	}
-	nsec := int(binary.LittleEndian.Uint32(data[12:16]))
-	paylen := binary.LittleEndian.Uint64(data[48:56])
+	nsec := int(hdr.nsec)
+	paylen := hdr.paylen
 	if paylen > uint64(len(data)-headerSize) {
 		return nil, fmt.Errorf("%w: payload %d bytes, file holds %d", ErrTruncated, paylen, len(data)-headerSize)
 	}
 	payload := data[headerSize : headerSize+int(paylen)]
-	if crc := crc32.Checksum(payload, castagnoli); crc != binary.LittleEndian.Uint32(data[56:60]) {
+	if crc := crc32.Checksum(payload, castagnoli); crc != hdr.crc {
 		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
 	}
-	var stored [32]byte
-	copy(stored[:], data[16:48])
-	if stored != digest {
+	if hdr.digest != digest {
 		return nil, ErrStale
 	}
-	snapDigest := stored
+	snapDigest := hdr.digest
+	snapCRC := hdr.crc
 
 	if nsec < 0 || nsec*tableEntry > len(payload) {
 		return nil, fmt.Errorf("%w: section table overruns payload", ErrCorrupt)
@@ -631,6 +671,8 @@ func decode(data []byte, digest [32]byte) (*Snapshot, error) {
 
 	var snap Snapshot
 	snap.Digest = snapDigest
+	snap.paylen = paylen
+	snap.crc = snapCRC
 
 	meta, err := need(secMeta)
 	if err != nil {
@@ -838,7 +880,10 @@ func decodePaths(b []byte) ([]bgp.ASPath, error) {
 	} else if nASNs > 0 {
 		raw := c.b[c.off : c.off+int(4*nASNs)]
 		c.off += int(4 * nASNs)
-		if asnArena = asnsZeroCopy(raw); asnArena == nil {
+		if zerocopyEnabled {
+			asnArena = asnsZeroCopy(raw)
+		}
+		if asnArena == nil {
 			asnArena = make([]bgp.ASN, nASNs)
 			for i := range asnArena {
 				asnArena[i] = bgp.ASN(binary.LittleEndian.Uint32(raw[4*i:]))
@@ -906,9 +951,19 @@ func decodeCounts(b []byte) ([]CollectorCount, error) {
 // machines, aligned data: the mapped bytes are the in-memory layout)
 // and falls back to an explicit little-endian copy.
 
+// zerocopyEnabled gates every zero-copy cast. It exists so tests on
+// little-endian CI can force the copying fallback — the path that is
+// otherwise exercised only on big-endian or misaligned mappings.
+var zerocopyEnabled = true
+
 func decodeU32s(b []byte) []uint32 {
-	if v := u32sZeroCopy(b); v != nil || len(b) == 0 {
-		return v
+	if len(b) == 0 {
+		return nil
+	}
+	if zerocopyEnabled {
+		if v := u32sZeroCopy(b); v != nil {
+			return v
+		}
 	}
 	out := make([]uint32, len(b)/4)
 	for i := range out {
@@ -918,8 +973,13 @@ func decodeU32s(b []byte) []uint32 {
 }
 
 func decodeI32s(b []byte) []int32 {
-	if v := i32sZeroCopy(b); v != nil || len(b) == 0 {
-		return v
+	if len(b) == 0 {
+		return nil
+	}
+	if zerocopyEnabled {
+		if v := i32sZeroCopy(b); v != nil {
+			return v
+		}
 	}
 	out := make([]int32, len(b)/4)
 	for i := range out {
@@ -929,8 +989,13 @@ func decodeI32s(b []byte) []int32 {
 }
 
 func decodeDays(b []byte) []timex.Day {
-	if v := daysZeroCopy(b); v != nil || len(b) == 0 {
-		return v
+	if len(b) == 0 {
+		return nil
+	}
+	if zerocopyEnabled {
+		if v := daysZeroCopy(b); v != nil {
+			return v
+		}
 	}
 	out := make([]timex.Day, len(b)/4)
 	for i := range out {
@@ -940,8 +1005,13 @@ func decodeDays(b []byte) []timex.Day {
 }
 
 func decodeSpans(b []byte) []rib.Span {
-	if v := spansZeroCopy(b); v != nil || len(b) == 0 {
-		return v
+	if len(b) == 0 {
+		return nil
+	}
+	if zerocopyEnabled {
+		if v := spansZeroCopy(b); v != nil {
+			return v
+		}
 	}
 	out := make([]rib.Span, len(b)/20)
 	for i := range out {

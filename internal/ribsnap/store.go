@@ -1,0 +1,295 @@
+// Store: the manifest-backed snapshot directory the serving layer
+// loads and reloads through. One directory holds per-generation
+// snapshot files (gen-<digest16>.ribsnap), the manifest journal, and —
+// for archives written by the batch CLI — the legacy single-file
+// index.ribsnap, which the store still adopts as a fallback so the two
+// write paths interoperate.
+//
+// Opening a store is the crash-recovery point: orphaned write temps
+// are swept, the manifest's torn tail (if any) is truncated, snapshot
+// files that exist without a manifest record (a crash between the
+// durable rename and the journal append) are adopted as written, and
+// records whose file has vanished are marked removed. After OpenStore
+// returns, the directory and the journal agree.
+package ribsnap
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"dropscope/internal/rib"
+	"dropscope/internal/timex"
+)
+
+// DefaultRetain is how many non-live generations (retired or corrupt)
+// a store keeps on disk before garbage-collecting the oldest.
+const DefaultRetain = 2
+
+// StoreOptions configures OpenStore.
+type StoreOptions struct {
+	// Retain caps how many non-live generation files survive GC.
+	// 0 means DefaultRetain; negative keeps everything.
+	Retain int
+	// FS is the filesystem seam for writes; nil means the real OS.
+	FS FS
+}
+
+// Store is a manifest-backed snapshot directory. A mutex serializes
+// all methods: the serving layer's reload goroutine writes and
+// promotes while the background scrubber reports corruption, and the
+// journal must observe one order.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	fsys   FS
+	m      *Manifest
+	retain int
+}
+
+// GenName returns the snapshot file name for a generation digest.
+func GenName(digest [32]byte) string {
+	return "gen-" + hex.EncodeToString(digest[:8]) + ".ribsnap"
+}
+
+// OpenStore opens (creating if needed) the snapshot store under dir
+// and runs crash recovery: temp sweep, manifest torn-tail truncation,
+// and file/journal reconciliation.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OS
+	}
+	retain := opts.Retain
+	if retain == 0 {
+		retain = DefaultRetain
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := sweepTempsFS(fsys, dir); err != nil {
+		return nil, fmt.Errorf("ribsnap: store: sweeping temps: %w", err)
+	}
+	m, err := OpenManifestFS(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("ribsnap: store: %w", err)
+	}
+	st := &Store{dir: dir, fsys: fsys, m: m, retain: retain}
+	if err := st.reconcile(); err != nil {
+		return nil, fmt.Errorf("ribsnap: store: %w", err)
+	}
+	return st, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Manifest exposes the replayed journal state. Callers must not use it
+// concurrently with store mutations; prefer Status and Promoted, which
+// take the store lock.
+func (st *Store) Manifest() *Manifest { return st.m }
+
+// Status reports a generation's replayed lifecycle state.
+func (st *Store) Status(digest [32]byte) GenStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.m.Status(digest)
+}
+
+// Promoted returns the live generation's digest, if any.
+func (st *Store) Promoted() ([32]byte, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.m.Promoted()
+}
+
+// GenPath returns the path a generation's snapshot file lives at.
+func (st *Store) GenPath(digest [32]byte) string {
+	return filepath.Join(st.dir, GenName(digest))
+}
+
+// reconcile aligns the journal with the directory: a generation file
+// with no record was written durably just before a crash killed the
+// journal append — adopt it; a record whose file is gone (operator
+// deletion, partial GC) is marked removed so loads stop considering
+// it.
+func (st *Store) reconcile() error {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return err
+	}
+	onDisk := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "gen-") || !strings.HasSuffix(name, ".ribsnap") {
+			continue
+		}
+		onDisk[name] = true
+		hexPart := strings.TrimSuffix(strings.TrimPrefix(name, "gen-"), ".ribsnap")
+		raw, herr := hex.DecodeString(hexPart)
+		if herr != nil || len(raw) != 8 {
+			continue // foreign file; leave it alone
+		}
+		// Adoption needs the full digest, which only the file header
+		// holds (the name carries a prefix). Read the header; a file
+		// that cannot even produce one is write debris — remove it.
+		digest, derr := readHeaderDigest(filepath.Join(st.dir, name))
+		if derr != nil {
+			if rerr := st.fsys.Remove(filepath.Join(st.dir, name)); rerr != nil {
+				return rerr
+			}
+			delete(onDisk, name)
+			continue
+		}
+		if st.m.Status(digest) == GenUnknown {
+			if err := st.m.Append(GenWritten, digest); err != nil {
+				return err
+			}
+		}
+	}
+	for _, rec := range st.m.Generations() {
+		if rec.Op == GenRemoved {
+			continue
+		}
+		if !onDisk[GenName(rec.Digest)] {
+			if err := st.m.Append(GenRemoved, rec.Digest); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// readHeaderDigest pulls the archive digest out of a snapshot file's
+// header without loading the payload.
+func readHeaderDigest(path string) ([32]byte, error) {
+	var zero [32]byte
+	f, err := os.Open(path)
+	if err != nil {
+		return zero, err
+	}
+	defer f.Close()
+	var hdr [headerSize]byte
+	if n, rerr := f.ReadAt(hdr[:], 0); n != headerSize {
+		return zero, fmt.Errorf("%w: %d header bytes: %v", ErrTruncated, n, rerr)
+	}
+	h, err := decodeHeader(hdr[:])
+	if err != nil {
+		return zero, err
+	}
+	return h.digest, nil
+}
+
+// legacyName is the single-file snapshot the batch CLI maintains; the
+// store adopts it read-only when it has no generation of its own for a
+// digest.
+const legacyName = "index.ribsnap"
+
+// Load returns the snapshot for digest: the store's own generation
+// file when the manifest says it is intact, else the legacy
+// index.ribsnap. A generation the manifest marks corrupt fails
+// immediately with ErrCorrupt — the whole point of the mark is that a
+// damaged file must not be re-adopted just because its CRC happens to
+// re-verify against damaged expectations, or the damage is in a
+// region load-time verification does not reach until queried.
+func (st *Store) Load(digest [32]byte) (*Snapshot, error) {
+	st.mu.Lock()
+	status := st.m.Status(digest)
+	st.mu.Unlock()
+	switch status {
+	case GenCorrupt:
+		return nil, fmt.Errorf("%w: generation %s marked corrupt in manifest",
+			ErrCorrupt, hex.EncodeToString(digest[:8]))
+	case GenWritten, GenPromoted, GenRetired:
+		return Load(st.GenPath(digest), digest)
+	}
+	return Load(filepath.Join(st.dir, legacyName), digest)
+}
+
+// Write durably persists a new generation snapshot and journals it as
+// written. It does not promote; callers promote after deciding the
+// generation is the one to serve.
+func (st *Store) Write(f *rib.Frozen, window timex.Range, digest [32]byte, counts []CollectorCount) error {
+	if err := WriteFS(st.fsys, st.GenPath(digest), f, window, digest, counts); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.m.Append(GenWritten, digest)
+}
+
+// Promote journals digest as the live generation, retires the previous
+// one (if different), and garbage-collects beyond the retention cap.
+// Promoting the already-live generation is a no-op, so reload cycles
+// that land on the same archive state do not grow the journal.
+func (st *Store) Promote(digest [32]byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if cur, ok := st.m.Promoted(); ok && cur == digest {
+		return nil
+	}
+	prev, hadPrev := st.m.Promoted()
+	if err := st.m.Append(GenPromoted, digest); err != nil {
+		return err
+	}
+	if hadPrev && prev != digest {
+		if err := st.m.Append(GenRetired, prev); err != nil {
+			return err
+		}
+	}
+	return st.gc()
+}
+
+// MarkCorrupt journals a generation as damaged (scrub mismatch, load
+// failure). Subsequent Store.Load calls for the digest fail with
+// ErrCorrupt until a rewrite supersedes the mark.
+func (st *Store) MarkCorrupt(digest [32]byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.m.Append(GenCorrupt, digest)
+}
+
+// GC removes non-live generation files beyond the retention cap,
+// oldest records first, journaling each removal. Corrupt generations
+// are kept within the same cap — they are forensic evidence — but are
+// first in line for eviction.
+func (st *Store) GC() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.gc()
+}
+
+func (st *Store) gc() error {
+	if st.retain < 0 {
+		return nil
+	}
+	var evictable []ManifestRecord
+	for _, rec := range st.m.Generations() {
+		if rec.Op == GenRetired || rec.Op == GenCorrupt {
+			evictable = append(evictable, rec)
+		}
+	}
+	if len(evictable) <= st.retain {
+		return nil
+	}
+	// Corrupt first, then oldest first (Generations is already
+	// seq-ordered; a stable partition keeps that within each class).
+	sort.SliceStable(evictable, func(i, j int) bool {
+		ci, cj := evictable[i].Op == GenCorrupt, evictable[j].Op == GenCorrupt
+		return ci && !cj
+	})
+	for _, rec := range evictable[:len(evictable)-st.retain] {
+		path := st.GenPath(rec.Digest)
+		if err := st.fsys.Remove(path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		if err := st.m.Append(GenRemoved, rec.Digest); err != nil {
+			return err
+		}
+	}
+	return st.fsys.SyncDir(st.dir)
+}

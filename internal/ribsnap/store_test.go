@@ -1,0 +1,235 @@
+package ribsnap
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dropscope/internal/rib"
+	"dropscope/internal/timex"
+)
+
+// storeFixture builds a frozen index once for the store tests.
+func storeFixture(t testing.TB) (*rib.Frozen, timex.Range) {
+	t.Helper()
+	ix, window := randomIndex(t, 99)
+	frozen, err := ix.Frozen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frozen, window
+}
+
+func TestStoreWritePromoteLoad(t *testing.T) {
+	frozen, window := storeFixture(t)
+	dir := t.TempDir()
+	st, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dg(0xA1)
+	if err := st.Write(frozen, window, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Manifest().Status(a); got != GenWritten {
+		t.Fatalf("status after write = %v", got)
+	}
+	if err := st.Promote(a); err != nil {
+		t.Fatal(err)
+	}
+	// Promoting the live generation again must not grow the journal.
+	before, _ := os.Stat(filepath.Join(dir, ManifestName))
+	if err := st.Promote(a); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(filepath.Join(dir, ManifestName))
+	if before.Size() != after.Size() {
+		t.Fatal("idempotent promote grew the journal")
+	}
+
+	snap, err := st.Load(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Close()
+
+	// A fresh open (the restart path) recovers the same live generation.
+	st2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live, ok := st2.Manifest().Promoted(); !ok || live != a {
+		t.Fatalf("recovered promoted = %x/%v, want a", live[:4], ok)
+	}
+}
+
+func TestStoreCorruptMarkBlocksLoadUntilRewrite(t *testing.T) {
+	frozen, window := storeFixture(t)
+	st, err := OpenStore(t.TempDir(), StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dg(0xA2)
+	if err := st.Write(frozen, window, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.MarkCorrupt(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(a); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("load of corrupt generation = %v, want ErrCorrupt", err)
+	}
+	// A rewrite supersedes the mark — the cold-rebuild recovery cycle.
+	if err := st.Write(frozen, window, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st.Load(a)
+	if err != nil {
+		t.Fatalf("load after rewrite: %v", err)
+	}
+	snap.Close()
+}
+
+func TestStoreAdoptsUnrecordedGeneration(t *testing.T) {
+	frozen, window := storeFixture(t)
+	dir := t.TempDir()
+	a := dg(0xA3)
+	// Simulate a crash between the durable rename and the journal
+	// append: the generation file exists, the manifest never heard of it.
+	if err := Write(filepath.Join(dir, GenName(a)), frozen, window, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Manifest().Status(a); got != GenWritten {
+		t.Fatalf("adopted status = %v, want written", got)
+	}
+	snap, err := st.Load(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Close()
+}
+
+func TestStoreMarksMissingFilesRemoved(t *testing.T) {
+	frozen, window := storeFixture(t)
+	dir := t.TempDir()
+	st, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dg(0xA4)
+	if err := st.Write(frozen, window, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(st.GenPath(a)); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Manifest().Status(a); got != GenRemoved {
+		t.Fatalf("status of vanished generation = %v, want removed", got)
+	}
+}
+
+func TestStoreRemovesHeaderlessDebris(t *testing.T) {
+	dir := t.TempDir()
+	debris := filepath.Join(dir, "gen-00000000000000ff.ribsnap")
+	if err := os.WriteFile(debris, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir, StoreOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(debris); !os.IsNotExist(err) {
+		t.Fatalf("headerless debris survived recovery: %v", err)
+	}
+}
+
+func TestStoreLegacyFallback(t *testing.T) {
+	frozen, window := storeFixture(t)
+	dir := t.TempDir()
+	a := dg(0xA5)
+	// The batch CLI wrote its single-file snapshot; the daemon's store
+	// must serve it even with no generation of its own.
+	if err := Write(filepath.Join(dir, legacyName), frozen, window, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st.Load(a)
+	if err != nil {
+		t.Fatalf("legacy fallback load: %v", err)
+	}
+	snap.Close()
+}
+
+func TestStoreGCRetention(t *testing.T) {
+	frozen, window := storeFixture(t)
+	dir := t.TempDir()
+	st, err := OpenStore(dir, StoreOptions{Retain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := dg(0xB1), dg(0xB2), dg(0xB3)
+	for _, d := range [][32]byte{a, b, c} {
+		if err := st.Write(frozen, window, d, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Promote(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// c live, b retired (retained), a evicted.
+	if live, ok := st.Manifest().Promoted(); !ok || live != c {
+		t.Fatalf("live = %x/%v, want c", live[:4], ok)
+	}
+	if got := st.Manifest().Status(a); got != GenRemoved {
+		t.Fatalf("a status = %v, want removed", got)
+	}
+	if _, err := os.Stat(st.GenPath(a)); !os.IsNotExist(err) {
+		t.Fatalf("a's file survived GC: %v", err)
+	}
+	if got := st.Manifest().Status(b); got != GenRetired {
+		t.Fatalf("b status = %v, want retired", got)
+	}
+	if _, err := os.Stat(st.GenPath(b)); err != nil {
+		t.Fatalf("b's file should be retained: %v", err)
+	}
+
+	// Corrupt generations are first in the eviction line.
+	if err := st.MarkCorrupt(b); err != nil {
+		t.Fatal(err)
+	}
+	d := dg(0xB4)
+	if err := st.Write(frozen, window, d, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Promote(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Manifest().Status(b); got != GenRemoved {
+		t.Fatalf("corrupt b should be evicted first, status = %v", got)
+	}
+}
+
+func TestStoreSweepsTempsOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	orphan := filepath.Join(dir, ".ribsnap-orphan")
+	if err := os.WriteFile(orphan, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir, StoreOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan temp survived store open: %v", err)
+	}
+}

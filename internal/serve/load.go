@@ -38,6 +38,13 @@ type LoadOptions struct {
 	// persists a fresh snapshot there after a clean cold build so the
 	// next load (a SIGHUP reload, a restart) maps instead of rebuilding.
 	SnapshotDir string
+	// Store, when non-nil, supersedes SnapshotDir: warm starts load the
+	// generation through the manifest-backed store (which refuses
+	// generations journaled corrupt and falls back to the legacy
+	// index.ribsnap), and clean cold builds are written and promoted
+	// through it. This is the daemon path; the bare SnapshotDir path
+	// remains for single-owner batch use.
+	Store *ribsnap.Store
 	// Health, when non-nil, receives the load's ingest accounting
 	// instead of a fresh accumulator — the reload supervisor seeds it
 	// with the retry count that preceded a successful reload, so the
@@ -63,11 +70,26 @@ func Load(dir string, opts LoadOptions) (*Generation, error) {
 	)
 	if opts.SnapshotDir != "" {
 		snapPath = filepath.Join(opts.SnapshotDir, snapshotFile)
+		// Startup sweep for the store-less path (the store sweeps at
+		// open): temps orphaned by a crashed write are pure debris.
+		_, _ = ribsnap.SweepTemps(opts.SnapshotDir)
 	}
 	if d, derr := ribsnap.DigestMRT(filepath.Join(dir, "mrt")); derr == nil {
 		digest, haveDigest = d, true
-		if snapPath != "" {
-			s, lerr := ribsnap.Load(snapPath, digest)
+		var (
+			s    *ribsnap.Snapshot
+			lerr error
+			try  bool
+		)
+		switch {
+		case opts.Store != nil:
+			s, lerr = opts.Store.Load(digest)
+			try = true
+		case snapPath != "":
+			s, lerr = ribsnap.Load(snapPath, digest)
+			try = true
+		}
+		if try {
 			switch {
 			case lerr != nil:
 				countSnapshotSkip(h, lerr)
@@ -114,12 +136,18 @@ func Load(dir string, opts LoadOptions) (*Generation, error) {
 			h.Source("mrt/" + c.Collector).Accept(c.Records)
 		}
 	} else {
-		if haveDigest && snapPath != "" {
-			persistSnapshot(snapPath, p, b, opts.Window, h, digest)
+		if haveDigest {
+			persistSnapshot(opts, snapPath, p, b, h, digest)
 		}
 		// Serve the cold-built index behind a mapping-free snapshot: the
 		// generation lifecycle (refcount, Close-on-swap) is identical.
 		snap = &ribsnap.Snapshot{Index: p.Index, Window: opts.Window, Digest: digest}
+	}
+	if opts.Store != nil && haveDigest {
+		// Journal the generation as live. A failure here is operational
+		// (the journal write), not a serving problem — the generation is
+		// good; the next promote retries.
+		_ = opts.Store.Promote(digest)
 	}
 	return newGeneration(snap, p), nil
 }
@@ -143,10 +171,15 @@ func countSnapshotSkip(h *ingest.Health, err error) {
 	}
 }
 
-// persistSnapshot writes the freshly built index for the next load.
-// Best-effort, and it refuses to persist an index built from damaged
-// MRT ingest: a partial index must never masquerade as the archive's.
-func persistSnapshot(path string, p *analysis.Pipeline, b *archive.Bundle, window timex.Range, h *ingest.Health, digest [32]byte) {
+// persistSnapshot writes the freshly built index for the next load —
+// through the manifest-backed store when one is configured, else to
+// the bare snapshot path. Best-effort, and it refuses to persist an
+// index built from damaged MRT ingest: a partial index must never
+// masquerade as the archive's.
+func persistSnapshot(opts LoadOptions, path string, p *analysis.Pipeline, b *archive.Bundle, h *ingest.Health, digest [32]byte) {
+	if opts.Store == nil && path == "" {
+		return
+	}
 	for _, s := range h.Sources() {
 		if strings.HasPrefix(s.Name, "mrt/") && !s.Clean() {
 			return
@@ -154,9 +187,6 @@ func persistSnapshot(path string, p *analysis.Pipeline, b *archive.Bundle, windo
 	}
 	f, err := p.Index.Frozen()
 	if err != nil {
-		return
-	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return
 	}
 	names := make([]string, 0, len(b.MRT))
@@ -171,5 +201,12 @@ func persistSnapshot(path string, p *analysis.Pipeline, b *archive.Bundle, windo
 			Records:   h.Source("mrt/" + name).Records,
 		})
 	}
-	_ = ribsnap.Write(path, f, window, digest, counts)
+	if opts.Store != nil {
+		_ = opts.Store.Write(f, opts.Window, digest, counts)
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	_ = ribsnap.Write(path, f, opts.Window, digest, counts)
 }

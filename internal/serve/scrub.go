@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dropscope/internal/ribsnap"
+	"dropscope/internal/session"
+)
+
+// Scrubber is the background integrity loop: it incrementally re-reads
+// the live generation's backing snapshot file in small, rate-limited
+// steps and re-verifies the payload CRC against the header, catching
+// bitrot and torn overwrites long after the load-time check passed.
+// Every step runs with the generation pinned (Acquire/Release), and the
+// verification reads go through the snapshot's retained file handle —
+// never the mapping — so a damaged or truncated file surfaces as a
+// typed error in the scrubber, not a SIGBUS in a query handler.
+//
+// On a mismatch the scrubber marks the generation corrupt in the
+// snapshot store (so no future load re-adopts the damaged file), flips
+// the daemon to degraded, and hands the reload supervisor a trigger:
+// the reload finds the store refusing the corrupt generation, cold-
+// rebuilds from the archive, rewrites the snapshot, and swaps it in.
+// Degraded, never down: queries keep answering from the mapped (page-
+// cache-pinned) generation throughout.
+type Scrubber struct {
+	srv   *Server
+	cfg   ScrubConfig
+	clock session.Clock
+	stats *Stats
+}
+
+// ScrubConfig parameterizes a Scrubber.
+type ScrubConfig struct {
+	// Chunk is how many payload bytes one step verifies; 0 means 1 MiB.
+	Chunk int
+	// Interval is the pause between steps — the rate limit that keeps
+	// scrub reads from competing with query traffic; 0 means 50ms.
+	Interval time.Duration
+	// PassInterval is the idle pause after a completed pass (and the
+	// re-probe interval while there is nothing to scrub); 0 means 1m.
+	PassInterval time.Duration
+	// Store, when non-nil, records corruption findings in the manifest
+	// journal so the damaged generation is never re-adopted.
+	Store *ribsnap.Store
+	// Reloader, when non-nil, is triggered on corruption to cold-rebuild
+	// a replacement generation.
+	Reloader *Reloader
+	// Clock drives the pacing; nil = real clock.
+	Clock session.Clock
+	// OnEvent, when non-nil, observes scrub lifecycle messages.
+	OnEvent func(string)
+}
+
+// NewScrubber builds a scrubber over srv, sharing its Stats.
+func NewScrubber(srv *Server, cfg ScrubConfig) *Scrubber {
+	if cfg.Chunk <= 0 {
+		cfg.Chunk = 1 << 20
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 50 * time.Millisecond
+	}
+	if cfg.PassInterval <= 0 {
+		cfg.PassInterval = time.Minute
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = session.Real()
+	}
+	return &Scrubber{srv: srv, cfg: cfg, clock: cfg.Clock, stats: srv.stats}
+}
+
+// Run paces verification steps until ctx ends. It is the only
+// goroutine that advances scrub state; all coordination with swaps
+// goes through the generation refcount.
+func (s *Scrubber) Run(ctx context.Context) error {
+	t := s.clock.NewTimer(s.cfg.Interval)
+	defer t.Stop()
+	var (
+		cur  *Generation // generation the in-progress pass belongs to
+		pass *ribsnap.Scrub
+	)
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C():
+		}
+
+		g := s.srv.Generation()
+		if g != cur {
+			// A swap landed (or the first generation arrived): abandon
+			// any stale pass and open one over the new generation.
+			cur, pass = g, nil
+			if g != nil {
+				if err := g.Acquire(); err == nil {
+					pass = g.snap.NewScrub()
+					g.Release()
+				}
+			}
+			if pass != nil {
+				s.event(fmt.Sprintf("scrub: starting pass over generation %s (%d payload bytes)",
+					g.DigestHex()[:12], pass.Size()))
+			}
+		}
+		if pass == nil {
+			// Nothing to verify: no generation yet, a cold-built
+			// (file-less) generation, or a finding we already reported.
+			t.Reset(s.cfg.PassInterval)
+			continue
+		}
+
+		if err := cur.Acquire(); err != nil {
+			// Retired under us; re-probe for the replacement shortly.
+			cur, pass = nil, nil
+			t.Reset(s.cfg.Interval)
+			continue
+		}
+		before := pass.Offset()
+		done, err := pass.Step(s.cfg.Chunk)
+		cur.Release()
+		s.stats.ScrubBytes.Add(pass.Offset() - before)
+
+		switch {
+		case err != nil:
+			s.stats.CorruptTotal.Add(1)
+			s.stats.SetScrubError(err.Error())
+			s.stats.Degraded.Store(true)
+			s.event(fmt.Sprintf("scrub: corruption on live generation %s: %v",
+				cur.DigestHex()[:12], err))
+			if s.cfg.Store != nil {
+				if merr := s.cfg.Store.MarkCorrupt(cur.snap.Digest); merr != nil {
+					s.event(fmt.Sprintf("scrub: recording corruption: %v", merr))
+				}
+			}
+			if s.cfg.Reloader != nil {
+				s.cfg.Reloader.Trigger()
+			}
+			// Keep cur: the damaged generation is scrubbed exactly once.
+			// The pass restarts when a replacement is swapped in.
+			pass = nil
+			t.Reset(s.cfg.PassInterval)
+		case done:
+			s.stats.ScrubPasses.Add(1)
+			s.event(fmt.Sprintf("scrub: pass over generation %s complete (%d bytes)",
+				cur.DigestHex()[:12], pass.Size()))
+			// Forget the generation so the next tick starts a fresh pass
+			// over it — rot accumulates with time, not with swaps.
+			cur, pass = nil, nil
+			t.Reset(s.cfg.PassInterval)
+		default:
+			t.Reset(s.cfg.Interval)
+		}
+	}
+}
+
+func (s *Scrubber) event(msg string) {
+	if s.cfg.OnEvent != nil {
+		s.cfg.OnEvent(msg)
+	}
+}

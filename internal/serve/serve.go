@@ -92,6 +92,9 @@ func (s *Server) Swap(next *Generation) *Generation {
 	old := s.gen.Swap(next)
 	s.swaps.Add(1)
 	s.stats.markGeneration(time.Now())
+	// Any scrub finding was about the generation just retired; the new
+	// one starts clean (and gets its own pass).
+	s.stats.SetScrubError("")
 	if old != nil {
 		old.snap.Close()
 	}
@@ -417,6 +420,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, g *Generation) {
 		quoted, _ := json.Marshal(msg)
 		b = append(b, quoted...)
 	}
+	if msg := s.stats.ScrubError(); msg != "" {
+		b = append(b, `,"scrub_error":`...)
+		quoted, _ := json.Marshal(msg)
+		b = append(b, quoted...)
+	}
 	b = g.appendGeneration(b)
 	st.body = b[:0]
 	s.finish(w, g, b)
@@ -457,6 +465,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, g *Generation) {
 	b = strconv.AppendUint(b, s.stats.Panics.Load(), 10)
 	b = append(b, `,"reload_retries":`...)
 	b = strconv.AppendUint(b, s.stats.ReloadRetries.Load(), 10)
+	b = append(b, `,"scrub_passes":`...)
+	b = strconv.AppendUint(b, s.stats.ScrubPasses.Load(), 10)
+	b = append(b, `,"scrub_bytes":`...)
+	b = strconv.AppendUint(b, s.stats.ScrubBytes.Load(), 10)
+	b = append(b, `,"corrupt_total":`...)
+	b = strconv.AppendUint(b, s.stats.CorruptTotal.Load(), 10)
 	b = append(b, `,"degraded":`...)
 	if s.stats.Degraded.Load() {
 		b = append(b, '1')

@@ -24,8 +24,13 @@ type Stats struct {
 	Degraded      atomic.Bool   // serving stale: the last reload cycle is failing
 	genBorn       atomic.Int64  // unix nanos when the current generation was published
 
+	ScrubPasses  atomic.Uint64 // completed background verification passes
+	ScrubBytes   atomic.Uint64 // payload bytes re-verified by the scrubber
+	CorruptTotal atomic.Uint64 // corruption events detected on the live generation
+
 	mu            sync.Mutex
 	lastReloadErr string
+	lastScrubErr  string
 }
 
 // markGeneration records a freshly published generation; /healthz and
@@ -55,6 +60,21 @@ func (st *Stats) ReloadError() string {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.lastReloadErr
+}
+
+// SetScrubError records the most recent scrub corruption finding for
+// /healthz ("" clears it — a fresh generation swapped in).
+func (st *Stats) SetScrubError(msg string) {
+	st.mu.Lock()
+	st.lastScrubErr = msg
+	st.mu.Unlock()
+}
+
+// ScrubError returns the most recent scrub corruption finding.
+func (st *Stats) ScrubError() string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lastScrubErr
 }
 
 // sourceReport flattens the serving counters into an ingest-style

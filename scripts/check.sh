@@ -3,7 +3,7 @@
 # (.github/workflows/ci.yml) and the Makefile both run these commands, so
 # local runs and the gate stay in lockstep.
 #
-# Usage: scripts/check.sh [build|vet|fmt|test|race|bench|fuzz|faults|chaos|warmstart|serve|soak|overload|all]
+# Usage: scripts/check.sh [build|vet|fmt|test|race|bench|fuzz|faults|chaos|warmstart|serve|soak|crash|overload|all]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +20,7 @@ internal/mrt FuzzReader
 internal/mrt FuzzReaderLenient
 internal/netx FuzzParsePrefix
 internal/netx FuzzParseAddr
+internal/ribsnap FuzzSnapshotLoad
 internal/rirstats FuzzParseFile
 internal/rpki FuzzParseSnapshotCSV
 internal/rtr FuzzReadPDU
@@ -329,6 +330,22 @@ soak() {
     ./internal/serve
 }
 
+# crash runs the durability suite under the race detector: crash
+# recovery at every step of the fsync'd snapshot write protocol, disk
+# fault injection (short writes, ENOSPC, silent bit flips, fail-stop
+# crashes) through the ribsnap FS seam, the generation manifest journal
+# (replay, torn tails, corrupt records, last-record-wins), the snapshot
+# store lifecycle (promote/retire/retention GC/corrupt marks/debris
+# reconcile, temp sweeps), and the scrubber bitrot soak — detect,
+# degrade, cold-rebuild heal under query load with zero failed queries.
+crash() {
+  go test -race -count=1 -timeout 10m \
+    -run 'TestCrash|TestWrite|TestSweepTemps|TestManifest|TestReadManifest|TestStore' \
+    ./internal/ribsnap
+  go test -race -count=1 -run 'TestDiskFS' ./internal/ingest/faultinject
+  go test -race -count=1 -timeout 10m -run 'TestScrub' ./internal/serve
+}
+
 # overload is the admission-control acceptance gate. It measures two
 # load runs over the same archive on the same machine: a baseline at the
 # gate's capacity (8 clients, 8 inflight slots) and a 4x overload run
@@ -437,6 +454,12 @@ lint() {
   else
     echo "--- lint: govulncheck not installed; skipping (CI installs it pinned)"
   fi
+  if command -v shellcheck >/dev/null 2>&1; then
+    echo "--- lint: shellcheck"
+    shellcheck scripts/*.sh
+  else
+    echo "--- lint: shellcheck not installed; skipping (CI runners ship it)"
+  fi
 }
 
 all() { build; vet; fmt; test_; race; bench; }
@@ -457,12 +480,13 @@ case "${1:-all}" in
   serve) serve ;;
   servegate) shift; servegate "${1:-}" ;;
   soak) soak ;;
+  crash) crash ;;
   overload) overload ;;
   overloadgate) shift; overloadgate "${1:-}" ;;
   lint) lint ;;
   all) all ;;
   *)
-    echo "usage: $0 [build|vet|fmt|test|race|bench|benchgate|fuzz|faults|chaos|warmstart|serve|soak|overload|lint|all]" >&2
+    echo "usage: $0 [build|vet|fmt|test|race|bench|benchgate|fuzz|faults|chaos|warmstart|serve|soak|crash|overload|lint|all]" >&2
     exit 2
     ;;
 esac

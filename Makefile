@@ -1,7 +1,7 @@
 # Convenience wrappers over scripts/check.sh — the same commands CI runs
 # (.github/workflows/ci.yml), so a green `make all` locally means a green
 # gate.
-.PHONY: all build vet fmt test race bench benchgate fuzz faults chaos warmstart serve soak crash overload lint loadtest
+.PHONY: all build vet fmt test race bench benchgate fuzz faults chaos warmstart serve soak crash overload shard shardgate lint loadtest
 
 all:
 	scripts/check.sh all
@@ -50,6 +50,12 @@ crash:
 
 overload:
 	scripts/check.sh overload
+
+shard:
+	scripts/check.sh shard
+
+shardgate:
+	scripts/check.sh shardgate
 
 lint:
 	scripts/check.sh lint

@@ -219,7 +219,7 @@ func BenchmarkWarmStart(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	frozen, err := benchStudy.Pipeline.Index.Frozen()
+	frozen, err := benchStudy.Pipeline.Index.(*rib.Index).Frozen()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -565,4 +565,114 @@ func BenchmarkRTRSync(b *testing.B) {
 		}
 		client.Close()
 	}
+}
+
+var (
+	shardBenchOnce sync.Once
+	shardBenchIx   *rib.Index
+	shardBenchWin  timex.Range
+)
+
+// shardBenchIndex builds one volume-amplified index for the sharding
+// benchmarks: the study world plus RouteViews-realistic background
+// churn at scale 4096, so the freeze/persist cost is dominated by real
+// column work rather than fixture overhead.
+func shardBenchIndex(b *testing.B) (*rib.Index, timex.Range) {
+	b.Helper()
+	shardBenchOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Scale = 256
+		s, err := NewStudy(cfg)
+		if err != nil {
+			panic(err)
+		}
+		s.AmplifyVolume(4096, 1)
+		ix := rib.NewIndex()
+		names := make([]string, 0, len(s.World.MRT))
+		for name := range s.World.MRT {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := ix.Load(name, s.World.MRT[name]); err != nil {
+				panic(err)
+			}
+		}
+		ix.Close(s.World.Params.Window.Last)
+		shardBenchIx, shardBenchWin = ix, s.World.Params.Window
+	})
+	return shardBenchIx, shardBenchWin
+}
+
+// BenchmarkShardFreeze compares persisting one generation as a single
+// snapshot file against cutting it into 4 prefix-range shards and
+// writing them on the worker pool: the freeze+encode+fsync pipeline is
+// the cold path a reload blocks on, and sharding parallelizes all of
+// it. The shardgate CI check asserts sharded/single >= 1.5x on 4+
+// cores.
+func BenchmarkShardFreeze(b *testing.B) {
+	ix, window := shardBenchIndex(b)
+	b.Run("single", func(b *testing.B) {
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			frozen, err := ix.Frozen()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var digest [32]byte
+			digest[0], digest[1] = byte(i), byte(i>>8)
+			path := filepath.Join(dir, ribsnap.GenName(digest))
+			if err := ribsnap.Write(path, frozen, window, digest, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		st, err := ribsnap.OpenStore(b.TempDir(), ribsnap.StoreOptions{Retain: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			shards, err := ix.FrozenShards(4, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var digest [32]byte
+			digest[0], digest[1], digest[2] = 0x5D, byte(i), byte(i>>8)
+			if err := st.WriteShards(shards, window, digest, nil, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkShardQueryFanout measures the cross-shard aggregate path: a
+// RoutedSpace sweep fanned out over 4 shards and merged, against the
+// same sweep on the unsharded index.
+func BenchmarkShardQueryFanout(b *testing.B) {
+	ix, window := shardBenchIndex(b)
+	day := window.First + timex.Day(window.Days()/2)
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ix.RoutedSpace(day, 1).Len() == 0 {
+				b.Fatal("empty sweep")
+			}
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		shards, err := ix.FrozenShards(4, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sh, err := rib.ShardedFromFrozen(shards, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if sh.RoutedSpace(day, 1).Len() == 0 {
+				b.Fatal("empty sweep")
+			}
+		}
+	})
 }

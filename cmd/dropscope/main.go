@@ -5,7 +5,7 @@
 // Usage:
 //
 //	dropscope [-scale N] [-seed N] [-load DIR] [-save DIR] [-json] [-serial] [-workers N] [-strict] [-max-skip N]
-//	          [-index-cache DIR|auto|off] [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
+//	          [-index-cache DIR|auto|off] [-shards N] [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // By default RIB loading and the experiment suite run in parallel across
 // the available CPUs; -serial forces the single-threaded reference path
@@ -118,6 +118,7 @@ func main() {
 		strict   = flag.Bool("strict", false, "with -load: fail on the first corrupt record instead of skipping leniently")
 		maxSkip  = flag.Int("max-skip", 0, "with -load: per-collector skip budget before quarantine (0 = default 100, negative = unlimited)")
 		idxCache = flag.String("index-cache", "auto", "with -load: index snapshot directory for warm starts; auto = DIR/ribsnap under -load, off = disabled")
+		shards   = flag.Int("shards", 0, "with -load: serve from a prefix-range sharded index cut into N pieces (0/1 = single index; output is byte-identical)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -126,7 +127,7 @@ func main() {
 	flag.Parse()
 
 	stop := profiling(*cpuprofile, *memprofile, *traceFile)
-	err := run(*scale, *seed, *load, *save, *asJSON, *serial, *workers, *strict, *maxSkip, *idxCache)
+	err := run(*scale, *seed, *load, *save, *asJSON, *serial, *workers, *strict, *maxSkip, *idxCache, *shards)
 	stop()
 	if err != nil {
 		fatal(err)
@@ -145,7 +146,7 @@ func snapshotDir(idxCache, load string) string {
 	}
 }
 
-func run(scale int, seed int64, load, save string, asJSON, serial bool, workers int, strict bool, maxSkip int, idxCache string) error {
+func run(scale int, seed int64, load, save string, asJSON, serial bool, workers int, strict bool, maxSkip int, idxCache string, shards int) error {
 	cfg := dropscope.DefaultConfig()
 	cfg.Scale = scale
 	cfg.Seed = seed
@@ -159,6 +160,7 @@ func run(scale int, seed int64, load, save string, asJSON, serial bool, workers 
 			Strict:      strict,
 			MaxSkip:     maxSkip,
 			SnapshotDir: snapshotDir(idxCache, load),
+			Shards:      shards,
 		}
 		if serial {
 			opts.Workers = 1

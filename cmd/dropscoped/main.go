@@ -7,6 +7,7 @@
 // Usage:
 //
 //	dropscoped -archive DIR [-listen ADDR] [-snapshot DIR|off] [-first DAY] [-last DAY]
+//	           [-shards N] [-mem-budget N]
 //	           [-workers N] [-max-skip N] [-max-inflight N] [-queue N] [-queue-wait D]
 //	           [-request-timeout D] [-watch D] [-drain-timeout D] [-retain N]
 //	           [-scrub] [-scrub-chunk N] [-scrub-interval D] [-scrub-pass-interval D]
@@ -42,6 +43,18 @@
 // daemon reports itself degraded, journals the generation corrupt so
 // it is never re-adopted, and cold-rebuilds a replacement through the
 // reload supervisor. Degraded, never down.
+//
+// -shards N serves from a prefix-range sharded index: the frozen index
+// is cut into N independently mmap-able shard snapshots persisted as a
+// generation directory in the snapshot store, point queries route to
+// the owning shard, and sweep queries fan out in parallel — answers
+// are byte-identical to the single-index daemon's. -mem-budget M caps
+// how many shards stay memory-mapped at once: cold ranges fault back
+// in on first touch and the least recently used shard is evicted, so
+// an archive larger than RAM serves from bounded residency. The
+// scrubber verifies shard files individually, and a damaged shard
+// degrades only its prefix range (visible per shard in /healthz)
+// while the reload supervisor rebuilds.
 //
 // SIGINT/SIGTERM drain gracefully: new arrivals answer 503 while
 // requests already admitted run to completion, bounded by
@@ -92,6 +105,8 @@ func main() {
 		last       = flag.String("last", "", "window last day (default: the study default)")
 		workers    = flag.Int("workers", 0, "cold-build RIB loading workers (0 = GOMAXPROCS)")
 		maxSkip    = flag.Int("max-skip", 0, "per-collector skip budget (0 = default, negative = unlimited)")
+		shards     = flag.Int("shards", 0, "serve from a prefix-range sharded index cut into N pieces (0/1 = single index)")
+		memBudget  = flag.Int("mem-budget", 0, "with -shards: max shards kept memory-mapped at once (0 = all resident; cold ranges fault back in)")
 
 		maxInflight  = flag.Int("max-inflight", 256, "admission: max concurrently executing requests")
 		queue        = flag.Int("queue", 0, "admission: max queued requests waiting for a slot (0 = max-inflight)")
@@ -144,9 +159,11 @@ func main() {
 		window.Last = d
 	}
 	opts := serve.LoadOptions{
-		Window:  window,
-		MaxSkip: *maxSkip,
-		Workers: *workers,
+		Window:    window,
+		MaxSkip:   *maxSkip,
+		Workers:   *workers,
+		Shards:    *shards,
+		MemBudget: *memBudget,
 	}
 	snapDir := ""
 	switch *snapshot {

@@ -4,7 +4,15 @@
 //
 // Usage:
 //
-//	synthgen -dir OUT [-scale N] [-seed N]
+//	synthgen -dir OUT [-scale N] [-seed N] [-volume N]
+//
+// -volume N switches on RouteViews-realistic volume amplification: the
+// MRT streams additionally carry background churn whose per-collector
+// record counts are drawn from a seeded lognormal distribution around
+// N — multi-day announce/withdraw flaps of synthetic prefixes disjoint
+// from everything the study measures. The analysis results over the
+// amplified archives are unchanged; the index build cost (and the
+// payoff of `dropscope -shards` / `dropscoped -shards`) scales with N.
 package main
 
 import (
@@ -17,9 +25,10 @@ import (
 
 func main() {
 	var (
-		dir   = flag.String("dir", "", "output directory (required)")
-		scale = flag.Int("scale", 64, "background population divisor")
-		seed  = flag.Int64("seed", 1, "deterministic world seed")
+		dir    = flag.String("dir", "", "output directory (required)")
+		scale  = flag.Int("scale", 64, "background population divisor")
+		seed   = flag.Int64("seed", 1, "deterministic world seed")
+		volume = flag.Int("volume", 0, "MRT volume amplification: per-collector churn record target, lognormal-distributed (0 = off)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -36,6 +45,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	var vrecs, vpfx int
+	if *volume > 0 {
+		vrecs, vpfx = study.AmplifyVolume(*volume, *seed)
+	}
 	if err := study.WriteArchives(*dir); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -43,4 +56,7 @@ func main() {
 	fmt.Printf("world seed=%d scale=%d written to %s\n", *seed, *scale, *dir)
 	fmt.Printf("  %d DROP listings, %d collectors\n",
 		len(study.World.Truth.Listings), len(study.World.Collectors))
+	if *volume > 0 {
+		fmt.Printf("  volume amplification: %d churn records over %d synthetic prefixes\n", vrecs, vpfx)
+	}
 }

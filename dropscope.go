@@ -36,6 +36,7 @@ import (
 	"dropscope/internal/analysis"
 	"dropscope/internal/archive"
 	"dropscope/internal/ingest"
+	"dropscope/internal/rib"
 	"dropscope/internal/ribsnap"
 	"dropscope/internal/scenario"
 )
@@ -139,6 +140,14 @@ type IngestOptions struct {
 	// the discarded snapshot in the health report (lenient mode), and
 	// rewrites the snapshot after a clean rebuild.
 	SnapshotDir string
+	// Shards, when > 1, serves the study from a prefix-range sharded
+	// index: the frozen index is cut into Shards pieces, point queries
+	// route to the owning shard, and sweeps fan out in parallel. The
+	// rendered output is byte-identical to the single-index study's;
+	// the cut exists for parallel build and bounded-memory serving
+	// (see internal/rib.Sharded and the dropscoped daemon's
+	// -shards/-mem-budget flags).
+	Shards int
 }
 
 // snapshotSource is the ingest.Health source name under which a
@@ -231,6 +240,27 @@ func LoadStudyWithOptions(dir string, cfg Config, opts IngestOptions) (*Study, e
 	if snap == nil && haveDigest {
 		writeSnapshot(filepath.Join(opts.SnapshotDir, snapshotFile), p, b, cfg, h, digest)
 	}
+	if opts.Shards > 1 {
+		// Cut the index in place. The snapshot (if any) stays retained on
+		// the Study: the shards' columns alias its mapping.
+		if ix, ok := p.Index.(*rib.Index); ok {
+			fs, ferr := ix.FrozenShards(opts.Shards, opts.Workers)
+			if ferr != nil {
+				if snap != nil {
+					snap.Close()
+				}
+				return nil, fmt.Errorf("dropscope: shard: %w", ferr)
+			}
+			sh, serr := rib.ShardedFromFrozen(fs, opts.Workers)
+			if serr != nil {
+				if snap != nil {
+					snap.Close()
+				}
+				return nil, fmt.Errorf("dropscope: shard: %w", serr)
+			}
+			p.Index = sh
+		}
+	}
 	return &Study{Pipeline: p, snap: snap}, nil
 }
 
@@ -266,7 +296,13 @@ func writeSnapshot(path string, p *analysis.Pipeline, b *archive.Bundle, cfg Con
 			}
 		}
 	}
-	f, err := p.Index.Frozen()
+	ix, ok := p.Index.(*rib.Index)
+	if !ok {
+		// Snapshots persist the monolithic index; a study already serving
+		// a sharded one never reaches here (the cut happens after).
+		return
+	}
+	f, err := ix.Frozen()
 	if err != nil {
 		return
 	}
@@ -287,6 +323,23 @@ func writeSnapshot(path string, p *analysis.Pipeline, b *archive.Bundle, cfg Con
 		counts = append(counts, ribsnap.CollectorCount{Collector: name, Records: n})
 	}
 	_ = ribsnap.Write(path, f, cfg.Window, digest, counts)
+}
+
+// AmplifyVolume appends RouteViews-realistic background churn to the
+// generated world's MRT streams — per-collector record counts drawn
+// from a seeded lognormal around scale, flapping synthetic prefixes
+// across the window's days — so archives written afterwards carry
+// production-like record volume for index-build and sharding
+// benchmarks. The churn lives entirely in address space the study
+// never measures; see scenario.AmplifyVolume. It returns the record
+// and distinct-prefix counts appended, and must run before
+// WriteArchives. The study's own Pipeline is NOT rebuilt: a study
+// loaded back from the amplified archives sees the extra volume.
+func (s *Study) AmplifyVolume(scale int, seed int64) (records, prefixes int) {
+	if s.World == nil {
+		return 0, 0
+	}
+	return scenario.AmplifyVolume(s.World, scale, seed)
 }
 
 // WriteArchives persists every archive of the study's world under dir in

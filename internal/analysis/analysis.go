@@ -59,7 +59,7 @@ func (l *Listing) Has(c sbl.Category) bool { return l.Classification.Has(c) }
 // with New; it reassembles the RIBs once and reuses them.
 type Pipeline struct {
 	ds       Dataset
-	Index    *rib.Index
+	Index    rib.Querier
 	Listings []*Listing
 	// Health accumulates ingest accounting when the pipeline was built
 	// leniently (Options.Lenient); nil after a strict build.
@@ -87,13 +87,14 @@ type Options struct {
 	// same Health the archive was loaded with so decode-stage skips count
 	// toward each collector's budget.
 	Health *ingest.Health
-	// Index, when non-nil, is a prebuilt, closed RIB index — typically
-	// warm-loaded from a snapshot (internal/ribsnap) — installed as
-	// Pipeline.Index verbatim. MRT reassembly (load, merge, close) is
+	// Index, when non-nil, is a prebuilt query view over a closed RIB
+	// index — typically warm-loaded from a snapshot (internal/ribsnap),
+	// possibly a prefix-range sharded fan-out (rib.Sharded) — installed
+	// as Pipeline.Index verbatim. MRT reassembly (load, merge, close) is
 	// skipped entirely and ds.MRT may be nil; everything else (listings,
 	// classification, registry annotation) proceeds normally. The caller
 	// vouches that the index matches the dataset's MRT state and window.
-	Index *rib.Index
+	Index rib.Querier
 }
 
 // New builds the pipeline: loads every collector's MRT stream into a RIB
@@ -161,16 +162,17 @@ func NewWithOptions(ds Dataset, opts Options) (*Pipeline, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.Index = rib.NewIndex()
+		ix := rib.NewIndex()
 		for _, c := range ribs {
 			if c == nil {
 				continue // quarantined
 			}
-			if err := p.Index.Merge(c); err != nil {
+			if err := ix.Merge(c); err != nil {
 				return nil, fmt.Errorf("analysis: %s: %w", c.Collector(), err)
 			}
 		}
-		p.Index.Close(ds.Window.Last)
+		ix.Close(ds.Window.Last)
+		p.Index = ix
 	}
 
 	for _, l := range ds.DROP.Listings() {

@@ -38,3 +38,11 @@ func mapFile(path string) ([]byte, *os.File, func() error, error) {
 	}
 	return data, f, func() error { return syscall.Munmap(data) }, nil
 }
+
+// dropPages releases the mapping's resident pages back to the OS.
+// Best-effort: the mapping is PROT_READ/MAP_PRIVATE over a file, so
+// dropped pages refault from the file on the next touch and no data
+// can be lost.
+func dropPages(b []byte) {
+	_ = syscall.Madvise(b, syscall.MADV_DONTNEED)
+}

@@ -24,3 +24,6 @@ func mapFile(path string) ([]byte, *os.File, func() error, error) {
 	}
 	return data, f, nil, nil
 }
+
+// dropPages is a no-op without a mapping to advise on.
+func dropPages([]byte) {}

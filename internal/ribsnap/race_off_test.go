@@ -1,0 +1,8 @@
+//go:build !race
+
+package ribsnap
+
+// raceEnabled reports whether the race detector is compiled in. The
+// eviction soak trims its iteration count under it: instrumented
+// mmap/madvise churn is slow enough to time out otherwise.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package ribsnap
+
+const raceEnabled = true

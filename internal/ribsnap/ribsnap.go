@@ -147,6 +147,11 @@ type Snapshot struct {
 	paylen uint64
 	crc    uint32
 
+	// mapped is the raw mapping when the snapshot is mmap-backed; it
+	// exists so eviction can hint the pages out (DropPages) before the
+	// refcount drains the mapping itself.
+	mapped []byte
+
 	unmap func() error
 
 	mu     sync.Mutex
@@ -620,8 +625,23 @@ func Load(path string, digest [32]byte) (*Snapshot, error) {
 	}
 	snap.path = path
 	snap.file = f
+	if unmap != nil {
+		snap.mapped = data
+	}
 	snap.unmap = release
 	return snap, nil
+}
+
+// DropPages hints the OS that the snapshot's mapped pages are no
+// longer needed (madvise MADV_DONTNEED on linux; a no-op elsewhere and
+// for mapping-free snapshots). The mapping stays valid — a read-only
+// private file mapping refaults dropped pages from the file — so this
+// is safe even with readers in flight; eviction calls it to return a
+// cold shard's RSS ahead of the refcount drain.
+func (s *Snapshot) DropPages() {
+	if s.mapped != nil {
+		dropPages(s.mapped)
+	}
 }
 
 func decode(data []byte, digest [32]byte) (*Snapshot, error) {

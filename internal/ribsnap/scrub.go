@@ -26,17 +26,21 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"os"
 )
 
 // Scrub is one incremental verification pass over a file-backed
 // snapshot. Step it until done; any error means the backing bytes no
-// longer match what was loaded. A Scrub holds no resources beyond the
-// snapshot's own retained handle, so abandoning one mid-pass is free.
+// longer match what was loaded. A Scrub made with NewScrub holds no
+// resources beyond the snapshot's own retained handle, so abandoning
+// one mid-pass is free; a Scrub made with OpenScrub owns its file
+// handle and must be Closed.
 type Scrub struct {
 	s    *Snapshot
 	off  uint64 // payload bytes verified so far
 	crc  uint32
 	done bool
+	owns bool // OpenScrub path: the fd is ours to close
 }
 
 // NewScrub starts a verification pass. It returns nil for cold-built
@@ -46,6 +50,46 @@ func (s *Snapshot) NewScrub() *Scrub {
 		return nil
 	}
 	return &Scrub{s: s}
+}
+
+// OpenScrub starts a verification pass over the snapshot file at path
+// without loading it — the path the sharded scrubber takes, where a
+// shard may be evicted (no retained handle exists) yet its on-disk
+// bytes still need periodic re-verification. The expected identity is
+// taken from the file's own header at open; Step then proves the
+// payload matches that header, exactly as the loaded-snapshot pass
+// does. The returned Scrub owns its file handle: Close it when the
+// pass completes or is abandoned.
+func OpenScrub(path string) (*Scrub, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [headerSize]byte
+	if n, rerr := f.ReadAt(hdr[:], 0); n != headerSize {
+		f.Close()
+		return nil, fmt.Errorf("%w: scrub: header short (%d bytes): %v", ErrTruncated, n, rerr)
+	}
+	h, err := decodeHeader(hdr[:])
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Scrub{
+		s:    &Snapshot{Digest: h.digest, path: path, file: f, paylen: h.paylen, crc: h.crc},
+		owns: true,
+	}, nil
+}
+
+// Close releases an OpenScrub handle; a NewScrub pass has nothing to
+// release and Close is a no-op.
+func (sc *Scrub) Close() error {
+	if !sc.owns || sc.s.file == nil {
+		return nil
+	}
+	f := sc.s.file
+	sc.s.file = nil
+	return f.Close()
 }
 
 // Step verifies up to n more payload bytes (plus, on the first step,

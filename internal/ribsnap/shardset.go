@@ -1,0 +1,479 @@
+// Sharded generation layout: one generation directory
+// (gen-<digest16>/) holding K independently mmap-able shard snapshots
+// (shard-<i>.ribsnap, each a standard snapshot file over one prefix
+// range) plus a small shard manifest (shards.manifest) recording the
+// boundary table — the first prefix and prefix count of every shard —
+// keyed to the archive digest. The per-shard files reuse the exact v1
+// snapshot format, so the durable-write discipline, load-time CRC and
+// digest checks, and the incremental scrubber all extend per shard
+// without new code paths; the manifest is the only new on-disk record
+// and is written with the same temp+fsync+rename+syncdir sequence.
+//
+// ShardSet is the residency manager over one such directory: shards
+// fault in on first touch (Load + mmap), a memory budget caps how many
+// stay resident, and the least-recently-used shard is evicted — its
+// pages dropped with madvise(DONTNEED) and its snapshot closed — when
+// the budget is exceeded. Eviction rides the refcounted Snapshot
+// lifecycle: in-flight readers of the victim finish against the old
+// mapping (the final Release unmaps), while new queries fault the
+// shard back in. A multi-year archive therefore serves from a bounded
+// RSS, paying one fault per cold range instead of holding everything.
+package ribsnap
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"dropscope/internal/netx"
+	"dropscope/internal/rib"
+	"dropscope/internal/timex"
+)
+
+// shardManifestName is the boundary-table file inside a generation
+// directory.
+const shardManifestName = "shards.manifest"
+
+// shardManifestVersion versions the manifest encoding; the shard
+// snapshot files themselves carry the ribsnap Version.
+const shardManifestVersion = 1
+
+var shardMagic = [8]byte{'D', 'S', 'S', 'H', 'M', 'A', 'N', 'I'}
+
+// GenDirName returns the sharded generation directory name for a
+// digest. It deliberately lacks the .ribsnap suffix, so single-file
+// and sharded generations of the same digest coexist without clashing.
+func GenDirName(digest [32]byte) string {
+	return "gen-" + hex.EncodeToString(digest[:8])
+}
+
+// ShardFileName returns shard i's snapshot file name.
+func ShardFileName(i int) string { return fmt.Sprintf("shard-%d.ribsnap", i) }
+
+// ShardInfo is one shard's boundary-table record.
+type ShardInfo struct {
+	// Bound is the first (address-ordered) prefix the shard owns; the
+	// first shard additionally owns everything below its bound.
+	Bound netx.Prefix
+	// NumPrefixes is the shard's distinct prefix count.
+	NumPrefixes int
+}
+
+// ShardManifest is the decoded shards.manifest: the boundary table a
+// point query routes through, keyed to the archive digest it was cut
+// from.
+type ShardManifest struct {
+	Digest [32]byte
+	Window timex.Range
+	Shards []ShardInfo
+}
+
+// encodeShardManifest renders the manifest: magic, version, shard
+// count, digest, window, per-shard (addr, bits, nprefixes) records,
+// and a trailing CRC-32C over everything before it.
+func encodeShardManifest(m *ShardManifest) []byte {
+	buf := make([]byte, 0, 8+4+4+32+8+12*len(m.Shards)+4)
+	buf = append(buf, shardMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, shardManifestVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Shards)))
+	buf = append(buf, m.Digest[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Window.First))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Window.Last))
+	for _, s := range m.Shards {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Bound.Addr()))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Bound.Bits()))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s.NumPrefixes))
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// ReadShardManifest decodes and verifies a shards.manifest file.
+func ReadShardManifest(path string) (*ShardManifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < 8+4+4+32+8+4 {
+		return nil, fmt.Errorf("%w: shard manifest %d bytes", ErrTruncated, len(b))
+	}
+	if string(b[0:8]) != string(shardMagic[:]) {
+		return nil, fmt.Errorf("%w: shard manifest bad magic", ErrCorrupt)
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, castagnoli) != le32(tail) {
+		return nil, fmt.Errorf("%w: shard manifest CRC mismatch", ErrCorrupt)
+	}
+	if v := le32(b[8:12]); v != shardManifestVersion {
+		return nil, fmt.Errorf("%w: shard manifest version %d, want %d", ErrVersion, v, shardManifestVersion)
+	}
+	k := int(le32(b[12:16]))
+	if want := 8 + 4 + 4 + 32 + 8 + 12*k + 4; len(b) != want {
+		return nil, fmt.Errorf("%w: shard manifest %d bytes, want %d for %d shards", ErrCorrupt, len(b), want, k)
+	}
+	m := &ShardManifest{}
+	copy(m.Digest[:], b[16:48])
+	m.Window = timex.Range{First: timex.Day(le32(b[48:52])), Last: timex.Day(le32(b[52:56]))}
+	off := 56
+	m.Shards = make([]ShardInfo, k)
+	for i := range m.Shards {
+		addr := netx.Addr(le32(b[off : off+4]))
+		bits := int(le32(b[off+4 : off+8]))
+		if bits > 32 {
+			return nil, fmt.Errorf("%w: shard %d bound /%d", ErrCorrupt, i, bits)
+		}
+		m.Shards[i] = ShardInfo{
+			Bound:       netx.PrefixFrom(addr, bits),
+			NumPrefixes: int(le32(b[off+8 : off+12])),
+		}
+		off += 12
+	}
+	return m, nil
+}
+
+// writeShardManifestFS durably writes the manifest into dir with the
+// same temp → fsync → rename → fsync-dir sequence every snapshot write
+// uses.
+func writeShardManifestFS(fsys FS, dir string, m *ShardManifest) (err error) {
+	tmp, err := fsys.CreateTemp(dir, tempPattern)
+	if err != nil {
+		return fmt.Errorf("ribsnap: shard manifest temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			fsys.Remove(tmpName)
+		}
+	}()
+	if _, err = tmp.Write(encodeShardManifest(m)); err != nil {
+		return fmt.Errorf("ribsnap: shard manifest write: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("ribsnap: shard manifest sync: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("ribsnap: shard manifest close: %w", err)
+	}
+	if err = fsys.Rename(tmpName, filepath.Join(dir, shardManifestName)); err != nil {
+		return fmt.Errorf("ribsnap: shard manifest rename: %w", err)
+	}
+	if err = fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("ribsnap: shard manifest dir sync: %w", err)
+	}
+	return nil
+}
+
+// ShardSet manages the residency of one sharded generation directory.
+// Construct with OpenShardSet; hand queries to shards through Handles
+// (or Sharded). All residency state sits behind one mutex: faulting a
+// shard in is single-flight, and the resident fast path (one lock, one
+// refcount bump) allocates nothing.
+type ShardSet struct {
+	dir    string
+	digest [32]byte
+	man    *ShardManifest
+	window timex.Range
+	counts []CollectorCount
+	peers  []rib.PeerRef
+
+	mu          sync.Mutex
+	slots       []*Snapshot // nil = not resident
+	bad         []bool      // scrub found rot; fail fast, serve the rest
+	lastUse     []int64     // LRU clock value per shard
+	tick        int64
+	maxResident int // <= 0 means unlimited
+	resident    int
+	closed      bool
+
+	faults    atomic.Int64 // shards faulted in (including the eager first)
+	evictions atomic.Int64 // shards evicted for budget
+}
+
+// OpenShardSet opens the sharded generation under dir, verifying the
+// manifest against the expected archive digest. maxResident caps how
+// many shards stay mapped at once (<= 0 means all of them). The first
+// shard is faulted in eagerly: its header supplies the window and
+// collector counts (every shard file carries identical copies) and
+// the global peer table.
+func OpenShardSet(dir string, digest [32]byte, maxResident int) (*ShardSet, error) {
+	man, err := ReadShardManifest(filepath.Join(dir, shardManifestName))
+	if err != nil {
+		return nil, err
+	}
+	if man.Digest != digest {
+		return nil, ErrStale
+	}
+	k := len(man.Shards)
+	if k == 0 {
+		return nil, fmt.Errorf("%w: shard manifest lists no shards", ErrCorrupt)
+	}
+	ss := &ShardSet{
+		dir:         dir,
+		digest:      digest,
+		man:         man,
+		slots:       make([]*Snapshot, k),
+		bad:         make([]bool, k),
+		lastUse:     make([]int64, k),
+		maxResident: maxResident,
+	}
+	snap, err := Load(ss.ShardPath(0), digest)
+	if err != nil {
+		return nil, fmt.Errorf("ribsnap: shard 0: %w", err)
+	}
+	ss.slots[0] = snap
+	ss.resident = 1
+	ss.tick = 1
+	ss.lastUse[0] = 1
+	ss.faults.Add(1)
+	// Decoded by copy in every snapshot: safe past shard-0 eviction.
+	ss.window = snap.Window
+	ss.counts = snap.Counts
+	ss.peers = snap.Index.Peers()
+	return ss, nil
+}
+
+// Window returns the study window the shards were frozen over.
+func (ss *ShardSet) Window() timex.Range { return ss.window }
+
+// Counts returns the per-collector record counts preserved at freeze.
+func (ss *ShardSet) Counts() []CollectorCount { return ss.counts }
+
+// Peers returns the global peer table shared by every shard.
+func (ss *ShardSet) Peers() []rib.PeerRef { return ss.peers }
+
+// Digest returns the archive digest the generation is keyed on.
+func (ss *ShardSet) Digest() [32]byte { return ss.digest }
+
+// NumShards returns the shard count.
+func (ss *ShardSet) NumShards() int { return len(ss.slots) }
+
+// ShardPath returns shard i's snapshot file path.
+func (ss *ShardSet) ShardPath(i int) string {
+	return filepath.Join(ss.dir, ShardFileName(i))
+}
+
+// Manifest returns the decoded boundary table.
+func (ss *ShardSet) Manifest() *ShardManifest { return ss.man }
+
+// AcquireIndex pins shard i's index: resident shards return
+// immediately (no allocation), evicted shards fault back in under the
+// set lock — single-flight, so a thundering herd of queries against a
+// cold range maps the file once. The returned release token must be
+// released exactly once; until then the index stays valid even if the
+// shard is evicted or the set closed underneath.
+func (ss *ShardSet) AcquireIndex(i int) (*rib.Index, rib.ShardRelease, error) {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	if i < 0 || i >= len(ss.slots) {
+		ss.mu.Unlock()
+		return nil, nil, fmt.Errorf("ribsnap: shard %d of %d", i, len(ss.slots))
+	}
+	if ss.bad[i] {
+		ss.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: shard %d marked bad", ErrCorrupt, i)
+	}
+	if snap := ss.slots[i]; snap != nil {
+		if err := snap.Acquire(); err == nil {
+			ss.tick++
+			ss.lastUse[i] = ss.tick
+			ss.mu.Unlock()
+			return snap.Index, snap, nil
+		}
+		// Closed underneath (cannot happen while we hold the lock, but
+		// stay defensive): treat as evicted and fault back in.
+		ss.slots[i] = nil
+		ss.resident--
+	}
+	snap, err := Load(ss.ShardPath(i), ss.digest)
+	if err != nil {
+		ss.mu.Unlock()
+		return nil, nil, fmt.Errorf("ribsnap: shard %d: %w", i, err)
+	}
+	ss.faults.Add(1)
+	ss.slots[i] = snap
+	ss.resident++
+	ss.tick++
+	ss.lastUse[i] = ss.tick
+	snap.Acquire() // fresh snapshot: cannot fail
+	ss.evictLocked(i)
+	ss.mu.Unlock()
+	return snap.Index, snap, nil
+}
+
+// evictLocked closes least-recently-used shards (never keep) until the
+// budget holds. Closing a victim with readers in flight only marks it:
+// the last Release unmaps, so the budget is a target the set converges
+// to, not a hard ceiling during overlap.
+func (ss *ShardSet) evictLocked(keep int) {
+	for ss.maxResident > 0 && ss.resident > ss.maxResident {
+		victim := -1
+		for j, snap := range ss.slots {
+			if snap == nil || j == keep {
+				continue
+			}
+			if victim < 0 || ss.lastUse[j] < ss.lastUse[victim] {
+				victim = j
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		snap := ss.slots[victim]
+		ss.slots[victim] = nil
+		ss.resident--
+		ss.evictions.Add(1)
+		// Hint the pages out now — a clean read-only mapping refaults
+		// from the file, so this is safe under in-flight readers — then
+		// retire the snapshot; the refcount drains the mapping itself.
+		snap.DropPages()
+		snap.Close()
+	}
+}
+
+// MarkBad flags shard i after a scrub finding: it is evicted if
+// resident and every future AcquireIndex fails fast with ErrCorrupt,
+// so the damage degrades only this shard's prefix range.
+func (ss *ShardSet) MarkBad(i int) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if i < 0 || i >= len(ss.slots) || ss.bad[i] {
+		return
+	}
+	ss.bad[i] = true
+	if snap := ss.slots[i]; snap != nil {
+		ss.slots[i] = nil
+		ss.resident--
+		snap.Close()
+	}
+}
+
+// SetMaxResident adjusts the residency budget (<= 0 means unlimited)
+// and evicts immediately if the new budget is exceeded.
+func (ss *ShardSet) SetMaxResident(n int) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.maxResident = n
+	if !ss.closed {
+		ss.evictLocked(-1)
+	}
+}
+
+// Resident reports how many shards are currently mapped.
+func (ss *ShardSet) Resident() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.resident
+}
+
+// Faults reports how many shard fault-ins the set has performed.
+func (ss *ShardSet) Faults() int64 { return ss.faults.Load() }
+
+// Evictions reports how many budget evictions the set has performed.
+func (ss *ShardSet) Evictions() int64 { return ss.evictions.Load() }
+
+// ResidentShards reports per-shard residency.
+func (ss *ShardSet) ResidentShards() []bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	out := make([]bool, len(ss.slots))
+	for i, snap := range ss.slots {
+		out[i] = snap != nil
+	}
+	return out
+}
+
+// IsBad reports whether shard i has been marked bad by a scrub
+// finding.
+func (ss *ShardSet) IsBad(i int) bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return i >= 0 && i < len(ss.bad) && ss.bad[i]
+}
+
+// BadShards reports per-shard scrub-degraded state.
+func (ss *ShardSet) BadShards() []bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return append([]bool(nil), ss.bad...)
+}
+
+// Close retires the set: resident shards are closed (in-flight readers
+// drain against their old mappings) and future acquires fail.
+func (ss *ShardSet) Close() error {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return nil
+	}
+	ss.closed = true
+	var snaps []*Snapshot
+	for i, snap := range ss.slots {
+		if snap != nil {
+			snaps = append(snaps, snap)
+			ss.slots[i] = nil
+		}
+	}
+	ss.resident = 0
+	ss.mu.Unlock()
+	var err error
+	for _, snap := range snaps {
+		if cerr := snap.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// setShard adapts one shard index to rib.ShardHandle.
+type setShard struct {
+	ss *ShardSet
+	i  int
+}
+
+func (h setShard) AcquireIndex() (*rib.Index, rib.ShardRelease, error) {
+	return h.ss.AcquireIndex(h.i)
+}
+
+// Handles returns the set's shards as rib.ShardHandle values, in shard
+// order.
+func (ss *ShardSet) Handles() []rib.ShardHandle {
+	out := make([]rib.ShardHandle, len(ss.slots))
+	for i := range out {
+		out[i] = setShard{ss: ss, i: i}
+	}
+	return out
+}
+
+// Sharded assembles the fan-out querier over the set, routing through
+// the manifest's boundary table.
+func (ss *ShardSet) Sharded(workers int) (*rib.Sharded, error) {
+	bounds := make([]netx.Prefix, len(ss.man.Shards))
+	counts := make([]int, len(ss.man.Shards))
+	for i, si := range ss.man.Shards {
+		bounds[i] = si.Bound
+		counts[i] = si.NumPrefixes
+	}
+	return rib.NewSharded(ss.Handles(), bounds, counts, ss.peers, workers)
+}
+
+// Master wraps the set behind a mapping-free Snapshot whose lifecycle
+// closes it: the serving layer's generation plumbing (refcount pinning,
+// Close-on-swap, drain accounting) then manages a sharded generation
+// exactly like a single-file one — the set shuts down when the old
+// generation's last in-flight request releases.
+func (ss *ShardSet) Master() *Snapshot {
+	return &Snapshot{
+		Window: ss.window,
+		Counts: ss.counts,
+		Digest: ss.digest,
+		unmap:  ss.Close,
+	}
+}

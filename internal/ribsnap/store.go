@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dropscope/internal/rib"
 	"dropscope/internal/timex"
@@ -112,6 +113,18 @@ func (st *Store) GenPath(digest [32]byte) string {
 	return filepath.Join(st.dir, GenName(digest))
 }
 
+// GenDirPath returns the directory a sharded generation lives under.
+func (st *Store) GenDirPath(digest [32]byte) string {
+	return filepath.Join(st.dir, GenDirName(digest))
+}
+
+// HasShards reports whether the generation exists in the sharded
+// layout (a generation directory with a readable shard manifest).
+func (st *Store) HasShards(digest [32]byte) bool {
+	_, err := os.Stat(filepath.Join(st.GenDirPath(digest), shardManifestName))
+	return err == nil
+}
+
 // reconcile aligns the journal with the directory: a generation file
 // with no record was written durably just before a crash killed the
 // journal append — adopt it; a record whose file is gone (operator
@@ -125,7 +138,30 @@ func (st *Store) reconcile() error {
 	onDisk := make(map[string]bool)
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasPrefix(name, "gen-") || !strings.HasSuffix(name, ".ribsnap") {
+		if e.IsDir() {
+			// A sharded generation directory. Its identity lives in the
+			// shard manifest (written last, durably): a directory with a
+			// valid manifest was fully written — adopt it; one without is
+			// the debris of a writer that died mid-fan-out — remove it.
+			if !strings.HasPrefix(name, "gen-") || strings.HasSuffix(name, ".ribsnap") {
+				continue
+			}
+			man, merr := ReadShardManifest(filepath.Join(st.dir, name, shardManifestName))
+			if merr != nil {
+				if rerr := os.RemoveAll(filepath.Join(st.dir, name)); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			onDisk[name] = true
+			if st.m.Status(man.Digest) == GenUnknown {
+				if err := st.m.Append(GenWritten, man.Digest); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if !strings.HasPrefix(name, "gen-") || !strings.HasSuffix(name, ".ribsnap") {
 			continue
 		}
 		onDisk[name] = true
@@ -155,7 +191,7 @@ func (st *Store) reconcile() error {
 		if rec.Op == GenRemoved {
 			continue
 		}
-		if !onDisk[GenName(rec.Digest)] {
+		if !onDisk[GenName(rec.Digest)] && !onDisk[GenDirName(rec.Digest)] {
 			if err := st.m.Append(GenRemoved, rec.Digest); err != nil {
 				return err
 			}
@@ -222,6 +258,81 @@ func (st *Store) Write(f *rib.Frozen, window timex.Range, digest [32]byte, count
 	return st.m.Append(GenWritten, digest)
 }
 
+// WriteShards durably persists a sharded generation — shards cut with
+// rib.FrozenShards written in parallel on a bounded pool (workers <= 0
+// means one per shard), then the shard manifest, then the parent
+// directory fsync — and journals it as written. The manifest is
+// written last, so crash recovery has a single rule: a generation
+// directory with a valid manifest is complete, one without is debris.
+// Like Write, it does not promote.
+func (st *Store) WriteShards(shards []*rib.Frozen, window timex.Range, digest [32]byte, counts []CollectorCount, workers int) error {
+	if len(shards) == 0 {
+		return fmt.Errorf("ribsnap: WriteShards needs at least one shard")
+	}
+	dir := st.GenDirPath(digest)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if workers <= 0 || workers > len(shards) {
+		workers = len(shards)
+	}
+	errs := make([]error, len(shards))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				errs[i] = WriteFS(st.fsys, filepath.Join(dir, ShardFileName(i)),
+					shards[i], window, digest, counts)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("ribsnap: shard %d: %w", i, err)
+		}
+	}
+	man := &ShardManifest{Digest: digest, Window: window}
+	man.Shards = make([]ShardInfo, len(shards))
+	for i, f := range shards {
+		si := ShardInfo{NumPrefixes: len(f.Prefixes)}
+		if len(f.Prefixes) > 0 {
+			si.Bound = f.Prefixes[0]
+		}
+		man.Shards[i] = si
+	}
+	if err := writeShardManifestFS(st.fsys, dir, man); err != nil {
+		return err
+	}
+	if err := st.fsys.SyncDir(st.dir); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.m.Append(GenWritten, digest)
+}
+
+// LoadShards opens the sharded generation for digest as a ShardSet.
+// The manifest refuses generations journaled corrupt, exactly as Load
+// does for single-file generations.
+func (st *Store) LoadShards(digest [32]byte, maxResident int) (*ShardSet, error) {
+	st.mu.Lock()
+	status := st.m.Status(digest)
+	st.mu.Unlock()
+	if status == GenCorrupt {
+		return nil, fmt.Errorf("%w: generation %s marked corrupt in manifest",
+			ErrCorrupt, hex.EncodeToString(digest[:8]))
+	}
+	return OpenShardSet(st.GenDirPath(digest), digest, maxResident)
+}
+
 // Promote journals digest as the live generation, retires the previous
 // one (if different), and garbage-collects beyond the retention cap.
 // Promoting the already-live generation is a no-op, so reload cycles
@@ -286,6 +397,15 @@ func (st *Store) gc() error {
 		path := st.GenPath(rec.Digest)
 		if err := st.fsys.Remove(path); err != nil && !os.IsNotExist(err) {
 			return err
+		}
+		// A sharded generation is a directory; recursive removal stays
+		// outside the fault-injection seam (each file inside was written
+		// through it, but GC of a retired tree is not a durability edge
+		// the crash suite needs to cut).
+		if dirPath := st.GenDirPath(rec.Digest); dirPath != "" {
+			if err := os.RemoveAll(dirPath); err != nil {
+				return err
+			}
 		}
 		if err := st.m.Append(GenRemoved, rec.Digest); err != nil {
 			return err

@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/mrt"
+	"dropscope/internal/netx"
+	"dropscope/internal/timex"
+)
+
+// AmplifyVolume appends RouteViews-realistic background churn to the
+// world's MRT streams, scaling record volume for index-build and
+// sharding benchmarks without touching any behavior the analysis
+// measures. Per-collector record counts are drawn from a seeded
+// lognormal around scale — real collectors differ in feed size the
+// same way — and each unit of churn is an announce/withdraw flap of a
+// synthetic prefix spread across the study window's days, carried by
+// one of the collector's existing peers.
+//
+// The synthetic prefixes are /24s carved from 100.64.0.0/10 (the
+// RFC 6598 shared-address block), which the generator's address plan
+// never allocates from: amplification grows the prefix column and the
+// span count, but no listing, ROA, IRR object, or hijack gains or
+// loses an overlapping route. It returns the number of records
+// appended and the number of distinct synthetic prefixes used.
+//
+// The amplified world is deterministic in (scale, seed) and must be
+// amplified before the MRT archives are written or a pipeline is
+// built over them.
+func AmplifyVolume(w *World, scale int, seed int64) (records, prefixes int) {
+	if w == nil || scale <= 0 || len(w.Collectors) == 0 {
+		return 0, 0
+	}
+	rng := rand.New(rand.NewSource(seed*1000003 + 0x766f6c))
+	window := w.Params.Window
+	days := int(window.Last - window.First)
+	if days < 1 {
+		days = 1
+	}
+
+	// One distinct /24 per scale unit, capped by the block's capacity
+	// (a /10 holds 2^14 /24s). Collectors share the pool — the same
+	// prefix observed at several collectors is the normal case.
+	npfx := scale
+	if npfx > 1<<14 {
+		npfx = 1 << 14
+	}
+	base := netx.Addr(100)<<24 | netx.Addr(64)<<16
+	pool := make([]netx.Prefix, npfx)
+	for i := range pool {
+		pool[i] = netx.PrefixFrom(base+netx.Addr(i)<<8, 24)
+	}
+
+	for ci := range w.Collectors {
+		c := &w.Collectors[ci]
+		if len(c.Peers) == 0 {
+			continue
+		}
+		n := int(float64(scale) * math.Exp(0.6*rng.NormFloat64()))
+		if n < 1 {
+			n = 1
+		}
+		flaps := (n + 1) / 2
+		recs := make([]mrt.Record, 0, 2*flaps)
+		for f := 0; f < flaps; f++ {
+			p := pool[rng.Intn(len(pool))]
+			peer := c.Peers[rng.Intn(len(c.Peers))]
+			origin := bgp.ASN(64512 + rng.Intn(1024)) // private-use origin
+			up := window.First + timex.Day(rng.Intn(days))
+			down := up + 1 + timex.Day(rng.Intn(3))
+			if down > window.Last {
+				down = window.Last
+			}
+			recs = append(recs, &mrt.BGP4MPMessage{
+				When:      up.Time(),
+				PeerAS:    peer.AS,
+				LocalAS:   c.LocalAS,
+				PeerAddr:  peer.Addr,
+				LocalAddr: c.LocalAddr,
+				Update: &bgp.Update{
+					Attrs: bgp.Attrs{
+						Origin:     bgp.OriginIGP,
+						Path:       bgp.Sequence(peer.AS, origin),
+						NextHop:    peer.Addr,
+						HasNextHop: true,
+					},
+					NLRI: []netx.Prefix{p},
+				},
+			})
+			if down > up {
+				recs = append(recs, &mrt.BGP4MPMessage{
+					When:      down.Time(),
+					PeerAS:    peer.AS,
+					LocalAS:   c.LocalAS,
+					PeerAddr:  peer.Addr,
+					LocalAddr: c.LocalAddr,
+					Update:    &bgp.Update{Withdrawn: []netx.Prefix{p}},
+				})
+			}
+		}
+		// Time-order the appended churn so each (peer, prefix) stream
+		// reads announce-before-withdraw, like the emitter's output.
+		sort.SliceStable(recs, func(i, j int) bool {
+			return recs[i].Timestamp().Before(recs[j].Timestamp())
+		})
+		w.MRT[c.Name] = append(w.MRT[c.Name], recs...)
+		records += len(recs)
+	}
+	return records, npfx
+}

@@ -32,6 +32,12 @@ type Generation struct {
 	snap *ribsnap.Snapshot
 	pipe *analysis.Pipeline
 
+	// shards is non-nil for a prefix-range sharded generation: the
+	// residency manager over the generation directory's shard files. The
+	// snap above is then the mapping-free master snapshot whose lifecycle
+	// closes the set (see ribsnap.ShardSet.Master).
+	shards *ribsnap.ShardSet
+
 	digestHex string // lower-case hex of the archive digest
 	window    timex.Range
 
@@ -77,12 +83,13 @@ type dropSpan struct {
 }
 
 // newGeneration wraps a loaded snapshot and its pipeline. The snapshot
-// may be mapping-free (a cold-built index); the lifecycle protocol is
-// identical either way.
-func newGeneration(snap *ribsnap.Snapshot, pipe *analysis.Pipeline) *Generation {
+// may be mapping-free (a cold-built index, or the master of a sharded
+// set); the lifecycle protocol is identical either way.
+func newGeneration(snap *ribsnap.Snapshot, shards *ribsnap.ShardSet, pipe *analysis.Pipeline) *Generation {
 	g := &Generation{
 		snap:      snap,
 		pipe:      pipe,
+		shards:    shards,
 		digestHex: hex.EncodeToString(snap.Digest[:]),
 		window:    pipe.Window(),
 		samples:   pipe.Index.Prefixes(),
@@ -111,6 +118,10 @@ func (g *Generation) Window() timex.Range { return g.window }
 // Pipeline exposes the analysis pipeline for the allocating endpoints
 // (figures, origin timelines) and tests.
 func (g *Generation) Pipeline() *analysis.Pipeline { return g.pipe }
+
+// Shards exposes the generation's shard residency manager, nil for a
+// single-file (or cold in-memory) generation.
+func (g *Generation) Shards() *ribsnap.ShardSet { return g.shards }
 
 // buildROATable replays the ROA journal into flat parallel arrays. A
 // revoke closes the oldest open span of the same ROA — the same

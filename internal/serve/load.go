@@ -11,6 +11,7 @@ import (
 	"dropscope/internal/analysis"
 	"dropscope/internal/archive"
 	"dropscope/internal/ingest"
+	"dropscope/internal/rib"
 	"dropscope/internal/ribsnap"
 	"dropscope/internal/timex"
 )
@@ -31,7 +32,8 @@ type LoadOptions struct {
 	// negative = unlimited). Daemon loads are always lenient: a damaged
 	// collector quarantines, it does not take the service down.
 	MaxSkip int
-	// Workers bounds the cold-build RIB loading pool.
+	// Workers bounds the cold-build RIB loading pool and the sharded
+	// index's fan-out pool.
 	Workers int
 	// SnapshotDir, when non-empty, warm-starts from
 	// SnapshotDir/index.ribsnap when it matches the archive digest, and
@@ -48,8 +50,20 @@ type LoadOptions struct {
 	// Health, when non-nil, receives the load's ingest accounting
 	// instead of a fresh accumulator — the reload supervisor seeds it
 	// with the retry count that preceded a successful reload, so the
-	// generation's own health report records how it came to be.
+	// generation's own health report records what it came to be.
 	Health *ingest.Health
+	// Shards, when > 1, serves a prefix-range sharded index: the frozen
+	// index is cut into Shards independently mmap-able pieces. With a
+	// Store, clean cold builds persist the sharded generation layout
+	// (gen-<digest>/shard-<i>.ribsnap + shards.manifest) and warm starts
+	// reload it; without one the cut happens in memory. Query semantics
+	// are identical to the single index.
+	Shards int
+	// MemBudget caps how many shards stay memory-mapped at once for a
+	// store-backed sharded generation (<= 0 keeps them all resident).
+	// Cold ranges fault back in on demand; the least recently used
+	// shard is evicted when the budget is exceeded.
+	MemBudget int
 }
 
 // Load builds one serving generation from the archive directory: warm
@@ -64,6 +78,7 @@ func Load(dir string, opts LoadOptions) (*Generation, error) {
 	}
 	var (
 		snap       *ribsnap.Snapshot
+		shards     *ribsnap.ShardSet
 		digest     [32]byte
 		haveDigest bool
 		snapPath   string
@@ -76,36 +91,79 @@ func Load(dir string, opts LoadOptions) (*Generation, error) {
 	}
 	if d, derr := ribsnap.DigestMRT(filepath.Join(dir, "mrt")); derr == nil {
 		digest, haveDigest = d, true
-		var (
-			s    *ribsnap.Snapshot
-			lerr error
-			try  bool
-		)
-		switch {
-		case opts.Store != nil:
-			s, lerr = opts.Store.Load(digest)
-			try = true
-		case snapPath != "":
-			s, lerr = ribsnap.Load(snapPath, digest)
-			try = true
-		}
-		if try {
+		// The sharded layout is tried first: a generation directory with
+		// a valid manifest is complete by construction (the manifest is
+		// written last), and it is what a sharded daemon wrote on its
+		// previous clean build.
+		if opts.Store != nil && opts.Shards > 1 && opts.Store.HasShards(digest) {
+			ss, lerr := opts.Store.LoadShards(digest, opts.MemBudget)
 			switch {
 			case lerr != nil:
 				countSnapshotSkip(h, lerr)
-			case s.Window != opts.Window:
-				s.Close()
+			case ss.Window() != opts.Window:
+				ss.Close()
 				h.Source(snapshotSource).Skip(ingest.Unsupported)
 			default:
-				snap = s
+				shards = ss
+			}
+		}
+		if shards == nil {
+			var (
+				s    *ribsnap.Snapshot
+				lerr error
+				try  bool
+			)
+			switch {
+			case opts.Store != nil:
+				s, lerr = opts.Store.Load(digest)
+				try = true
+			case snapPath != "":
+				s, lerr = ribsnap.Load(snapPath, digest)
+				try = true
+			}
+			if try {
+				switch {
+				case lerr != nil:
+					countSnapshotSkip(h, lerr)
+				case s.Window != opts.Window:
+					s.Close()
+					h.Source(snapshotSource).Skip(ingest.Unsupported)
+				default:
+					snap = s
+				}
+			}
+		}
+		// A single-file generation under -shards: upgrade it in place.
+		// The mapped monolith is already the frozen index, so cut it,
+		// persist the sharded layout, and reopen under the residency
+		// budget — enabling sharding on an existing deployment takes
+		// effect on the first restart, not only after the snapshot is
+		// invalidated and cold-rebuilt. Best-effort: any failure keeps
+		// serving the single mapping (the in-memory cut below still
+		// gives fan-out, just not bounded residency).
+		if opts.Shards > 1 && opts.Store != nil && shards == nil && snap != nil {
+			if fs, ferr := snap.Index.FrozenShards(opts.Shards, opts.Workers); ferr == nil {
+				if werr := opts.Store.WriteShards(fs, opts.Window, digest, snap.Counts, opts.Workers); werr == nil {
+					if ss, lerr := opts.Store.LoadShards(digest, opts.MemBudget); lerr == nil {
+						shards = ss
+					}
+				}
+			}
+			if shards != nil {
+				snap.Close()
+				snap = nil
 			}
 		}
 	}
+	warm := snap != nil || shards != nil
 
-	b, err := archive.LoadWithOptions(dir, archive.LoadOptions{Health: h, SkipMRT: snap != nil})
+	b, err := archive.LoadWithOptions(dir, archive.LoadOptions{Health: h, SkipMRT: warm})
 	if err != nil {
 		if snap != nil {
 			snap.Close()
+		}
+		if shards != nil {
+			shards.Close()
 		}
 		return nil, fmt.Errorf("serve: load: %w", err)
 	}
@@ -115,7 +173,19 @@ func Load(dir string, opts LoadOptions) (*Generation, error) {
 		MaxSkip: opts.MaxSkip,
 		Health:  h,
 	}
-	if snap != nil {
+	switch {
+	case shards != nil:
+		sh, serr := shards.Sharded(opts.Workers)
+		if serr != nil {
+			shards.Close()
+			return nil, fmt.Errorf("serve: sharded index: %w", serr)
+		}
+		aopts.Index = sh
+		// The master snapshot gives the sharded set the exact snapshot
+		// lifecycle a single mapping has: pinned per request, closed on
+		// swap, drained by refcount.
+		snap = shards.Master()
+	case snap != nil:
 		aopts.Index = snap.Index
 	}
 	p, err := analysis.NewWithOptions(analysis.Dataset{
@@ -129,7 +199,7 @@ func Load(dir string, opts LoadOptions) (*Generation, error) {
 		}
 		return nil, fmt.Errorf("serve: pipeline: %w", err)
 	}
-	if snap != nil {
+	if warm {
 		// Replay the per-collector record counts the snapshot preserved
 		// so /metrics reports what a cold build would.
 		for _, c := range snap.Counts {
@@ -137,11 +207,42 @@ func Load(dir string, opts LoadOptions) (*Generation, error) {
 		}
 	} else {
 		if haveDigest {
-			persistSnapshot(opts, snapPath, p, b, h, digest)
+			if opts.Shards > 1 && opts.Store != nil {
+				// Persist the sharded layout and serve the reopened,
+				// file-backed shards, so a cold build and the warm start
+				// that follows it answer from the identical bytes.
+				if ss := persistShards(opts, p, b, h, digest); ss != nil {
+					if sh, serr := ss.Sharded(opts.Workers); serr == nil {
+						p.Index = sh
+						shards = ss
+						snap = ss.Master()
+					} else {
+						ss.Close()
+					}
+				}
+			} else {
+				persistSnapshot(opts, snapPath, p, b, h, digest)
+			}
 		}
-		// Serve the cold-built index behind a mapping-free snapshot: the
-		// generation lifecycle (refcount, Close-on-swap) is identical.
-		snap = &ribsnap.Snapshot{Index: p.Index, Window: opts.Window, Digest: digest}
+		if snap == nil {
+			// Serve the cold-built index behind a mapping-free snapshot: the
+			// generation lifecycle (refcount, Close-on-swap) is identical.
+			ix, _ := p.Index.(*rib.Index)
+			snap = &ribsnap.Snapshot{Index: ix, Window: opts.Window, Digest: digest}
+		}
+	}
+	// In-memory cut: sharding was requested but the index is still the
+	// monolith (store-less cold build, warm single-file start, or a
+	// failed sharded persist). Queries then run the same fan-out paths a
+	// file-backed sharded generation does, minus the residency budget.
+	if opts.Shards > 1 && shards == nil {
+		if ix, ok := p.Index.(*rib.Index); ok {
+			if fs, ferr := ix.FrozenShards(opts.Shards, opts.Workers); ferr == nil {
+				if sh, serr := rib.ShardedFromFrozen(fs, opts.Workers); serr == nil {
+					p.Index = sh
+				}
+			}
+		}
 	}
 	if opts.Store != nil && haveDigest {
 		// Journal the generation as live. A failure here is operational
@@ -149,7 +250,7 @@ func Load(dir string, opts LoadOptions) (*Generation, error) {
 		// good; the next promote retries.
 		_ = opts.Store.Promote(digest)
 	}
-	return newGeneration(snap, p), nil
+	return newGeneration(snap, shards, p), nil
 }
 
 // countSnapshotSkip classifies a discarded snapshot in the health
@@ -171,24 +272,21 @@ func countSnapshotSkip(h *ingest.Health, err error) {
 	}
 }
 
-// persistSnapshot writes the freshly built index for the next load —
-// through the manifest-backed store when one is configured, else to
-// the bare snapshot path. Best-effort, and it refuses to persist an
-// index built from damaged MRT ingest: a partial index must never
+// mrtClean reports whether every MRT collector ingested without damage
+// — the gate on persisting anything: a partial index must never
 // masquerade as the archive's.
-func persistSnapshot(opts LoadOptions, path string, p *analysis.Pipeline, b *archive.Bundle, h *ingest.Health, digest [32]byte) {
-	if opts.Store == nil && path == "" {
-		return
-	}
+func mrtClean(h *ingest.Health) bool {
 	for _, s := range h.Sources() {
 		if strings.HasPrefix(s.Name, "mrt/") && !s.Clean() {
-			return
+			return false
 		}
 	}
-	f, err := p.Index.Frozen()
-	if err != nil {
-		return
-	}
+	return true
+}
+
+// collectorCounts flattens the per-collector record counts for the
+// snapshot header, sorted by collector name.
+func collectorCounts(b *archive.Bundle, h *ingest.Health) []ribsnap.CollectorCount {
 	names := make([]string, 0, len(b.MRT))
 	for name := range b.MRT {
 		names = append(names, name)
@@ -201,6 +299,29 @@ func persistSnapshot(opts LoadOptions, path string, p *analysis.Pipeline, b *arc
 			Records:   h.Source("mrt/" + name).Records,
 		})
 	}
+	return counts
+}
+
+// persistSnapshot writes the freshly built index for the next load —
+// through the manifest-backed store when one is configured, else to
+// the bare snapshot path. Best-effort, and it refuses to persist an
+// index built from damaged MRT ingest.
+func persistSnapshot(opts LoadOptions, path string, p *analysis.Pipeline, b *archive.Bundle, h *ingest.Health, digest [32]byte) {
+	if opts.Store == nil && path == "" {
+		return
+	}
+	if !mrtClean(h) {
+		return
+	}
+	ix, ok := p.Index.(*rib.Index)
+	if !ok {
+		return
+	}
+	f, err := ix.Frozen()
+	if err != nil {
+		return
+	}
+	counts := collectorCounts(b, h)
 	if opts.Store != nil {
 		_ = opts.Store.Write(f, opts.Window, digest, counts)
 		return
@@ -209,4 +330,31 @@ func persistSnapshot(opts LoadOptions, path string, p *analysis.Pipeline, b *arc
 		return
 	}
 	_ = ribsnap.Write(path, f, opts.Window, digest, counts)
+}
+
+// persistShards cuts the cold-built index into opts.Shards prefix
+// ranges, writes them through the store as a sharded generation
+// directory, and reopens the result under the residency budget. Any
+// failure (unclean ingest, a write error) returns nil and the caller
+// falls back to an in-memory cut — best-effort, like persistSnapshot.
+func persistShards(opts LoadOptions, p *analysis.Pipeline, b *archive.Bundle, h *ingest.Health, digest [32]byte) *ribsnap.ShardSet {
+	if !mrtClean(h) {
+		return nil
+	}
+	ix, ok := p.Index.(*rib.Index)
+	if !ok {
+		return nil
+	}
+	fs, err := ix.FrozenShards(opts.Shards, opts.Workers)
+	if err != nil {
+		return nil
+	}
+	if err := opts.Store.WriteShards(fs, opts.Window, digest, collectorCounts(b, h), opts.Workers); err != nil {
+		return nil
+	}
+	ss, err := opts.Store.LoadShards(digest, opts.MemBudget)
+	if err != nil {
+		return nil
+	}
+	return ss
 }

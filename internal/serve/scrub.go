@@ -78,8 +78,9 @@ func (s *Scrubber) Run(ctx context.Context) error {
 	t := s.clock.NewTimer(s.cfg.Interval)
 	defer t.Stop()
 	var (
-		cur  *Generation // generation the in-progress pass belongs to
-		pass *ribsnap.Scrub
+		cur   *Generation // generation the in-progress pass belongs to
+		pass  *ribsnap.Scrub
+		spass *shardPass
 	)
 	for {
 		select {
@@ -93,8 +94,14 @@ func (s *Scrubber) Run(ctx context.Context) error {
 			// A swap landed (or the first generation arrived): abandon
 			// any stale pass and open one over the new generation.
 			cur, pass = g, nil
+			spass.close()
+			spass = nil
 			if g != nil {
-				if err := g.Acquire(); err == nil {
+				if ss := g.shards; ss != nil {
+					spass = &shardPass{ss: ss}
+					s.event(fmt.Sprintf("scrub: starting sharded pass over generation %s (%d shards)",
+						g.DigestHex()[:12], ss.NumShards()))
+				} else if err := g.Acquire(); err == nil {
 					pass = g.snap.NewScrub()
 					g.Release()
 				}
@@ -103,6 +110,25 @@ func (s *Scrubber) Run(ctx context.Context) error {
 				s.event(fmt.Sprintf("scrub: starting pass over generation %s (%d payload bytes)",
 					g.DigestHex()[:12], pass.Size()))
 			}
+		}
+		if spass != nil {
+			done, retired := s.stepShards(cur, spass)
+			switch {
+			case retired:
+				cur, spass = nil, nil
+				t.Reset(s.cfg.Interval)
+			case done:
+				s.stats.ScrubPasses.Add(1)
+				s.event(fmt.Sprintf("scrub: sharded pass over generation %s complete (%d bytes)",
+					cur.DigestHex()[:12], spass.bytes))
+				// Forget the generation so the next tick starts a fresh
+				// pass — rot accumulates with time, not with swaps.
+				cur, spass = nil, nil
+				t.Reset(s.cfg.PassInterval)
+			default:
+				t.Reset(s.cfg.Interval)
+			}
+			continue
 		}
 		if pass == nil {
 			// Nothing to verify: no generation yet, a cold-built
@@ -158,5 +184,93 @@ func (s *Scrubber) Run(ctx context.Context) error {
 func (s *Scrubber) event(msg string) {
 	if s.cfg.OnEvent != nil {
 		s.cfg.OnEvent(msg)
+	}
+}
+
+// shardPass walks a sharded generation one shard file at a time. Each
+// shard is verified with its own self-owned scrub handle (OpenScrub),
+// so an evicted shard is re-read straight from disk without faulting
+// it back into the residency budget, and a resident one is verified
+// through the same inode its mapping came from.
+type shardPass struct {
+	ss    *ribsnap.ShardSet
+	next  int            // next shard to open
+	cur   *ribsnap.Scrub // in-progress shard, nil between shards
+	shard int            // index of cur
+	bytes uint64         // payload bytes verified across the pass
+}
+
+// close abandons the in-progress shard handle; safe on nil.
+func (sp *shardPass) close() {
+	if sp != nil && sp.cur != nil {
+		sp.cur.Close()
+		sp.cur = nil
+	}
+}
+
+// stepShards advances a sharded pass by one chunk. Unlike the
+// single-file path — where a finding kills the whole generation's pass
+// — a damaged shard is marked bad (failing fast for its prefix range
+// only) and the pass moves on to the next shard: the rest of the
+// address space keeps its integrity coverage while the reload
+// supervisor rebuilds.
+func (s *Scrubber) stepShards(cur *Generation, sp *shardPass) (done, retired bool) {
+	if err := cur.Acquire(); err != nil {
+		sp.close()
+		return false, true
+	}
+	defer cur.Release()
+	for sp.cur == nil {
+		if sp.next >= sp.ss.NumShards() {
+			return true, false
+		}
+		i := sp.next
+		sp.next++
+		if sp.ss.IsBad(i) {
+			continue // already reported; nothing left to learn
+		}
+		sc, err := ribsnap.OpenScrub(sp.ss.ShardPath(i))
+		if err != nil {
+			s.shardCorrupt(cur, i, err)
+			continue
+		}
+		sp.cur, sp.shard = sc, i
+	}
+	before := sp.cur.Offset()
+	stepDone, err := sp.cur.Step(s.cfg.Chunk)
+	verified := sp.cur.Offset() - before
+	s.stats.ScrubBytes.Add(verified)
+	sp.bytes += verified
+	if err != nil {
+		s.shardCorrupt(cur, sp.shard, err)
+		sp.close()
+		return sp.next >= sp.ss.NumShards(), false
+	}
+	if stepDone {
+		sp.close()
+		return sp.next >= sp.ss.NumShards(), false
+	}
+	return false, false
+}
+
+// shardCorrupt records a scrub finding against one shard: the shard is
+// quarantined in the set (queries on its range fail fast, the rest of
+// the generation keeps serving), the generation is journaled corrupt
+// so no future load re-adopts it, and the reload supervisor is
+// triggered to rebuild.
+func (s *Scrubber) shardCorrupt(cur *Generation, i int, err error) {
+	s.stats.CorruptTotal.Add(1)
+	s.stats.SetScrubError(fmt.Sprintf("shard %d: %v", i, err))
+	s.stats.Degraded.Store(true)
+	cur.shards.MarkBad(i)
+	s.event(fmt.Sprintf("scrub: corruption on generation %s shard %d: %v",
+		cur.DigestHex()[:12], i, err))
+	if s.cfg.Store != nil {
+		if merr := s.cfg.Store.MarkCorrupt(cur.snap.Digest); merr != nil {
+			s.event(fmt.Sprintf("scrub: recording corruption: %v", merr))
+		}
+	}
+	if s.cfg.Reloader != nil {
+		s.cfg.Reloader.Trigger()
 	}
 }

@@ -411,6 +411,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, g *Generation) {
 	b = strconv.AppendInt(b, int64(len(g.samples)), 10)
 	b = append(b, `,"peers":`...)
 	b = strconv.AppendInt(b, int64(g.pipe.Index.NumPeers()), 10)
+	if ss := g.shards; ss != nil {
+		// Per-shard state: a scrub finding degrades one prefix range, and
+		// this is where an operator sees which one.
+		b = append(b, `,"shards":`...)
+		b = strconv.AppendInt(b, int64(ss.NumShards()), 10)
+		b = append(b, `,"resident_shards":`...)
+		b = strconv.AppendInt(b, int64(ss.Resident()), 10)
+		b = append(b, `,"shard_resident":[`...)
+		for i, r := range ss.ResidentShards() {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendBool(b, r)
+		}
+		b = append(b, `],"shard_degraded":[`...)
+		for i, bad := range ss.BadShards() {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendBool(b, bad)
+		}
+		b = append(b, ']')
+	}
 	b = append(b, `,"swaps":`...)
 	b = strconv.AppendUint(b, s.swaps.Load(), 10)
 	b = append(b, `,"generation_age_seconds":`...)
@@ -471,6 +494,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, g *Generation) {
 	b = strconv.AppendUint(b, s.stats.ScrubBytes.Load(), 10)
 	b = append(b, `,"corrupt_total":`...)
 	b = strconv.AppendUint(b, s.stats.CorruptTotal.Load(), 10)
+	// Shard residency: all zero for a single-file generation, so the
+	// metric schema is stable across layouts.
+	b = append(b, `,"shards":`...)
+	if ss := g.shards; ss != nil {
+		b = strconv.AppendInt(b, int64(ss.NumShards()), 10)
+		b = append(b, `,"resident_shards":`...)
+		b = strconv.AppendInt(b, int64(ss.Resident()), 10)
+		b = append(b, `,"shard_faults_total":`...)
+		b = strconv.AppendInt(b, ss.Faults(), 10)
+		b = append(b, `,"shard_evictions_total":`...)
+		b = strconv.AppendInt(b, ss.Evictions(), 10)
+	} else {
+		b = append(b, `0,"resident_shards":0,"shard_faults_total":0,"shard_evictions_total":0`...)
+	}
 	b = append(b, `,"degraded":`...)
 	if s.stats.Degraded.Load() {
 		b = append(b, '1')

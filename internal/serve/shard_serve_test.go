@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dropscope/internal/ribsnap"
+	"dropscope/internal/timex"
+)
+
+// shardedFixture loads the seed-1 world twice through one store with
+// -shards semantics: the first load cold-builds and persists the
+// sharded generation, the second maps it warm. Both are returned along
+// with the store and options.
+func shardedFixture(t *testing.T, k, memBudget int) (*Generation, *ribsnap.Store, string, LoadOptions) {
+	t.Helper()
+	dir, window := writeWorld(t, 1)
+	store, err := ribsnap.OpenStore(filepath.Join(t.TempDir(), "ribsnap"), ribsnap.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := LoadOptions{Window: window, Store: store, Shards: k, MemBudget: memBudget}
+	cold, err := Load(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Shards() == nil {
+		t.Fatal("cold sharded load did not produce a shard set")
+	}
+	cold.snap.Close()
+	warm, err := Load(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Shards() == nil {
+		t.Fatal("warm load did not adopt the persisted sharded generation")
+	}
+	if got := warm.Shards().NumShards(); got != k {
+		t.Fatalf("warm shard count = %d, want %d", got, k)
+	}
+	return warm, store, dir, opts
+}
+
+// queryPaths is the endpoint mix the byte-identity checks replay: for
+// each sample prefix, visibility, ROV, DROP membership, and the origin
+// timeline, across several days.
+func queryPaths(g *Generation) []string {
+	var paths []string
+	days := []timex.Day{g.window.First, g.window.First + timex.Day(g.window.Days()/2), g.window.Last}
+	step := len(g.samples)/24 + 1
+	for i := 0; i < len(g.samples); i += step {
+		p := escapePrefix(g.samples[i])
+		for _, d := range days {
+			paths = append(paths,
+				"/v1/visibility?prefix="+p+"&day="+d.String(),
+				"/v1/rov?prefix="+p+"&day="+d.String(),
+				"/v1/drop?prefix="+p+"&day="+d.String(),
+			)
+		}
+		paths = append(paths, "/v1/origins?prefix="+p)
+	}
+	paths = append(paths,
+		"/v1/figures/"+g.window.First.String(),
+		"/v1/figures/"+(g.window.First+timex.Day(g.window.Days()/2)).String(),
+	)
+	return paths
+}
+
+// TestShardedServeByteIdentity is the serving half of the sharding
+// contract: a generation served through a 7-way sharded, memory-capped
+// shard set answers every endpoint byte-for-byte identically to the
+// unsharded cold build of the same archive — cold (just persisted) and
+// warm (mapped back from the store).
+func TestShardedServeByteIdentity(t *testing.T) {
+	ref := New(loadGen(t))
+	warm, _, _, _ := shardedFixture(t, 7, 4)
+	sharded := New(warm)
+
+	for _, path := range queryPaths(warm) {
+		a := get(t, ref, path)
+		b := get(t, sharded, path)
+		if a.Code != b.Code || a.Body.String() != b.Body.String() {
+			t.Fatalf("%s diverges: unsharded %d %q, sharded %d %q",
+				path, a.Code, a.Body.String(), b.Code, b.Body.String())
+		}
+	}
+}
+
+// TestShardedMetricsAndHealth checks the observability surface: the
+// metrics schema is stable (shard fields always present, zero when
+// unsharded) and /healthz carries per-shard residency and degradation
+// only when sharded.
+func TestShardedMetricsAndHealth(t *testing.T) {
+	ref := New(loadGen(t))
+	warm, _, _, _ := shardedFixture(t, 7, 4)
+	sharded := New(warm)
+
+	m := get(t, ref, "/metrics").Body.String()
+	for _, want := range []string{`"shards":0`, `"resident_shards":0`, `"shard_faults_total":0`, `"shard_evictions_total":0`} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("unsharded /metrics missing %s:\n%s", want, m)
+		}
+	}
+	m = get(t, sharded, "/metrics").Body.String()
+	if !strings.Contains(m, `"shards":7`) {
+		t.Fatalf("sharded /metrics missing shards=7:\n%s", m)
+	}
+	for _, want := range []string{`"resident_shards":`, `"shard_faults_total":`, `"shard_evictions_total":`} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("sharded /metrics missing %s:\n%s", want, m)
+		}
+	}
+
+	h := get(t, ref, "/healthz").Body.String()
+	if strings.Contains(h, "shard_resident") {
+		t.Fatalf("unsharded /healthz leaks shard fields:\n%s", h)
+	}
+	h = get(t, sharded, "/healthz").Body.String()
+	for _, want := range []string{`"shards":7`, `"shard_resident":[`, `"shard_degraded":[`} {
+		if !strings.Contains(h, want) {
+			t.Fatalf("sharded /healthz missing %s:\n%s", want, h)
+		}
+	}
+	if !strings.Contains(h, `"shard_degraded":[false,false,false,false,false,false,false]`) {
+		t.Fatalf("healthy shard set reports degradation:\n%s", h)
+	}
+}
+
+// TestShardScrubDegradesOneRange corrupts one shard file on disk and
+// lets the scrubber find it: only that shard is quarantined — /healthz
+// flags exactly one degraded shard, queries on the other ranges keep
+// answering — and the pass still completes over the remaining shards.
+func TestShardScrubDegradesOneRange(t *testing.T) {
+	warm, store, _, _ := shardedFixture(t, 4, 0)
+	srv := New(warm)
+
+	// Flip a payload byte in shard 2's file. The mapped copy is
+	// untouched; the scrubber reads the disk bytes.
+	path := warm.Shards().ShardPath(2)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := NewScrubber(srv, ScrubConfig{
+		Chunk:        1 << 16,
+		Interval:     time.Millisecond,
+		PassInterval: 2 * time.Millisecond,
+		Store:        store,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); sc.Run(ctx) }()
+
+	stats := srv.Stats()
+	waitFor(t, "scrub to find the damaged shard", func() bool { return stats.CorruptTotal.Load() >= 1 })
+	waitFor(t, "the pass to finish the healthy shards", func() bool { return stats.ScrubPasses.Load() >= 1 })
+	cancel()
+	<-done
+
+	ss := warm.Shards()
+	for i := 0; i < ss.NumShards(); i++ {
+		if got, want := ss.IsBad(i), i == 2; got != want {
+			t.Fatalf("shard %d bad = %v, want %v (%v)", i, got, want, ss.BadShards())
+		}
+	}
+	h := get(t, srv, "/healthz").Body.String()
+	if !strings.Contains(h, `"shard_degraded":[false,false,true,false]`) {
+		t.Fatalf("/healthz does not isolate the degraded shard:\n%s", h)
+	}
+	if st := store.Status(warm.snap.Digest); st != ribsnap.GenCorrupt {
+		t.Fatalf("generation status = %v, want corrupt", st)
+	}
+
+	// Ranges owned by healthy shards keep serving. Sample prefixes
+	// whose owning shard is not 2 via the sharded router.
+	sh, err := ss.Sharded(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	for _, p := range warm.samples {
+		if owner := sh.ShardFor(p); owner == 2 {
+			continue
+		}
+		w := get(t, srv, "/v1/visibility?prefix="+escapePrefix(p)+"&day="+warm.window.First.String())
+		if w.Code != 200 {
+			t.Fatalf("healthy-range query failed %d: %s", w.Code, w.Body.String())
+		}
+		served++
+	}
+	if served == 0 {
+		t.Fatal("no sample prefix fell outside the damaged shard")
+	}
+}
+
+// TestShardUpgradeFromSingleFile covers enabling -shards on an
+// existing deployment: the store already holds a single-file
+// generation from an unsharded run, and the first sharded load must
+// upgrade it in place — cut the mapped monolith, persist the sharded
+// layout, and serve under the residency budget — rather than fall back
+// to an in-memory cut with no budget and no per-shard observability.
+func TestShardUpgradeFromSingleFile(t *testing.T) {
+	dir, window := writeWorld(t, 1)
+	store, err := ribsnap.OpenStore(filepath.Join(t.TempDir(), "ribsnap"), ribsnap.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Load(dir, LoadOptions{Window: window, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Shards() != nil {
+		t.Fatal("unsharded load produced a shard set")
+	}
+	baseline := New(single)
+	paths := queryPaths(single)
+	type resp struct {
+		code int
+		body string
+	}
+	want := make(map[string]resp, len(paths))
+	for _, p := range paths {
+		w := get(t, baseline, p)
+		want[p] = resp{w.Code, w.Body.String()}
+	}
+	single.snap.Close()
+
+	upgraded, err := Load(dir, LoadOptions{Window: window, Store: store, Shards: 5, MemBudget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer upgraded.snap.Close()
+	ss := upgraded.Shards()
+	if ss == nil {
+		t.Fatal("sharded load over a single-file generation did not upgrade to a shard set")
+	}
+	if got := ss.NumShards(); got != 5 {
+		t.Fatalf("NumShards = %d, want 5", got)
+	}
+	if r := ss.Resident(); r > 2 {
+		t.Fatalf("resident = %d, budget 2", r)
+	}
+	s := New(upgraded)
+	for _, p := range paths {
+		w := get(t, s, p)
+		if w.Code != want[p].code || w.Body.String() != want[p].body {
+			t.Fatalf("upgraded %s: code %d vs %d, body diverges from single-file baseline", p, w.Code, want[p].code)
+		}
+	}
+
+	// The upgrade persisted: a fresh load maps the sharded generation
+	// directly.
+	warm, err := Load(dir, LoadOptions{Window: window, Store: store, Shards: 5, MemBudget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.snap.Close()
+	if warm.Shards() == nil || warm.Shards().NumShards() != 5 {
+		t.Fatal("restart after upgrade did not map the persisted sharded generation")
+	}
+}

@@ -12,7 +12,8 @@
 #                                        # (e.g. a cold-only vs warm-enabled run)
 #   scripts/bench.sh check               # CI gate: fresh allocs/op must be within
 #                                        # BENCH_ALLOC_TOLERANCE % of the committed
-#                                        # "after" numbers in BENCH_PR5.json
+#                                        # "after" numbers in the newest BENCH_PR*.json
+#                                        # that carries per-benchmark entries
 #
 # Environment:
 #   BENCH_COUNT            repetitions per benchmark (default 3)
@@ -22,13 +23,29 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHES='BenchmarkPipelineNew|BenchmarkEndToEnd|BenchmarkWarmStart'
-BASELINE=BENCH_PR5.json
 COUNT="${BENCH_COUNT:-3}"
 TIME="${BENCH_TIME:-3x}"
 TOL="${BENCH_ALLOC_TOLERANCE:-10}"
 
 run_benches() {
   go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$TIME" -count "$COUNT" .
+}
+
+# find_baseline prints the newest committed BENCH_PR<N>.json (highest N)
+# that carries per-benchmark "bench" entries — PR6/PR7 hold serving-load
+# baselines without them and are skipped. Fails when none qualifies:
+# gating silently against nothing is how regressions land.
+find_baseline() {
+  local f
+  for f in $(ls BENCH_PR*.json 2>/dev/null |
+    sed 's/^BENCH_PR\([0-9][0-9]*\)\.json$/\1 &/' | sort -rn | awk '{ print $2 }'); do
+    if grep -q '"bench"' "$f"; then
+      echo "$f"
+      return 0
+    fi
+  done
+  echo "bench.sh: no BENCH_PR*.json with \"bench\" entries found; nothing to gate against" >&2
+  return 1
 }
 
 # summarize RAWFILE — one "name ns_op b_op allocs_op" line per
@@ -97,10 +114,9 @@ compare() {
 }
 
 check() {
-  if [ ! -f "$BASELINE" ]; then
-    echo "$BASELINE missing; nothing to gate against" >&2
-    exit 1
-  fi
+  local BASELINE
+  BASELINE="$(find_baseline)"
+  echo "== gate baseline: $BASELINE"
   run
   local fail=0 name committed
   while read -r line; do

@@ -3,7 +3,7 @@
 # (.github/workflows/ci.yml) and the Makefile both run these commands, so
 # local runs and the gate stay in lockstep.
 #
-# Usage: scripts/check.sh [build|vet|fmt|test|race|bench|fuzz|faults|chaos|warmstart|serve|soak|crash|overload|all]
+# Usage: scripts/check.sh [build|vet|fmt|test|race|bench|fuzz|faults|chaos|warmstart|serve|soak|crash|overload|shard|shardgate|all]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -436,6 +436,84 @@ overloadgate() {
     }' BENCH_PR7.json "$f"
 }
 
+# shard is the sharded-index acceptance gate. It runs the boundary
+# property suite (every query at, one below, and one above each shard
+# cut byte-identical to the unsharded index for K in {1,2,7}), the
+# shard-set residency/eviction tests (the soak under -race), and the
+# sharded serving tests; then it drives the real CLI over a
+# volume-amplified synthgen archive and requires the sharded renders —
+# cold and warm, through the persisted sharded generation — to be
+# byte-identical to the unsharded render.
+shard() {
+  echo "--- shard: boundary property suite (K in {1,2,7})"
+  go test -count=1 -run 'TestShardedByteIdentical|TestFrozenShardsShape|TestShardedValidation' ./internal/rib
+  echo "--- shard: shard-set residency and manifest tests"
+  go test -count=1 -run 'TestShardManifest|TestWriteLoadShards|TestLoadShardsRefusesCorrupt|TestOpenShardSetStale|TestShardSet' ./internal/ribsnap
+  echo "--- shard: eviction soak under the race detector"
+  go test -race -count=1 -run 'TestShardEvictionSoak' ./internal/ribsnap
+  echo "--- shard: sharded serving, metrics, and per-shard scrub"
+  go test -count=1 -run 'TestShardedServe|TestShardedMetrics|TestShardScrub' ./internal/serve
+
+  local tmp scale
+  tmp="$(mktemp -d)"
+  # shellcheck disable=SC2064 -- expand now: $tmp is a function local.
+  trap "rm -rf '$tmp'" EXIT
+  scale="${SHARD_SCALE:-512}"
+  echo "--- shard: generating volume-amplified archive (scale $scale, volume 2048)"
+  go run ./cmd/synthgen -dir "$tmp/arch" -scale "$scale" -seed 1 -volume 2048 >/dev/null
+  echo "--- shard: unsharded render (cache off)"
+  go run ./cmd/dropscope -load "$tmp/arch" -index-cache off >"$tmp/unsharded.txt"
+  echo "--- shard: sharded cold render (K=7, writes the snapshot)"
+  go run ./cmd/dropscope -load "$tmp/arch" -shards 7 >"$tmp/sharded-cold.txt"
+  echo "--- shard: sharded warm render (K=7, mapped snapshot)"
+  go run ./cmd/dropscope -load "$tmp/arch" -shards 7 >"$tmp/sharded-warm.txt"
+  echo "--- shard: sharded serial and strict renders (K=7)"
+  go run ./cmd/dropscope -load "$tmp/arch" -shards 7 -serial >"$tmp/sharded-serial.txt"
+  go run ./cmd/dropscope -load "$tmp/arch" -shards 7 -strict >"$tmp/sharded-strict.txt"
+  local f
+  for f in sharded-cold sharded-warm sharded-serial sharded-strict; do
+    if ! cmp -s "$tmp/unsharded.txt" "$tmp/$f.txt"; then
+      echo "shard: $f render differs from the unsharded render" >&2
+      return 1
+    fi
+  done
+  echo "--- shard: all renders byte-identical"
+}
+
+# shardgate is the parallel-build performance gate: BenchmarkShardFreeze
+# must show the 4-way sharded freeze+persist at least SHARD_RATIO x
+# (default 1.5) faster than the single-file path. The win comes from
+# building and encoding shards on the worker pool, so the gate only
+# engages on machines with 4+ cores — below that there is no
+# parallelism to measure and the shard overhead dominates.
+shardgate() {
+  local cores
+  cores="$(nproc 2>/dev/null || echo 1)"
+  if [ "$cores" -lt 4 ]; then
+    echo "shardgate: $cores core(s) < 4; parallel shard build gate skipped"
+    return 0
+  fi
+  go test -run '^$' -bench 'BenchmarkShardFreeze' \
+    -benchtime "${SHARD_BENCHTIME:-3x}" -count "${SHARD_COUNT:-3}" . | tee shard-bench.txt
+  awk -v want="${SHARD_RATIO:-1.5}" '
+    $1 ~ /ShardFreeze\/single/ && $4 == "ns/op" { s += $3; sn++ }
+    $1 ~ /ShardFreeze\/sharded/ && $4 == "ns/op" { p += $3; pn++ }
+    END {
+      if (sn == 0 || pn == 0) {
+        print "shardgate: benchmark output missing single or sharded runs" > "/dev/stderr"
+        exit 1
+      }
+      r = (s / sn) / (p / pn)
+      printf "shard gate: single %.0f ns/op, sharded %.0f ns/op, speedup %.2fx (floor %.1fx)\n",
+        s / sn, p / pn, r, want
+      if (r < want) {
+        print "SHARD GATE FAIL: sharded build under " want "x the single-file build" > "/dev/stderr"
+        exit 1
+      }
+      print "SHARD GATE OK"
+    }' shard-bench.txt
+}
+
 # lint runs gofmt/vet plus staticcheck (correctness checks) and
 # govulncheck when installed. CI installs both pinned; locally they are
 # optional and skipped with a notice, never fetched implicitly.
@@ -483,10 +561,12 @@ case "${1:-all}" in
   crash) crash ;;
   overload) overload ;;
   overloadgate) shift; overloadgate "${1:-}" ;;
+  shard) shard ;;
+  shardgate) shardgate ;;
   lint) lint ;;
   all) all ;;
   *)
-    echo "usage: $0 [build|vet|fmt|test|race|bench|benchgate|fuzz|faults|chaos|warmstart|serve|soak|crash|overload|lint|all]" >&2
+    echo "usage: $0 [build|vet|fmt|test|race|bench|benchgate|fuzz|faults|chaos|warmstart|serve|soak|crash|overload|shard|shardgate|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -1,7 +1,7 @@
 # Convenience wrappers over scripts/check.sh — the same commands CI runs
 # (.github/workflows/ci.yml), so a green `make all` locally means a green
 # gate.
-.PHONY: all build vet fmt test race bench benchgate fuzz faults chaos warmstart serve soak crash overload shard shardgate lint loadtest
+.PHONY: all build vet fmt test race bench benchgate fuzz faults chaos warmstart serve soak crash overload shard shardgate delta deltaratio lint loadtest
 
 all:
 	scripts/check.sh all
@@ -56,6 +56,12 @@ shard:
 
 shardgate:
 	scripts/check.sh shardgate
+
+delta:
+	scripts/check.sh delta
+
+deltaratio:
+	scripts/check.sh deltaratio
 
 lint:
 	scripts/check.sh lint

@@ -18,11 +18,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 
 	"dropscope/internal/analysis"
 	"dropscope/internal/bgp"
+	"dropscope/internal/delta"
 	"dropscope/internal/mrt"
 	"dropscope/internal/netx"
 	"dropscope/internal/rib"
@@ -262,6 +264,136 @@ func BenchmarkWarmStart(b *testing.B) {
 		}
 		snap.Close()
 	}
+}
+
+// BenchmarkIncrementalAppend measures what delta ingest saves when the
+// archive grows: the cost of bringing the persisted index snapshot
+// current. "cold" is the path it replaces — digest the archive, decode
+// every MRT byte, rebuild the index, persist. "append" adopts the
+// pre-growth snapshot as a base and decodes only the bytes appended
+// since it was written, merging them onto the mapped columns. Each
+// append iteration first restores the stale pre-growth snapshot, so
+// every iteration pays the full delta cost (archive re-digest, prefix
+// re-hash, suffix decode, merge, persist) — never a plain warm start.
+// The committed BENCH_PR10.json pins the ratio: an append must cost at
+// most 30% of the cold rebuild it replaces in ns/op, gated by
+// scripts/check.sh deltaratio.
+func BenchmarkIncrementalAppend(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Scale = 512
+	s, err := NewStudy(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The base volume every cold rebuild re-decodes; the append skips it.
+	if records, _ := s.AmplifyVolume(32768, 1); records == 0 {
+		b.Fatal("AmplifyVolume appended nothing")
+	}
+	dir := b.TempDir()
+	if err := s.WriteArchives(dir); err != nil {
+		b.Fatal(err)
+	}
+	mrtDir := filepath.Join(dir, "mrt")
+	window := cfg.Window
+
+	// coldBuild is a from-scratch snapshot refresh over the archive's
+	// current bytes: one hash pass for cursors + digest, decode, index,
+	// persist with lineage.
+	coldBuild := func(path string) error {
+		cur, err := ribsnap.ArchiveCursors(mrtDir)
+		if err != nil {
+			return err
+		}
+		digest := ribsnap.DigestCursors(cur)
+		ents, err := os.ReadDir(mrtDir)
+		if err != nil {
+			return err
+		}
+		ix := rib.NewIndex()
+		var counts []ribsnap.CollectorCount
+		for _, e := range ents {
+			name, ok := strings.CutSuffix(e.Name(), ".mrt")
+			if !ok {
+				continue
+			}
+			raw, err := os.ReadFile(filepath.Join(mrtDir, e.Name()))
+			if err != nil {
+				return err
+			}
+			recs, err := mrt.ReadAll(bytes.NewReader(raw))
+			if err != nil {
+				return err
+			}
+			if err := ix.Load(name, recs); err != nil {
+				return err
+			}
+			counts = append(counts, ribsnap.CollectorCount{Collector: name, Records: uint64(len(recs))})
+		}
+		ix.Close(window.Last)
+		frozen, err := ix.Frozen()
+		if err != nil {
+			return err
+		}
+		lin := &ribsnap.Lineage{MaxDay: frozen.MaxDay, Cursors: cur}
+		return ribsnap.WriteLineage(path, frozen, window, digest, counts, lin)
+	}
+
+	snapPath := filepath.Join(dir, "ribsnap", "index.ribsnap")
+	if err := os.MkdirAll(filepath.Dir(snapPath), 0o755); err != nil {
+		b.Fatal(err)
+	}
+	if err := coldBuild(snapPath); err != nil {
+		b.Fatal(err)
+	}
+	stale, err := os.ReadFile(snapPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The appended growth: a small fraction of the base volume, the
+	// "one more day of data arrived" shape delta ingest exists for.
+	if records, _ := s.AmplifyVolume(64, 2); records == 0 {
+		b.Fatal("AmplifyVolume appended nothing")
+	}
+	if err := s.WriteArchives(dir); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := coldBuild(snapPath); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("append", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if err := os.WriteFile(snapPath, stale, 0o644); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			base, err := ribsnap.LoadAt(snapPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if base.Lineage == nil || !archiveGrew(mrtDir, base.Lineage.Cursors) {
+				b.Fatal("stale snapshot not recognized as append-only growth")
+			}
+			frozen, err := base.Index.Frozen()
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := delta.Build(mrtDir, frozen, base.Lineage, base.Counts, base.Window, window, base.Digest)
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = ribsnap.WriteLineage(snapPath, res.Frozen, window, res.Digest, res.Counts, res.Lineage)
+			base.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkResultsParallel measures the full experiment suite through the

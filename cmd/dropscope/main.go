@@ -5,7 +5,7 @@
 // Usage:
 //
 //	dropscope [-scale N] [-seed N] [-load DIR] [-save DIR] [-json] [-serial] [-workers N] [-strict] [-max-skip N]
-//	          [-index-cache DIR|auto|off] [-shards N] [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
+//	          [-index-cache DIR|auto|off] [-append] [-shards N] [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // By default RIB loading and the experiment suite run in parallel across
 // the available CPUs; -serial forces the single-threaded reference path
@@ -27,6 +27,13 @@
 // cold build and is rewritten. Reports are byte-identical either way.
 // -index-cache off disables the cache; any other value names an explicit
 // snapshot directory.
+//
+// -append extends the cache to growing archives: when the MRT files
+// gained bytes at their tails since the snapshot was written (old bytes
+// untouched), only the appended bytes are decoded and merged onto the
+// snapshotted index — days already ingested are never re-decoded — and
+// the merged index replaces the snapshot. The report is byte-identical
+// to a cold rebuild; any non-append change falls back to one.
 //
 // The profiling flags wrap the whole run: -cpuprofile and -memprofile
 // write pprof profiles (the heap profile is taken at exit, after a GC),
@@ -118,6 +125,7 @@ func main() {
 		strict   = flag.Bool("strict", false, "with -load: fail on the first corrupt record instead of skipping leniently")
 		maxSkip  = flag.Int("max-skip", 0, "with -load: per-collector skip budget before quarantine (0 = default 100, negative = unlimited)")
 		idxCache = flag.String("index-cache", "auto", "with -load: index snapshot directory for warm starts; auto = DIR/ribsnap under -load, off = disabled")
+		appendI  = flag.Bool("append", false, "with -load and an index cache: when the archives grew append-only since the cached snapshot, ingest only the appended bytes and merge onto the snapshot instead of rebuilding cold (output is byte-identical; rewritten archives fall back cold)")
 		shards   = flag.Int("shards", 0, "with -load: serve from a prefix-range sharded index cut into N pieces (0/1 = single index; output is byte-identical)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -127,7 +135,7 @@ func main() {
 	flag.Parse()
 
 	stop := profiling(*cpuprofile, *memprofile, *traceFile)
-	err := run(*scale, *seed, *load, *save, *asJSON, *serial, *workers, *strict, *maxSkip, *idxCache, *shards)
+	err := run(*scale, *seed, *load, *save, *asJSON, *serial, *workers, *strict, *maxSkip, *idxCache, *appendI, *shards)
 	stop()
 	if err != nil {
 		fatal(err)
@@ -146,7 +154,7 @@ func snapshotDir(idxCache, load string) string {
 	}
 }
 
-func run(scale int, seed int64, load, save string, asJSON, serial bool, workers int, strict bool, maxSkip int, idxCache string, shards int) error {
+func run(scale int, seed int64, load, save string, asJSON, serial bool, workers int, strict bool, maxSkip int, idxCache string, appendIngest bool, shards int) error {
 	cfg := dropscope.DefaultConfig()
 	cfg.Scale = scale
 	cfg.Seed = seed
@@ -160,6 +168,7 @@ func run(scale int, seed int64, load, save string, asJSON, serial bool, workers 
 			Strict:      strict,
 			MaxSkip:     maxSkip,
 			SnapshotDir: snapshotDir(idxCache, load),
+			Append:      appendIngest,
 			Shards:      shards,
 		}
 		if serial {

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	dropscoped -archive DIR [-listen ADDR] [-snapshot DIR|off] [-first DAY] [-last DAY]
-//	           [-shards N] [-mem-budget N]
+//	           [-shards N] [-mem-budget N] [-delta=false]
 //	           [-workers N] [-max-skip N] [-max-inflight N] [-queue N] [-queue-wait D]
 //	           [-request-timeout D] [-watch D] [-drain-timeout D] [-retain N]
 //	           [-scrub] [-scrub-chunk N] [-scrub-interval D] [-scrub-pass-interval D]
@@ -32,6 +32,15 @@
 // Every response carries the generation digest (body field
 // "generation" and the X-Dropscope-Generation header), so a client can
 // always tell which archive state answered it.
+//
+// Reloads are incremental by default (-delta): when the archive grew
+// append-only since the served generation — new bytes at the MRT
+// tails, old bytes untouched — only the appended bytes are decoded,
+// merged onto the served index, and persisted as the new generation;
+// days already ingested are never re-decoded. Responses are
+// byte-identical to a cold rebuild's, delta reloads are counted in
+// /metrics as delta_reloads_total, and any non-append change (a
+// rewritten file, a removed collector) falls back to a cold rebuild.
 //
 // The snapshot directory is a crash-safe generation store: snapshots
 // are written durably (fsync, atomic rename, directory sync), recorded
@@ -107,6 +116,7 @@ func main() {
 		maxSkip    = flag.Int("max-skip", 0, "per-collector skip budget (0 = default, negative = unlimited)")
 		shards     = flag.Int("shards", 0, "serve from a prefix-range sharded index cut into N pieces (0/1 = single index)")
 		memBudget  = flag.Int("mem-budget", 0, "with -shards: max shards kept memory-mapped at once (0 = all resident; cold ranges fault back in)")
+		deltaOn    = flag.Bool("delta", true, "incremental reloads: when the archive grew append-only since the served generation, decode only the appended bytes and merge onto it instead of rebuilding cold (rewritten archives fall back cold)")
 
 		maxInflight  = flag.Int("max-inflight", 256, "admission: max concurrently executing requests")
 		queue        = flag.Int("queue", 0, "admission: max queued requests waiting for a slot (0 = max-inflight)")
@@ -164,6 +174,7 @@ func main() {
 		Workers:   *workers,
 		Shards:    *shards,
 		MemBudget: *memBudget,
+		Delta:     *deltaOn,
 	}
 	snapDir := ""
 	switch *snapshot {

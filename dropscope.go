@@ -35,6 +35,7 @@ import (
 
 	"dropscope/internal/analysis"
 	"dropscope/internal/archive"
+	"dropscope/internal/delta"
 	"dropscope/internal/ingest"
 	"dropscope/internal/rib"
 	"dropscope/internal/ribsnap"
@@ -148,6 +149,18 @@ type IngestOptions struct {
 	// (see internal/rib.Sharded and the dropscoped daemon's
 	// -shards/-mem-budget flags).
 	Shards int
+	// Append, with SnapshotDir, enables incremental delta ingest: when
+	// the cached snapshot is stale because the MRT archives grew
+	// append-only (new bytes at the tails, old bytes untouched), the
+	// snapshot is adopted as a base, only the appended bytes are decoded
+	// and merged onto it, and the merged index is persisted as the new
+	// snapshot — days already ingested are never re-decoded. The
+	// rendered output is byte-identical to a cold rebuild of the grown
+	// archive. Any deviation from the append-only contract (a rewritten
+	// or truncated file, a removed collector, a moved window start)
+	// falls back to a cold build — append may cost time, never
+	// correctness.
+	Append bool
 }
 
 // snapshotSource is the ingest.Health source name under which a
@@ -176,30 +189,50 @@ func LoadStudyWithOptions(dir string, cfg Config, opts IngestOptions) (*Study, e
 		snap       *ribsnap.Snapshot
 		digest     [32]byte
 		haveDigest bool
+		cursors    []ribsnap.ArchiveCursor
 	)
 	if opts.SnapshotDir != "" {
 		// Startup sweep: collect temp files orphaned by a write a crash
 		// interrupted. They are never adopted as snapshots — the durable
 		// write only ever publishes by rename — so they are pure debris.
 		_, _ = ribsnap.SweepTemps(opts.SnapshotDir)
-		if d, derr := ribsnap.DigestMRT(filepath.Join(dir, "mrt")); derr == nil {
-			digest, haveDigest = d, true
-			var lerr error
-			snap, lerr = ribsnap.Load(filepath.Join(opts.SnapshotDir, snapshotFile), digest)
-			switch {
-			case lerr != nil:
-				snap = nil
-				countSnapshotSkip(h, lerr)
-			case snap.Window != cfg.Window:
-				snap.Close()
-				snap = nil
-				if h != nil {
-					h.Source(snapshotSource).Skip(ingest.Unsupported)
-				}
+		snapPath := filepath.Join(opts.SnapshotDir, snapshotFile)
+		mrtDir := filepath.Join(dir, "mrt")
+		if opts.Append {
+			// Append-only growth is detectable from file sizes alone, so
+			// the delta path is taken before any hashing: its single pass
+			// verifies the consumed prefixes, decodes the appended bytes,
+			// and yields the grown archive's digest as a byproduct. When it
+			// declines (no growth, a rewrite, no lineage), the normal
+			// hash-and-compare flow below decides warm, stale, or cold.
+			snap = tryAppend(mrtDir, snapPath, cfg)
+			if snap != nil {
+				digest, haveDigest = snap.Digest, true
 			}
 		}
-		// A digest error (e.g. missing mrt/ directory) falls through; the
-		// cold load below surfaces the real problem.
+		if snap == nil {
+			if cur, derr := ribsnap.ArchiveCursors(mrtDir); derr == nil {
+				// One read of the archive yields both the snapshot key and
+				// the lineage cursors a cold rebuild will persist.
+				cursors = cur
+				digest, haveDigest = ribsnap.DigestCursors(cur), true
+				var lerr error
+				snap, lerr = ribsnap.Load(snapPath, digest)
+				switch {
+				case lerr != nil:
+					snap = nil
+					countSnapshotSkip(h, lerr)
+				case snap.Window != cfg.Window:
+					snap.Close()
+					snap = nil
+					if h != nil {
+						h.Source(snapshotSource).Skip(ingest.Unsupported)
+					}
+				}
+			}
+			// A cursor error (e.g. missing mrt/ directory) falls through;
+			// the cold load below surfaces the real problem.
+		}
 	}
 
 	b, err := archive.LoadWithOptions(dir, archive.LoadOptions{Health: h, SkipMRT: snap != nil})
@@ -238,7 +271,7 @@ func LoadStudyWithOptions(dir string, cfg Config, opts IngestOptions) (*Study, e
 		}
 	}
 	if snap == nil && haveDigest {
-		writeSnapshot(filepath.Join(opts.SnapshotDir, snapshotFile), p, b, cfg, h, digest)
+		writeSnapshot(filepath.Join(opts.SnapshotDir, snapshotFile), p, b, cfg, h, digest, cursors)
 	}
 	if opts.Shards > 1 {
 		// Cut the index in place. The snapshot (if any) stays retained on
@@ -284,11 +317,94 @@ func countSnapshotSkip(h *ingest.Health, err error) {
 	}
 }
 
+// archiveGrew reports whether the MRT files under mrtDir moved forward
+// append-style from the cursors: every consumed file still present at
+// its consumed size or larger, and at least one file grown or new. It
+// reads no bytes — sizes alone route the load; the delta build's
+// prefix hashes are what verify the old bytes are really unchanged.
+func archiveGrew(mrtDir string, cursors []ribsnap.ArchiveCursor) bool {
+	entries, err := os.ReadDir(mrtDir)
+	if err != nil {
+		return false
+	}
+	sizes := make(map[string]uint64, len(entries))
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), ".mrt")
+		if !ok || e.IsDir() {
+			continue
+		}
+		fi, ferr := e.Info()
+		if ferr != nil {
+			return false
+		}
+		sizes[name] = uint64(fi.Size())
+	}
+	grew := false
+	for _, c := range cursors {
+		size, ok := sizes[c.Collector]
+		if !ok || size < c.Size {
+			return false // removed or truncated: not append-only
+		}
+		if size > c.Size {
+			grew = true
+		}
+		delete(sizes, c.Collector)
+	}
+	return grew || len(sizes) > 0 // len > 0: a new collector came online
+}
+
+// tryAppend attempts the incremental append path: when the archive
+// grew append-style past the cached snapshot's cursors, the snapshot
+// is adopted as a base, only the appended bytes are decoded and merged
+// onto it, and the merged index is persisted — under the digest the
+// delta's own pass derived — and reloaded warm. It returns nil when
+// the delta cannot be taken — no snapshot, no lineage (an old
+// snapshot), no growth, a rewritten archive, a decode error in the
+// suffix, or a persist failure — and the caller decides warm, stale,
+// or cold the normal way.
+func tryAppend(mrtDir, snapPath string, cfg Config) *ribsnap.Snapshot {
+	base, err := ribsnap.LoadAt(snapPath)
+	if err != nil {
+		return nil
+	}
+	if base.Lineage == nil || !archiveGrew(mrtDir, base.Lineage.Cursors) {
+		base.Close()
+		return nil
+	}
+	f, err := base.Index.Frozen()
+	if err != nil {
+		base.Close()
+		return nil
+	}
+	res, err := delta.Build(mrtDir, f, base.Lineage,
+		base.Counts, base.Window, cfg.Window, base.Digest)
+	if err != nil {
+		base.Close()
+		return nil
+	}
+	// Persist the merged index, then release the base and reload from
+	// disk: the study must never serve a mapping that aliases the
+	// retired snapshot's.
+	werr := ribsnap.WriteLineage(snapPath, res.Frozen, cfg.Window, res.Digest, res.Counts, res.Lineage)
+	base.Close()
+	if werr != nil {
+		return nil
+	}
+	s, err := ribsnap.Load(snapPath, res.Digest)
+	if err != nil {
+		return nil
+	}
+	return s
+}
+
 // writeSnapshot persists the freshly built index for the next run. It
 // is best-effort — a failure leaves the study unaffected — and it
 // refuses to persist an index built from damaged MRT ingest: a partial
-// index must never masquerade as the archive's.
-func writeSnapshot(path string, p *analysis.Pipeline, b *archive.Bundle, cfg Config, h *ingest.Health, digest [32]byte) {
+// index must never masquerade as the archive's. The snapshot carries
+// lineage (the archive cursors from the same read that produced the
+// digest, and the index's max record day) so a later Append load can
+// adopt it as a delta base.
+func writeSnapshot(path string, p *analysis.Pipeline, b *archive.Bundle, cfg Config, h *ingest.Health, digest [32]byte, cursors []ribsnap.ArchiveCursor) {
 	if h != nil {
 		for _, s := range h.Sources() {
 			if strings.HasPrefix(s.Name, "mrt/") && !s.Clean() {
@@ -322,7 +438,8 @@ func writeSnapshot(path string, p *analysis.Pipeline, b *archive.Bundle, cfg Con
 		}
 		counts = append(counts, ribsnap.CollectorCount{Collector: name, Records: n})
 	}
-	_ = ribsnap.Write(path, f, cfg.Window, digest, counts)
+	lin := &ribsnap.Lineage{MaxDay: f.MaxDay, Cursors: cursors}
+	_ = ribsnap.WriteLineage(path, f, cfg.Window, digest, counts, lin)
 }
 
 // AmplifyVolume appends RouteViews-realistic background churn to the

@@ -41,6 +41,27 @@ func appendPathKey(b []byte, p ASPath) []byte {
 	return b
 }
 
+// PathEqual reports whether two AS paths are structurally equal —
+// the same comparison interning by key performs, usable across interners
+// whose dense ids are not comparable (a frozen base index and a delta
+// overlay each intern independently).
+func PathEqual(a, b ASPath) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Type != b[i].Type || len(a[i].ASNs) != len(b[i].ASNs) {
+			return false
+		}
+		for j, asn := range a[i].ASNs {
+			if asn != b[i].ASNs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Intern returns the PathID for p, storing a deep copy on first sight
 // so the caller may keep mutating (or pooling) its own path storage.
 func (in *PathInterner) Intern(p ASPath) PathID {

@@ -5,8 +5,10 @@ import (
 	"io"
 	"testing"
 
+	"dropscope/internal/bgp"
 	"dropscope/internal/ingest"
 	"dropscope/internal/ingest/faultinject"
+	"dropscope/internal/netx"
 )
 
 func FuzzReader(f *testing.F) {
@@ -57,6 +59,35 @@ func FuzzReaderLenient(f *testing.F) {
 	f.Add(faultinject.New(4).Interleave(clean, 5, 32))
 	f.Add([]byte{})
 	f.Add(make([]byte, 24))
+	// BGP4MP UPDATE streams: the frames the delta-append path strictly
+	// decodes from archive suffixes. A withdraw-only message, a
+	// fully-attributed announcement (AS4 path, MED, LocalPref,
+	// communities), and a back-to-back run of both; plus a truncated and
+	// a bit-flipped copy so the resynchronizer walks damaged UPDATE
+	// framing, not just damaged RIB framing.
+	var ubuf bytes.Buffer
+	uw := NewWriter(&ubuf)
+	withdraw := sampleBGP4MP()
+	withdraw.Update = &bgp.Update{Withdrawn: []netx.Prefix{netx.MustParsePrefix("132.255.0.0/22")}}
+	announce := sampleBGP4MP()
+	announce.Update.Attrs = bgp.Attrs{
+		Origin:      bgp.OriginIGP,
+		Path:        bgp.Sequence(4200000001, 50509, 263692),
+		NextHop:     netx.AddrFrom4(203, 0, 113, 2),
+		HasNextHop:  true,
+		MED:         90,
+		HasMED:      true,
+		LocalPref:   200,
+		HasLocal:    true,
+		Communities: []uint32{64500<<16 | 13335, 0xFFFF0000},
+	}
+	_ = uw.Write(withdraw)
+	_ = uw.Write(announce)
+	_ = uw.Write(sampleBGP4MP())
+	updates := ubuf.Bytes()
+	f.Add(updates)
+	f.Add(updates[:len(updates)-7])
+	f.Add(faultinject.New(5).FlipBits(updates, 48))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		src := &ingest.Source{Name: "fuzz"}
 		r := NewReader(bytes.NewReader(data), Lenient(), WithSource(src))

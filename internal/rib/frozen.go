@@ -27,6 +27,12 @@ type Frozen struct {
 	EvDay    []timex.Day   // per-prefix visibility events: day ...
 	EvCount  []int32       // ... and the peer count from that day on
 	EvOff    []uint32      // len(Prefixes)+1 offsets into EvDay/EvCount
+	// MaxDay is the largest day stamped on any record folded into the
+	// index. It rides in the snapshot lineage section (not a core
+	// column) and gates the delta-append path: open spans are the ones
+	// with To == closeDay+1, which is unambiguous only while
+	// MaxDay <= closeDay.
+	MaxDay timex.Day
 }
 
 // Frozen returns the flat view of a closed index. It errors before
@@ -44,6 +50,7 @@ func (ix *Index) Frozen() (*Frozen, error) {
 		EvDay:    ix.evDay,
 		EvCount:  ix.evCount,
 		EvOff:    ix.evOff,
+		MaxDay:   ix.maxDay,
 	}, nil
 }
 
@@ -78,6 +85,7 @@ func FromFrozen(f *Frozen) (*Index, error) {
 		evDay:      f.EvDay,
 		evCount:    f.EvCount,
 		evOff:      f.EvOff,
+		maxDay:     f.MaxDay,
 	}
 	for id, ref := range f.Peers {
 		ix.peerIDs[ref] = id

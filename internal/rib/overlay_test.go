@@ -1,0 +1,403 @@
+package rib
+
+import (
+	"sort"
+	"testing"
+
+	"dropscope/internal/bgp"
+	"dropscope/internal/mrt"
+	"dropscope/internal/netx"
+	"dropscope/internal/timex"
+)
+
+// stream is one collector's records split at the append boundary.
+type stream struct {
+	collector string
+	base      []mrt.Record
+	suffix    []mrt.Record
+}
+
+func coldFrozen(t *testing.T, streams []stream, full bool, end timex.Day) *Frozen {
+	t.Helper()
+	sorted := append([]stream(nil), streams...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].collector < sorted[j].collector })
+	ix := NewIndex()
+	for _, s := range sorted {
+		recs := append([]mrt.Record(nil), s.base...)
+		if full {
+			recs = append(recs, s.suffix...)
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		if err := ix.Load(s.collector, recs); err != nil {
+			t.Fatalf("cold load %s: %v", s.collector, err)
+		}
+	}
+	ix.Close(end)
+	f, err := ix.Frozen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func deltaFrozen(t *testing.T, streams []stream, baseEnd, newEnd timex.Day) *Frozen {
+	t.Helper()
+	base := coldFrozen(t, streams, false, baseEnd)
+	db, err := NewDeltaBase(base, baseEnd)
+	if err != nil {
+		t.Fatalf("NewDeltaBase: %v", err)
+	}
+	sorted := append([]stream(nil), streams...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].collector < sorted[j].collector })
+	var overlays []*Overlay
+	for _, s := range sorted {
+		if len(s.suffix) == 0 {
+			continue
+		}
+		ov := db.NewOverlay(s.collector)
+		for _, rec := range s.suffix {
+			if err := ov.Apply(rec); err != nil {
+				t.Fatalf("overlay %s: %v", s.collector, err)
+			}
+		}
+		overlays = append(overlays, ov)
+	}
+	merged, err := MergeFrozen(db, overlays, newEnd)
+	if err != nil {
+		t.Fatalf("MergeFrozen: %v", err)
+	}
+	return merged
+}
+
+// requireEquivalent asserts merged reproduces cold exactly, except that
+// path ids — opaque handles — are compared by resolved content.
+func requireEquivalent(t *testing.T, cold, merged *Frozen) {
+	t.Helper()
+	if len(merged.Peers) != len(cold.Peers) {
+		t.Fatalf("peers: got %d, want %d", len(merged.Peers), len(cold.Peers))
+	}
+	for i := range cold.Peers {
+		if merged.Peers[i] != cold.Peers[i] {
+			t.Fatalf("peer %d: got %+v, want %+v", i, merged.Peers[i], cold.Peers[i])
+		}
+	}
+	if len(merged.Prefixes) != len(cold.Prefixes) {
+		t.Fatalf("prefixes: got %d, want %d", len(merged.Prefixes), len(cold.Prefixes))
+	}
+	for i := range cold.Prefixes {
+		if merged.Prefixes[i] != cold.Prefixes[i] {
+			t.Fatalf("prefix %d: got %v, want %v", i, merged.Prefixes[i], cold.Prefixes[i])
+		}
+	}
+	if len(merged.Col) != len(cold.Col) {
+		t.Fatalf("spans: got %d, want %d", len(merged.Col), len(cold.Col))
+	}
+	for i := range cold.Col {
+		c, m := cold.Col[i], merged.Col[i]
+		if m.Prefix != c.Prefix || m.Peer != c.Peer || m.From != c.From || m.To != c.To {
+			t.Fatalf("span %d: got %+v, want %+v", i, m, c)
+		}
+		if !bgp.PathEqual(merged.Paths[m.Path], cold.Paths[c.Path]) {
+			t.Fatalf("span %d path: got %v, want %v", i, merged.Paths[m.Path], cold.Paths[c.Path])
+		}
+	}
+	for name, pair := range map[string][2][]uint32{
+		"SpanOff": {cold.SpanOff, merged.SpanOff},
+		"EvOff":   {cold.EvOff, merged.EvOff},
+	} {
+		if len(pair[1]) != len(pair[0]) {
+			t.Fatalf("%s: got %d entries, want %d", name, len(pair[1]), len(pair[0]))
+		}
+		for i := range pair[0] {
+			if pair[1][i] != pair[0][i] {
+				t.Fatalf("%s[%d]: got %d, want %d", name, i, pair[1][i], pair[0][i])
+			}
+		}
+	}
+	if len(merged.EvDay) != len(cold.EvDay) {
+		t.Fatalf("events: got %d, want %d", len(merged.EvDay), len(cold.EvDay))
+	}
+	for i := range cold.EvDay {
+		if merged.EvDay[i] != cold.EvDay[i] || merged.EvCount[i] != cold.EvCount[i] {
+			t.Fatalf("event %d: got (%d,%d), want (%d,%d)", i,
+				merged.EvDay[i], merged.EvCount[i], cold.EvDay[i], cold.EvCount[i])
+		}
+	}
+	if merged.MaxDay != cold.MaxDay {
+		t.Fatalf("MaxDay: got %d, want %d", merged.MaxDay, cold.MaxDay)
+	}
+}
+
+func peerAt(n byte) netx.Addr { return netx.AddrFrom4(203, 0, 113, n) }
+
+func announceFrom(d timex.Day, addr netx.Addr, as bgp.ASN, path bgp.ASPath, ps ...netx.Prefix) *mrt.BGP4MPMessage {
+	return &mrt.BGP4MPMessage{
+		When: at(d), PeerAS: as, PeerAddr: addr, LocalAS: 6447,
+		Update: &bgp.Update{
+			Attrs: bgp.Attrs{Origin: bgp.OriginIGP, Path: path, NextHop: addr, HasNextHop: true},
+			NLRI:  ps,
+		},
+	}
+}
+
+func withdrawFrom(d timex.Day, addr netx.Addr, as bgp.ASN, ps ...netx.Prefix) *mrt.BGP4MPMessage {
+	return &mrt.BGP4MPMessage{
+		When: at(d), PeerAS: as, PeerAddr: addr, LocalAS: 6447,
+		Update: &bgp.Update{Withdrawn: ps},
+	}
+}
+
+// deltaScenario exercises every splice case at once: same-path
+// continuation across the boundary, path change (implicit withdraw) of
+// a base-open span, explicit withdraw of a base-open span, suffix flap
+// of a new prefix, a brand-new peer, a brand-new prefix, a suffix-only
+// new collector sorting before the base ones, a withdraw of a prefix
+// nobody announced, and a collector with no appended records at all.
+func deltaScenario() (streams []stream, baseEnd, newEnd timex.Day) {
+	var (
+		pfxA = netx.MustParsePrefix("10.0.0.0/8")
+		pfxB = netx.MustParsePrefix("172.16.0.0/12")
+		pfxC = netx.MustParsePrefix("192.0.2.0/24")
+		pfxD = netx.MustParsePrefix("198.51.100.0/24")
+		pfxE = netx.MustParsePrefix("8.0.0.0/8") // sorts before every base prefix
+		pfxF = netx.MustParsePrefix("203.0.113.0/24")
+
+		pathX = bgp.Sequence(64500, 100)
+		pathY = bgp.Sequence(64501, 100)
+		pathZ = bgp.Sequence(64500, 200, 300)
+	)
+	baseEnd = day0 + 9
+	newEnd = day0 + 12
+	rv1 := stream{
+		collector: "rv1",
+		base: []mrt.Record{
+			announceFrom(day0, peerAt(1), 64500, pathX, pfxA, pfxB),
+			announceFrom(day0+1, peerAt(2), 64501, pathY, pfxA),
+			withdrawFrom(day0+3, peerAt(2), 64501, pfxA),
+			announceFrom(day0+4, peerAt(2), 64501, pathY, pfxD),
+		},
+		suffix: []mrt.Record{
+			// Same path re-announced: the base-open span must continue.
+			announceFrom(day0+10, peerAt(1), 64500, pathX, pfxA),
+			// Path change: base-open pfxB span implicitly withdraws.
+			announceFrom(day0+11, peerAt(1), 64500, pathZ, pfxB),
+			// Explicit withdraw of a base-open span.
+			withdrawFrom(day0+11, peerAt(2), 64501, pfxD),
+			// New peer announcing an existing and a new prefix.
+			announceFrom(day0+10, peerAt(3), 64502, pathY, pfxA, pfxC),
+			// Suffix flap: open, close, reopen within the overlay.
+			announceFrom(day0+10, peerAt(1), 64500, pathX, pfxE),
+			withdrawFrom(day0+11, peerAt(1), 64500, pfxE),
+			announceFrom(day0+12, peerAt(1), 64500, pathZ, pfxE),
+			// Withdraw of a prefix nobody ever announced: the prefix
+			// still joins the dictionary with an empty bucket.
+			withdrawFrom(day0+12, peerAt(1), 64500, pfxF),
+			// After the same-path no-op above, a path change must still
+			// find and close the base-open pfxA span.
+			announceFrom(day0+12, peerAt(1), 64500, pathZ, pfxA),
+		},
+	}
+	rv2 := stream{
+		collector: "rv2",
+		base: []mrt.Record{
+			&mrt.PeerIndexTable{
+				When: at(day0), CollectorID: netx.AddrFrom4(198, 51, 100, 2), ViewName: "rv2",
+				Peers: []mrt.Peer{
+					{Addr: peerAt(10), AS: 65010},
+					{Addr: peerAt(11), AS: 65011},
+				},
+			},
+			&mrt.RIBPrefix{
+				When: at(day0), Prefix: pfxA,
+				Entries: []mrt.RIBEntry{
+					{PeerIndex: 0, Attrs: bgp.Attrs{Path: bgp.Sequence(65010, 100)}},
+					{PeerIndex: 1, Attrs: bgp.Attrs{Path: bgp.Sequence(65011, 100)}},
+				},
+			},
+			announceFrom(day0+2, peerAt(10), 65010, bgp.Sequence(65010, 400), pfxC),
+		},
+		suffix: []mrt.Record{
+			// A day-N+1 RIB dump appended to the stream: its peer table
+			// re-declares one base peer and introduces a new one.
+			&mrt.PeerIndexTable{
+				When: at(day0 + 10), CollectorID: netx.AddrFrom4(198, 51, 100, 2), ViewName: "rv2",
+				Peers: []mrt.Peer{
+					{Addr: peerAt(10), AS: 65010},
+					{Addr: peerAt(12), AS: 65012},
+				},
+			},
+			&mrt.RIBPrefix{
+				When: at(day0 + 10), Prefix: pfxA,
+				Entries: []mrt.RIBEntry{
+					// Same path as the base-open span: continues.
+					{PeerIndex: 0, Attrs: bgp.Attrs{Path: bgp.Sequence(65010, 100)}},
+					// New peer seeds a fresh span.
+					{PeerIndex: 1, Attrs: bgp.Attrs{Path: bgp.Sequence(65012, 100)}},
+				},
+			},
+			withdrawFrom(day0+12, peerAt(10), 65010, pfxC),
+		},
+	}
+	// Sorts before rv1/rv2 and exists only in the suffix: the merged
+	// peer table must place its peers first.
+	rv0 := stream{
+		collector: "rv0",
+		suffix: []mrt.Record{
+			announceFrom(day0+10, peerAt(20), 65020, bgp.Sequence(65020, 100), pfxA, pfxE),
+		},
+	}
+	// A collector with base records and no appended data.
+	rv3 := stream{
+		collector: "rv3",
+		base: []mrt.Record{
+			announceFrom(day0+1, peerAt(30), 65030, bgp.Sequence(65030, 100), pfxB),
+		},
+	}
+	return []stream{rv1, rv2, rv0, rv3}, baseEnd, newEnd
+}
+
+func TestDeltaMergeMatchesCold(t *testing.T) {
+	streams, baseEnd, newEnd := deltaScenario()
+	cold := coldFrozen(t, streams, true, newEnd)
+	merged := deltaFrozen(t, streams, baseEnd, newEnd)
+	requireEquivalent(t, cold, merged)
+}
+
+// TestDeltaMergeEmptySuffix checks the degenerate append: no overlays
+// at all, only the window end moving forward.
+func TestDeltaMergeEmptySuffix(t *testing.T) {
+	streams, baseEnd, newEnd := deltaScenario()
+	for i := range streams {
+		streams[i].suffix = nil
+	}
+	cold := coldFrozen(t, streams, true, newEnd)
+	merged := deltaFrozen(t, streams, baseEnd, newEnd)
+	requireEquivalent(t, cold, merged)
+}
+
+// TestDeltaSamePathDoesNotConsumeBaseOpen pins the subtle case: a
+// same-path re-announcement is a no-op, but a later withdraw must still
+// close the base-open span.
+func TestDeltaSamePathDoesNotConsumeBaseOpen(t *testing.T) {
+	path := bgp.Sequence(64500, 100)
+	streams := []stream{{
+		collector: "rv1",
+		base: []mrt.Record{
+			announceFrom(day0, peerAt(1), 64500, path, pfx),
+		},
+		suffix: []mrt.Record{
+			announceFrom(day0+10, peerAt(1), 64500, path, pfx),
+			withdrawFrom(day0+11, peerAt(1), 64500, pfx),
+		},
+	}}
+	cold := coldFrozen(t, streams, true, day0+12)
+	merged := deltaFrozen(t, streams, day0+9, day0+12)
+	requireEquivalent(t, cold, merged)
+}
+
+func TestDeltaShardedConcatRoundTrip(t *testing.T) {
+	streams, baseEnd, newEnd := deltaScenario()
+	base := coldFrozen(t, streams, false, baseEnd)
+	ix, err := FromFrozen(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := ix.FrozenShards(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) < 2 {
+		t.Fatalf("FrozenShards produced %d shards, want >= 2", len(shards))
+	}
+	concat, err := ConcatFrozen(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEquivalent(t, base, concat)
+
+	// The concatenated base must support the full delta path.
+	db, err := NewDeltaBase(concat, baseEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]stream(nil), streams...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].collector < sorted[j].collector })
+	var overlays []*Overlay
+	for _, s := range sorted {
+		if len(s.suffix) == 0 {
+			continue
+		}
+		ov := db.NewOverlay(s.collector)
+		for _, rec := range s.suffix {
+			if err := ov.Apply(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		overlays = append(overlays, ov)
+	}
+	merged, err := MergeFrozen(db, overlays, newEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEquivalent(t, coldFrozen(t, streams, true, newEnd), merged)
+}
+
+// TestDeltaBeyondCloseDayMatchesCold pins the closeMarker scheme:
+// archives legitimately carry records dated past the close day, and
+// with a naive end+1 open marker a genuine withdrawal on day end+1
+// would be indistinguishable from an open span. closeMarker stamps
+// open spans max(end, maxDay)+1 instead, so recovery stays unambiguous
+// and the delta path must still match a cold rebuild byte-for-byte.
+func TestDeltaBeyondCloseDayMatchesCold(t *testing.T) {
+	baseEnd, newEnd := day0+10, day0+30
+	streams := []stream{{
+		collector: "rv1",
+		base: []mrt.Record{
+			announceFrom(day0, peerAt(1), 64500, bgp.Sequence(64500, 100), pfx),
+			// Genuine close on exactly baseEnd+1 — the naive marker
+			// value — plus a span that stays open through the window.
+			withdrawFrom(baseEnd+1, peerAt(1), 64500, pfx),
+			announceFrom(day0+2, peerAt(2), 64501, bgp.Sequence(64501, 200), pfx),
+		},
+		suffix: []mrt.Record{
+			announceFrom(baseEnd+3, peerAt(1), 64500, bgp.Sequence(64500, 300), pfx),
+			withdrawFrom(newEnd+1, peerAt(2), 64501, pfx),
+		},
+	}}
+	cold := coldFrozen(t, streams, true, newEnd)
+	merged := deltaFrozen(t, streams, baseEnd, newEnd)
+	requireEquivalent(t, cold, merged)
+}
+
+func TestDeltaOverlayErrors(t *testing.T) {
+	streams, baseEnd, _ := deltaScenario()
+	base := coldFrozen(t, streams, false, baseEnd)
+	db, err := NewDeltaBase(base, baseEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := db.NewOverlay("rv9")
+	if err := ov.Apply(&mrt.RIBPrefix{When: at(baseEnd + 1), Prefix: pfx}); err == nil {
+		t.Fatal("RIBPrefix before a suffix peer table should fail the overlay")
+	}
+
+	// Overlays out of collector order.
+	a, b := db.NewOverlay("rv2"), db.NewOverlay("rv1")
+	if _, err := MergeFrozen(db, []*Overlay{a, b}, baseEnd+1); err == nil {
+		t.Fatal("unsorted overlays should fail the merge")
+	}
+	// Window moving backwards.
+	if _, err := MergeFrozen(db, nil, baseEnd-1); err == nil {
+		t.Fatal("merge close day before base close day should fail")
+	}
+	// Overlay from a different base.
+	other, err := NewDeltaBase(base, baseEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeFrozen(db, []*Overlay{other.NewOverlay("rv1")}, baseEnd+1); err == nil {
+		t.Fatal("foreign overlay should fail the merge")
+	}
+}

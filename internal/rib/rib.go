@@ -83,6 +83,16 @@ type Span struct {
 
 const openEnd = timex.Day(1<<31 - 1)
 
+// closeMarker is the To stamped on spans still open at Close(end):
+// one past the largest day the index has seen, so it can never
+// collide with a genuine close (which ends at a record day <= maxDay).
+func closeMarker(end, maxDay timex.Day) timex.Day {
+	if maxDay > end {
+		return maxDay + 1
+	}
+	return end + 1
+}
+
 // openKey addresses the currently-open span of one (prefix, peer).
 type openKey struct {
 	prefix uint32
@@ -104,6 +114,11 @@ type Index struct {
 	paths    *bgp.PathInterner
 	spans    []Span
 	closed   bool
+	// maxDay is the largest day stamped on any applied record — the
+	// delta-append invariant: a column span is open at Close(end) iff
+	// To == closeMarker(end, maxDay). Persisted in the snapshot
+	// lineage so an append can recover the open set before splicing.
+	maxDay timex.Day
 
 	// Columnar store, built once at Close. Every slice is flat and
 	// position-addressed — no pointers — so a snapshot layer can write
@@ -166,6 +181,7 @@ type CollectorRIB struct {
 	paths     bgp.PathInterner
 	spans     []Span
 	open      map[openKey]int32 // (prefix, peer) -> index+1 of its open span
+	maxDay    timex.Day         // largest day stamped on any applied record
 	// copyPaths forces a deep copy when interning paths. Loading from a
 	// materialized []mrt.Record aliases the records' path storage (as the
 	// pre-interning representation did); a streaming source recycles
@@ -285,6 +301,9 @@ func (c *CollectorRIB) apply(rec mrt.Record, src *ingest.Source) error {
 			return fmt.Errorf("rib: %s: RIB record before peer index table", c.collector)
 		}
 		day := timex.FromTime(r.When)
+		if day > c.maxDay {
+			c.maxDay = day
+		}
 		pfx := c.prefixes.Intern(r.Prefix)
 		bad := false
 		for _, e := range r.Entries {
@@ -302,6 +321,9 @@ func (c *CollectorRIB) apply(rec mrt.Record, src *ingest.Source) error {
 		}
 	case *mrt.BGP4MPMessage:
 		day := timex.FromTime(r.When)
+		if day > c.maxDay {
+			c.maxDay = day
+		}
 		pid := c.peerID(PeerRef{Collector: c.collector, Addr: r.PeerAddr, AS: r.PeerAS})
 		for _, p := range r.Update.Withdrawn {
 			c.closeSpan(c.prefixes.Intern(p), pid, day)
@@ -372,6 +394,9 @@ func (ix *Index) Merge(c *CollectorRIB) error {
 	for lid, ref := range c.peers {
 		remap[lid] = ix.peerID(ref)
 	}
+	if c.maxDay > ix.maxDay {
+		ix.maxDay = c.maxDay
+	}
 	if c.table != nil {
 		table := make([]int, len(c.table))
 		for i, lid := range c.table {
@@ -434,9 +459,18 @@ func (ix *Index) Close(end timex.Day) {
 	if ix.closed {
 		return
 	}
+	// Open spans are stamped one past the largest day the index has
+	// seen — max(end, maxDay)+1 — never the bare end+1: a record with a
+	// day beyond the close day (archives legitimately run past the
+	// study window) could otherwise close a span AT end+1 and make the
+	// open marker ambiguous. With the max, a genuinely closed span
+	// always ends at a record day <= maxDay < marker, so the
+	// delta-append path can recover exactly the open set. Queries are
+	// unaffected: both markers exceed every in-window day.
+	openTo := closeMarker(end, ix.maxDay)
 	for i := range ix.spans {
 		if ix.spans[i].To == openEnd {
-			ix.spans[i].To = end + 1
+			ix.spans[i].To = openTo
 		}
 	}
 	ix.build()
@@ -785,6 +819,12 @@ func (ix *Index) visCount(p netx.Prefix, d timex.Day) int {
 
 // NumPeers returns the number of registered peers across all collectors.
 func (ix *Index) NumPeers() int { return len(ix.peers) }
+
+// MaxDay returns the largest day stamped on any record folded into the
+// index (0 if no dated record was ever applied). The delta-append path
+// relies on it: open routes are recoverable from a closed column store
+// only while MaxDay does not exceed the Close day.
+func (ix *Index) MaxDay() timex.Day { return ix.maxDay }
 
 // VisibleCount returns how many peers carried an exact route for p on
 // day d. After Close it is two binary searches and allocates nothing —

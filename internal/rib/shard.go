@@ -168,6 +168,7 @@ func (ix *Index) shardFrozen(lo, hi int) *Frozen {
 		EvDay:    ix.evDay[evLo:evHi],
 		EvCount:  ix.evCount[evLo:evHi],
 		EvOff:    evOff,
+		MaxDay:   ix.maxDay,
 	}
 }
 

@@ -82,15 +82,25 @@ func (s GenStatus) String() string {
 
 const (
 	recVersion = 1
+	// recVersion2 records carry a second digest after the first: the
+	// parent generation a delta-built snapshot was derived from. Old
+	// binaries skip them as unknown-version (CRC still verifies) and
+	// re-adopt the generation file from disk as plainly written — the
+	// ancestry degrades, the store does not.
+	recVersion2 = 2
 
 	opWritten  = 1
 	opPromoted = 2
 	opRetired  = 3
 	opCorrupt  = 4
 	opRemoved  = 5
+	// opDerived is opWritten plus ancestry; only valid in a v2 record.
+	opDerived = 6
 
-	recPayloadLen = 1 + 1 + 2 + 8 + 8 + 32
-	recLen        = 8 + recPayloadLen
+	recPayloadLen  = 1 + 1 + 2 + 8 + 8 + 32
+	recLen         = 8 + recPayloadLen
+	recPayloadLen2 = recPayloadLen + 32
+	recLen2        = 8 + recPayloadLen2
 )
 
 var opToStatus = map[uint8]GenStatus{
@@ -107,6 +117,10 @@ type ManifestRecord struct {
 	Unix   int64
 	Op     GenStatus
 	Digest [32]byte
+	// Parent is set (with HasParent) on derived records: the generation
+	// this one was delta-built from.
+	Parent    [32]byte
+	HasParent bool
 }
 
 // Manifest is the replayed journal state plus the append handle. Not
@@ -117,7 +131,8 @@ type Manifest struct {
 
 	seq          uint64
 	status       map[[32]byte]GenStatus
-	seen         map[[32]byte]uint64 // digest -> seq of its latest record
+	seen         map[[32]byte]uint64   // digest -> seq of its latest record
+	parents      map[[32]byte][32]byte // digest -> parent it was derived from
 	promoted     [32]byte
 	havePromoted bool
 }
@@ -132,10 +147,11 @@ func OpenManifest(dir string) (*Manifest, error) {
 // the append path (replay always reads the real file).
 func OpenManifestFS(fsys FS, dir string) (*Manifest, error) {
 	m := &Manifest{
-		dir:    dir,
-		fsys:   fsys,
-		status: make(map[[32]byte]GenStatus),
-		seen:   make(map[[32]byte]uint64),
+		dir:     dir,
+		fsys:    fsys,
+		status:  make(map[[32]byte]GenStatus),
+		seen:    make(map[[32]byte]uint64),
+		parents: make(map[[32]byte][32]byte),
 	}
 	if err := m.replay(); err != nil {
 		return nil, err
@@ -189,14 +205,20 @@ func (m *Manifest) replay() error {
 
 func parseRecord(p []byte) (ManifestRecord, bool) {
 	var rec ManifestRecord
-	if len(p) != recPayloadLen || p[0] != recVersion {
+	switch {
+	case len(p) == recPayloadLen && p[0] == recVersion:
+		st, ok := opToStatus[p[1]]
+		if !ok {
+			return rec, false
+		}
+		rec.Op = st
+	case len(p) == recPayloadLen2 && p[0] == recVersion2 && p[1] == opDerived:
+		rec.Op = GenWritten
+		rec.HasParent = true
+		copy(rec.Parent[:], p[52:84])
+	default:
 		return rec, false
 	}
-	st, ok := opToStatus[p[1]]
-	if !ok {
-		return rec, false
-	}
-	rec.Op = st
 	rec.Seq = binary.LittleEndian.Uint64(p[4:12])
 	rec.Unix = int64(binary.LittleEndian.Uint64(p[12:20]))
 	copy(rec.Digest[:], p[20:52])
@@ -209,6 +231,9 @@ func (m *Manifest) apply(rec ManifestRecord) {
 	}
 	m.status[rec.Digest] = rec.Op
 	m.seen[rec.Digest] = rec.Seq
+	if rec.HasParent {
+		m.parents[rec.Digest] = rec.Parent
+	}
 	switch rec.Op {
 	case GenPromoted:
 		m.promoted = rec.Digest
@@ -226,6 +251,13 @@ func (m *Manifest) Status(digest [32]byte) GenStatus { return m.status[digest] }
 // Promoted returns the live generation's digest, if one is promoted
 // and not since retired, corrupted, or removed.
 func (m *Manifest) Promoted() ([32]byte, bool) { return m.promoted, m.havePromoted }
+
+// Parent returns the generation a digest was delta-derived from, if
+// its written record carried ancestry.
+func (m *Manifest) Parent(digest [32]byte) ([32]byte, bool) {
+	p, ok := m.parents[digest]
+	return p, ok
+}
 
 // Generations lists every digest the manifest knows, in the order of
 // their most recent record (oldest first) — the GC eviction order.
@@ -268,11 +300,46 @@ func (m *Manifest) Append(op GenStatus, digest [32]byte) error {
 	binary.LittleEndian.PutUint32(buf[0:4], recPayloadLen)
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(p, castagnoli))
 
+	if err := m.writeRecord(buf[:]); err != nil {
+		return err
+	}
+	m.apply(rec)
+	return nil
+}
+
+// AppendDerived journals digest as durably written with ancestry: a v2
+// record also naming the parent generation the snapshot was delta-built
+// from. Replay treats it as GenWritten plus a parent edge.
+func (m *Manifest) AppendDerived(digest, parent [32]byte) error {
+	m.seq++
+	rec := ManifestRecord{Seq: m.seq, Unix: time.Now().Unix(), Op: GenWritten,
+		Digest: digest, Parent: parent, HasParent: true}
+
+	var buf [recLen2]byte
+	p := buf[8:]
+	p[0] = recVersion2
+	p[1] = opDerived
+	binary.LittleEndian.PutUint64(p[4:12], rec.Seq)
+	binary.LittleEndian.PutUint64(p[12:20], uint64(rec.Unix))
+	copy(p[20:52], digest[:])
+	copy(p[52:84], parent[:])
+	binary.LittleEndian.PutUint32(buf[0:4], recPayloadLen2)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(p, castagnoli))
+
+	if err := m.writeRecord(buf[:]); err != nil {
+		return err
+	}
+	m.apply(rec)
+	return nil
+}
+
+// writeRecord appends one encoded record durably (O_APPEND + fsync).
+func (m *Manifest) writeRecord(buf []byte) error {
 	f, err := os.OpenFile(m.path(), os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(buf[:]); err != nil {
+	if _, err := f.Write(buf); err != nil {
 		f.Close()
 		return err
 	}
@@ -280,11 +347,7 @@ func (m *Manifest) Append(op GenStatus, digest [32]byte) error {
 		f.Close()
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	m.apply(rec)
-	return nil
+	return f.Close()
 }
 
 // ReadManifest replays the journal under dir read-only (no truncation,

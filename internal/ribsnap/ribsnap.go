@@ -37,7 +37,6 @@
 package ribsnap
 
 import (
-	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -45,8 +44,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
-	"strings"
 	"sync"
 
 	"dropscope/internal/bgp"
@@ -81,6 +78,8 @@ const (
 	secEvCount     = 9  // int32 per visibility event
 	secEvOff       = 10 // uint32[nprefix+1]
 	secCounts      = 11 // packed per-collector record counts
+	secLineage     = 12 // parent digest + max record day (delta-append chain)
+	secCursors     = 13 // per-collector archive byte cursors
 )
 
 // Typed load failures, in the order Load checks them. Callers treat
@@ -137,6 +136,10 @@ type Snapshot struct {
 	// Digest is the archive digest the snapshot was keyed on — the
 	// generation identity a serving layer reports with every response.
 	Digest [32]byte
+	// Lineage carries the delta-append chain metadata when the snapshot
+	// was written with it; nil for pre-lineage snapshots, which can be
+	// served but never extended incrementally.
+	Lineage *Lineage
 
 	// File-backed identity, retained for the background scrubber: the
 	// open handle pins the exact inode the mapping reads, so scrub
@@ -227,47 +230,21 @@ func (s *Snapshot) Close() error {
 }
 
 // DigestMRT hashes the MRT archive state under dir: for every *.mrt
-// file in name order, its name, size, and full contents. Any change to
-// the archive bytes — a collector added, removed, renamed, or edited —
-// changes the digest and invalidates snapshots keyed on it.
+// file in name order, its name, size, and the SHA-256 of its contents,
+// folded per DigestCursors. Any change to the archive bytes — a
+// collector added, removed, renamed, or edited — changes the digest
+// and invalidates snapshots keyed on it. Because the digest is a fold
+// of the per-file cursor hashes, one read of the archive yields both
+// the digest and the lineage cursors a snapshot persists, and a delta
+// build derives the grown archive's digest from the cursors it already
+// computed — no second pass over the bytes.
 func DigestMRT(dir string) ([32]byte, error) {
 	var zero [32]byte
-	entries, err := os.ReadDir(dir)
+	cursors, err := ArchiveCursors(dir)
 	if err != nil {
 		return zero, err
 	}
-	names := make([]string, 0, len(entries))
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".mrt") {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names)
-	h := sha256.New()
-	var hdr [8]byte
-	for _, name := range names {
-		f, err := os.Open(filepath.Join(dir, name))
-		if err != nil {
-			return zero, err
-		}
-		st, err := f.Stat()
-		if err != nil {
-			f.Close()
-			return zero, err
-		}
-		io.WriteString(h, name)
-		h.Write([]byte{0})
-		binary.LittleEndian.PutUint64(hdr[:], uint64(st.Size()))
-		h.Write(hdr[:])
-		_, err = io.Copy(h, f)
-		f.Close()
-		if err != nil {
-			return zero, err
-		}
-	}
-	var out [32]byte
-	h.Sum(out[:0])
-	return out, nil
+	return DigestCursors(cursors), nil
 }
 
 // --- encoding -----------------------------------------------------------
@@ -304,6 +281,18 @@ func countsSize(counts []CollectorCount) int {
 	n := 4
 	for _, c := range counts {
 		n += 4 + pad4(len(c.Collector)) + 8
+	}
+	return n
+}
+
+// lineageSize is the fixed secLineage layout: has-parent flag, max
+// record day, parent digest.
+const lineageSize = 4 + 4 + 32
+
+func cursorsSize(cs []ArchiveCursor) int {
+	n := 4
+	for _, c := range cs {
+		n += 4 + pad4(len(c.Collector)) + 8 + 32
 	}
 	return n
 }
@@ -364,13 +353,26 @@ func (e *sectionEncoder) bytesPad4(b []byte) {
 // path — never a torn file. digest must be DigestMRT of the archive
 // the index was built from.
 func Write(path string, f *rib.Frozen, window timex.Range, digest [32]byte, counts []CollectorCount) error {
-	return WriteFS(OS, path, f, window, digest, counts)
+	return WriteLineageFS(OS, path, f, window, digest, counts, nil)
 }
 
 // WriteFS is Write over an explicit filesystem seam — the entry point
 // the disk-fault injector drives. See fs.go for the durability
 // rationale.
-func WriteFS(fsys FS, path string, f *rib.Frozen, window timex.Range, digest [32]byte, counts []CollectorCount) (err error) {
+func WriteFS(fsys FS, path string, f *rib.Frozen, window timex.Range, digest [32]byte, counts []CollectorCount) error {
+	return WriteLineageFS(fsys, path, f, window, digest, counts, nil)
+}
+
+// WriteLineage is Write with the snapshot's lineage attached: the
+// archive cursors the delta-append path resumes decoding from, the
+// index's largest record day, and — for a delta-built generation — the
+// parent digest. A nil lineage writes the exact pre-lineage layout.
+func WriteLineage(path string, f *rib.Frozen, window timex.Range, digest [32]byte, counts []CollectorCount, lin *Lineage) error {
+	return WriteLineageFS(OS, path, f, window, digest, counts, lin)
+}
+
+// WriteLineageFS is WriteLineage over an explicit filesystem seam.
+func WriteLineageFS(fsys FS, path string, f *rib.Frozen, window timex.Range, digest [32]byte, counts []CollectorCount, lin *Lineage) (err error) {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -405,6 +407,11 @@ func WriteFS(fsys FS, path string, f *rib.Frozen, window timex.Range, digest [32
 		{secEvCount, 4 * len(f.EvCount)},
 		{secEvOff, 4 * len(f.EvOff)},
 		{secCounts, countsSize(counts)},
+	}
+	if lin != nil {
+		sections = append(sections,
+			section{secLineage, lineageSize},
+			section{secCursors, cursorsSize(lin.Cursors)})
 	}
 
 	// Header placeholder; rewritten with the payload length and CRC once
@@ -560,6 +567,28 @@ func WriteFS(fsys FS, path string, f *rib.Frozen, window timex.Range, digest [32
 		enc.u64(c.Records)
 	}
 	pad(countsSize(counts))
+
+	if lin != nil {
+		// secLineage
+		var hasParent uint32
+		if lin.HasParent {
+			hasParent = 1
+		}
+		enc.u32(hasParent)
+		enc.u32(uint32(lin.MaxDay))
+		enc.bytesPad4(lin.Parent[:])
+		pad(lineageSize)
+
+		// secCursors
+		enc.u32(uint32(len(lin.Cursors)))
+		for _, c := range lin.Cursors {
+			enc.u32(uint32(len(c.Collector)))
+			enc.bytesPad4([]byte(c.Collector))
+			enc.u64(c.Size)
+			enc.bytesPad4(c.Sum[:])
+		}
+		pad(cursorsSize(lin.Cursors))
+	}
 
 	enc.flush()
 	if cw.err != nil {
@@ -758,6 +787,12 @@ func decode(data []byte, digest [32]byte) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Lineage is optional: snapshots written before the delta-append
+	// path simply lack it (and are ineligible as delta bases).
+	snap.Lineage, err = decodeLineage(secs[secLineage], secs[secCursors])
+	if err != nil {
+		return nil, err
+	}
 
 	frozen := &rib.Frozen{
 		Peers:    peers,
@@ -768,6 +803,9 @@ func decode(data []byte, digest [32]byte) (*Snapshot, error) {
 		EvDay:    decodeDays(evDayB),
 		EvCount:  decodeI32s(evCountB),
 		EvOff:    decodeU32s(evOffB),
+	}
+	if snap.Lineage != nil {
+		frozen.MaxDay = snap.Lineage.MaxDay
 	}
 	ix, err := rib.FromFrozen(frozen)
 	if err != nil {

@@ -174,12 +174,13 @@ func writeShardManifestFS(fsys FS, dir string, m *ShardManifest) (err error) {
 // shard in is single-flight, and the resident fast path (one lock, one
 // refcount bump) allocates nothing.
 type ShardSet struct {
-	dir    string
-	digest [32]byte
-	man    *ShardManifest
-	window timex.Range
-	counts []CollectorCount
-	peers  []rib.PeerRef
+	dir     string
+	digest  [32]byte
+	man     *ShardManifest
+	window  timex.Range
+	counts  []CollectorCount
+	peers   []rib.PeerRef
+	lineage *Lineage
 
 	mu          sync.Mutex
 	slots       []*Snapshot // nil = not resident
@@ -234,6 +235,7 @@ func OpenShardSet(dir string, digest [32]byte, maxResident int) (*ShardSet, erro
 	ss.window = snap.Window
 	ss.counts = snap.Counts
 	ss.peers = snap.Index.Peers()
+	ss.lineage = snap.Lineage
 	return ss, nil
 }
 
@@ -248,6 +250,11 @@ func (ss *ShardSet) Peers() []rib.PeerRef { return ss.peers }
 
 // Digest returns the archive digest the generation is keyed on.
 func (ss *ShardSet) Digest() [32]byte { return ss.digest }
+
+// Lineage returns the delta-append lineage the shards were written
+// with (every shard file carries an identical copy), or nil for a
+// generation persisted before lineage support.
+func (ss *ShardSet) Lineage() *Lineage { return ss.lineage }
 
 // NumShards returns the shard count.
 func (ss *ShardSet) NumShards() int { return len(ss.slots) }

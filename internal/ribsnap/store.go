@@ -250,12 +250,37 @@ func (st *Store) Load(digest [32]byte) (*Snapshot, error) {
 // written. It does not promote; callers promote after deciding the
 // generation is the one to serve.
 func (st *Store) Write(f *rib.Frozen, window timex.Range, digest [32]byte, counts []CollectorCount) error {
-	if err := WriteFS(st.fsys, st.GenPath(digest), f, window, digest, counts); err != nil {
+	return st.WriteLineage(f, window, digest, counts, nil)
+}
+
+// WriteLineage is Write with the generation's lineage embedded in the
+// snapshot and — when the lineage names a parent — journaled as a
+// derived record, so the manifest carries the delta-append ancestry
+// chain.
+func (st *Store) WriteLineage(f *rib.Frozen, window timex.Range, digest [32]byte, counts []CollectorCount, lin *Lineage) error {
+	if err := WriteLineageFS(st.fsys, st.GenPath(digest), f, window, digest, counts, lin); err != nil {
 		return err
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	return st.journalWritten(digest, lin)
+}
+
+// journalWritten appends the written (or derived) record for a fresh
+// generation. Callers hold st.mu.
+func (st *Store) journalWritten(digest [32]byte, lin *Lineage) error {
+	if lin != nil && lin.HasParent {
+		return st.m.AppendDerived(digest, lin.Parent)
+	}
 	return st.m.Append(GenWritten, digest)
+}
+
+// Parent reports the generation digest was delta-derived from, if its
+// manifest record carried ancestry.
+func (st *Store) Parent(digest [32]byte) ([32]byte, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.m.Parent(digest)
 }
 
 // WriteShards durably persists a sharded generation — shards cut with
@@ -266,6 +291,13 @@ func (st *Store) Write(f *rib.Frozen, window timex.Range, digest [32]byte, count
 // directory with a valid manifest is complete, one without is debris.
 // Like Write, it does not promote.
 func (st *Store) WriteShards(shards []*rib.Frozen, window timex.Range, digest [32]byte, counts []CollectorCount, workers int) error {
+	return st.WriteShardsLineage(shards, window, digest, counts, workers, nil)
+}
+
+// WriteShardsLineage is WriteShards with lineage: every shard file
+// carries an identical copy (like the window and counts), and a
+// parent-bearing lineage journals a derived record.
+func (st *Store) WriteShardsLineage(shards []*rib.Frozen, window timex.Range, digest [32]byte, counts []CollectorCount, workers int, lin *Lineage) error {
 	if len(shards) == 0 {
 		return fmt.Errorf("ribsnap: WriteShards needs at least one shard")
 	}
@@ -288,8 +320,8 @@ func (st *Store) WriteShards(shards []*rib.Frozen, window timex.Range, digest [3
 				if i >= len(shards) {
 					return
 				}
-				errs[i] = WriteFS(st.fsys, filepath.Join(dir, ShardFileName(i)),
-					shards[i], window, digest, counts)
+				errs[i] = WriteLineageFS(st.fsys, filepath.Join(dir, ShardFileName(i)),
+					shards[i], window, digest, counts, lin)
 			}
 		}()
 	}
@@ -316,7 +348,7 @@ func (st *Store) WriteShards(shards []*rib.Frozen, window timex.Range, digest [3
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.m.Append(GenWritten, digest)
+	return st.journalWritten(digest, lin)
 }
 
 // LoadShards opens the sharded generation for digest as a ShardSet.

@@ -233,3 +233,134 @@ func TestStoreSweepsTempsOnOpen(t *testing.T) {
 		t.Fatalf("orphan temp survived store open: %v", err)
 	}
 }
+
+// TestStoreGCMixedShardedAndLegacy pins retention across the three
+// on-disk layouts at once: sharded generation directories are evicted
+// (recursively) under the same Retain cap as single-file generations,
+// and the batch CLI's legacy index.ribsnap — which the manifest never
+// owns — survives every GC pass.
+func TestStoreGCMixedShardedAndLegacy(t *testing.T) {
+	ix, window := randomIndex(t, 99)
+	frozen, err := ix.Frozen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := ix.FrozenShards(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	legacy := dg(0xC0)
+	if err := Write(filepath.Join(dir, legacyName), frozen, window, legacy, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(dir, StoreOptions{Retain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// a sharded, b single-file, c sharded; promoted in order, so after c
+	// the non-live set {a, b} exceeds Retain: 1 and a — the oldest — is
+	// evicted even though it is a directory, not a file.
+	a, b, c := dg(0xC1), dg(0xC2), dg(0xC3)
+	if err := st.WriteShards(shards, window, a, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Promote(a); err != nil {
+		t.Fatal(err)
+	}
+	if !st.HasShards(a) {
+		t.Fatal("sharded generation a not recognized after write")
+	}
+	if err := st.Write(frozen, window, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Promote(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteShards(shards, window, c, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Promote(c); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := st.Status(a); got != GenRemoved {
+		t.Fatalf("a status = %v, want removed", got)
+	}
+	if _, err := os.Stat(st.GenDirPath(a)); !os.IsNotExist(err) {
+		t.Fatalf("a's shard directory survived GC: %v", err)
+	}
+	if got := st.Status(b); got != GenRetired {
+		t.Fatalf("b status = %v, want retired", got)
+	}
+	if _, err := os.Stat(st.GenPath(b)); err != nil {
+		t.Fatalf("retired b's file should be retained: %v", err)
+	}
+	set, err := st.LoadShards(c, 0)
+	if err != nil {
+		t.Fatalf("live sharded generation c: %v", err)
+	}
+	set.Close()
+
+	// The legacy single-file snapshot is not a generation: GC must not
+	// touch it, and digest-based fallback loads still work.
+	if _, err := os.Stat(filepath.Join(dir, legacyName)); err != nil {
+		t.Fatalf("legacy snapshot did not survive GC: %v", err)
+	}
+	snap, err := st.Load(legacy)
+	if err != nil {
+		t.Fatalf("legacy fallback load after GC: %v", err)
+	}
+	snap.Close()
+
+	// Restart: recovery re-adopts the survivors and keeps the removals.
+	st2, err := OpenStore(dir, StoreOptions{Retain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live, ok := st2.Promoted(); !ok || live != c {
+		t.Fatalf("recovered live = %x/%v, want c", live[:4], ok)
+	}
+	if got := st2.Status(a); got != GenRemoved {
+		t.Fatalf("recovered a status = %v, want removed", got)
+	}
+}
+
+// TestStoreDerivedLineageRoundTrip pins the ancestry journal: a
+// generation written with a parent-bearing lineage is journaled as
+// derived, Parent recovers the parent digest (across a restart), and a
+// parentless lineage journals a plain written record.
+func TestStoreDerivedLineageRoundTrip(t *testing.T) {
+	frozen, window := storeFixture(t)
+	dir := t.TempDir()
+	st, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, child := dg(0xD1), dg(0xD2)
+	if err := st.WriteLineage(frozen, window, base, nil, &Lineage{MaxDay: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Parent(base); ok {
+		t.Fatal("parentless lineage must not journal ancestry")
+	}
+	lin := &Lineage{HasParent: true, Parent: base, MaxDay: 5}
+	if err := st.WriteLineage(frozen, window, child, nil, lin); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := st.Parent(child); !ok || p != base {
+		t.Fatalf("Parent(child) = %x/%v, want base", p[:4], ok)
+	}
+	if got := st.Status(child); got != GenWritten {
+		t.Fatalf("derived child status = %v, want written", got)
+	}
+
+	st2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := st2.Parent(child); !ok || p != base {
+		t.Fatalf("replayed Parent(child) = %x/%v, want base", p[:4], ok)
+	}
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"path/filepath"
+
+	"dropscope/internal/delta"
+	"dropscope/internal/rib"
+	"dropscope/internal/ribsnap"
+	"dropscope/internal/timex"
+)
+
+// deltaBase bundles everything delta.Build needs from the previous
+// generation, plus a close func releasing whatever mappings back it.
+// The close must not run until the merged index has been persisted:
+// the merged Frozen aliases the base's storage.
+type deltaBase struct {
+	frozen *rib.Frozen
+	lin    *ribsnap.Lineage
+	counts []ribsnap.CollectorCount
+	window timex.Range
+	parent [32]byte
+	close  func()
+}
+
+// tryDelta attempts the incremental append path: adopt the previous
+// generation as a base, replay only the bytes appended to the archive
+// since it was snapshotted, merge, persist the result as the new
+// generation, and reload it from disk. It returns the freshly loaded
+// artifacts (exactly what a warm start of the new generation would
+// hold), or (nil, nil) when the delta cannot be taken — no eligible
+// base, a rewritten (non-append-only) archive, a decode error in the
+// suffix, or a persist failure — and the caller rebuilds cold. Like
+// the warm path, delta ingest may cost time, never correctness.
+func tryDelta(dir string, opts LoadOptions, digest [32]byte, snapPath string, stale bool) (*ribsnap.Snapshot, *ribsnap.ShardSet) {
+	base := openDeltaBase(opts, digest, snapPath, stale)
+	if base == nil {
+		return nil, nil
+	}
+	res, err := delta.Build(filepath.Join(dir, "mrt"), base.frozen, base.lin,
+		base.counts, base.window, opts.Window, base.parent)
+	if err != nil {
+		base.close()
+		return nil, nil
+	}
+	// Persist the merged generation, then release the base and reload
+	// from disk — the served mapping must never alias a retired one.
+	if opts.Shards > 1 && opts.Store != nil {
+		ix, err := rib.FromFrozen(res.Frozen)
+		if err != nil {
+			base.close()
+			return nil, nil
+		}
+		fs, err := ix.FrozenShards(opts.Shards, opts.Workers)
+		if err != nil {
+			base.close()
+			return nil, nil
+		}
+		werr := opts.Store.WriteShardsLineage(fs, opts.Window, digest, res.Counts, opts.Workers, res.Lineage)
+		base.close()
+		if werr != nil {
+			return nil, nil
+		}
+		ss, lerr := opts.Store.LoadShards(digest, opts.MemBudget)
+		if lerr != nil {
+			return nil, nil
+		}
+		return nil, ss
+	}
+	var werr error
+	if opts.Store != nil {
+		werr = opts.Store.WriteLineage(res.Frozen, opts.Window, digest, res.Counts, res.Lineage)
+	} else {
+		werr = ribsnap.WriteLineage(snapPath, res.Frozen, opts.Window, digest, res.Counts, res.Lineage)
+	}
+	base.close()
+	if werr != nil {
+		return nil, nil
+	}
+	var (
+		s    *ribsnap.Snapshot
+		lerr error
+	)
+	if opts.Store != nil {
+		s, lerr = opts.Store.Load(digest)
+	} else {
+		s, lerr = ribsnap.Load(snapPath, digest)
+	}
+	if lerr != nil {
+		return nil, nil
+	}
+	return s, nil
+}
+
+// openDeltaBase locates and maps the previous generation. With a
+// store, the manifest's promoted generation is the base (sharded or
+// single-file); without one, the stale single-file snapshot the warm
+// try just rejected is re-adopted under its own digest.
+func openDeltaBase(opts LoadOptions, digest [32]byte, snapPath string, stale bool) *deltaBase {
+	if opts.Store != nil {
+		prev, ok := opts.Store.Promoted()
+		if !ok || prev == digest {
+			return nil
+		}
+		if opts.Store.HasShards(prev) {
+			return openShardedBase(opts, prev)
+		}
+		s, err := opts.Store.Load(prev)
+		if err != nil {
+			return nil
+		}
+		f, err := s.Index.Frozen()
+		if err != nil {
+			s.Close()
+			return nil
+		}
+		return &deltaBase{
+			frozen: f, lin: s.Lineage, counts: s.Counts, window: s.Window,
+			parent: prev, close: func() { s.Close() },
+		}
+	}
+	if snapPath == "" || !stale {
+		return nil
+	}
+	s, err := ribsnap.LoadAt(snapPath)
+	if err != nil {
+		return nil
+	}
+	f, err := s.Index.Frozen()
+	if err != nil {
+		s.Close()
+		return nil
+	}
+	return &deltaBase{
+		frozen: f, lin: s.Lineage, counts: s.Counts, window: s.Window,
+		parent: s.Digest, close: func() { s.Close() },
+	}
+}
+
+// openShardedBase maps every shard of the promoted sharded generation
+// (residency unbounded — the merge walks all of them anyway) and
+// concatenates the pieces back into one frozen view.
+func openShardedBase(opts LoadOptions, prev [32]byte) *deltaBase {
+	ss, err := opts.Store.LoadShards(prev, 0)
+	if err != nil {
+		return nil
+	}
+	rels := make([]rib.ShardRelease, 0, ss.NumShards())
+	closeAll := func() {
+		for _, rel := range rels {
+			rel.Release()
+		}
+		ss.Close()
+	}
+	frozens := make([]*rib.Frozen, ss.NumShards())
+	for i := range frozens {
+		ix, rel, aerr := ss.AcquireIndex(i)
+		if aerr != nil {
+			closeAll()
+			return nil
+		}
+		rels = append(rels, rel)
+		f, ferr := ix.Frozen()
+		if ferr != nil {
+			closeAll()
+			return nil
+		}
+		frozens[i] = f
+	}
+	f, err := rib.ConcatFrozen(frozens)
+	if err != nil {
+		closeAll()
+		return nil
+	}
+	return &deltaBase{
+		frozen: f, lin: ss.Lineage(), counts: ss.Counts(), window: ss.Window(),
+		parent: prev, close: closeAll,
+	}
+}

@@ -41,6 +41,11 @@ type Generation struct {
 	digestHex string // lower-case hex of the archive digest
 	window    timex.Range
 
+	// deltaBuilt marks a generation produced by the incremental append
+	// path (overlay replay + merge) rather than a warm map or a cold
+	// rebuild. Observability only — the bytes served are identical.
+	deltaBuilt bool
+
 	// ROA validity table: roaPrefixes is sorted (duplicates allowed) and
 	// parallel to roaSpans. The trie-based rpki.Archive queries allocate
 	// per call; this flat form answers RFC 6811 validation with binary
@@ -122,6 +127,10 @@ func (g *Generation) Pipeline() *analysis.Pipeline { return g.pipe }
 // Shards exposes the generation's shard residency manager, nil for a
 // single-file (or cold in-memory) generation.
 func (g *Generation) Shards() *ribsnap.ShardSet { return g.shards }
+
+// DeltaBuilt reports whether the generation was produced by the
+// incremental append path rather than a warm map or cold rebuild.
+func (g *Generation) DeltaBuilt() bool { return g.deltaBuilt }
 
 // buildROATable replays the ROA journal into flat parallel arrays. A
 // revoke closes the oldest open span of the same ROA — the same

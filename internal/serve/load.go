@@ -64,6 +64,15 @@ type LoadOptions struct {
 	// Cold ranges fault back in on demand; the least recently used
 	// shard is evicted when the budget is exceeded.
 	MemBudget int
+	// Delta, when true, lets a load whose snapshot went stale try the
+	// incremental append path before rebuilding cold: if the previous
+	// generation carries archive cursors and every archive file grew
+	// strictly append-only, only the appended bytes are decoded (into
+	// an overlay keyed on the frozen base) and merged into the new
+	// generation. Any violation — a rewritten file, a corrupt suffix, a
+	// base without lineage — silently falls back to the cold rebuild,
+	// so the result is always byte-identical to one.
+	Delta bool
 }
 
 // Load builds one serving generation from the archive directory: warm
@@ -82,6 +91,8 @@ func Load(dir string, opts LoadOptions) (*Generation, error) {
 		digest     [32]byte
 		haveDigest bool
 		snapPath   string
+		staleErr   error // deferred stale-snapshot skip while the delta path may adopt it
+		deltaBuilt bool
 	)
 	if opts.SnapshotDir != "" {
 		snapPath = filepath.Join(opts.SnapshotDir, snapshotFile)
@@ -89,8 +100,12 @@ func Load(dir string, opts LoadOptions) (*Generation, error) {
 		// open): temps orphaned by a crashed write are pure debris.
 		_, _ = ribsnap.SweepTemps(opts.SnapshotDir)
 	}
-	if d, derr := ribsnap.DigestMRT(filepath.Join(dir, "mrt")); derr == nil {
-		digest, haveDigest = d, true
+	// One read of the archive yields both the generation's identity
+	// digest and the lineage cursors a clean cold build will persist
+	// (DigestMRT is the same fold; see ribsnap.DigestCursors).
+	cursors, curErr := ribsnap.ArchiveCursors(filepath.Join(dir, "mrt"))
+	if curErr == nil {
+		digest, haveDigest = ribsnap.DigestCursors(cursors), true
 		// The sharded layout is tried first: a generation directory with
 		// a valid manifest is complete by construction (the manifest is
 		// written last), and it is what a sharded daemon wrote on its
@@ -123,6 +138,12 @@ func Load(dir string, opts LoadOptions) (*Generation, error) {
 			}
 			if try {
 				switch {
+				case lerr != nil && opts.Delta && errors.Is(lerr, ribsnap.ErrStale):
+					// The archive moved on under an intact snapshot — the
+					// delta candidate. Defer the skip accounting: a
+					// successful delta serves exactly what a cache-off cold
+					// build would, so its health must not record a discard.
+					staleErr = lerr
 				case lerr != nil:
 					countSnapshotSkip(h, lerr)
 				case s.Window != opts.Window:
@@ -143,7 +164,7 @@ func Load(dir string, opts LoadOptions) (*Generation, error) {
 		// gives fan-out, just not bounded residency).
 		if opts.Shards > 1 && opts.Store != nil && shards == nil && snap != nil {
 			if fs, ferr := snap.Index.FrozenShards(opts.Shards, opts.Workers); ferr == nil {
-				if werr := opts.Store.WriteShards(fs, opts.Window, digest, snap.Counts, opts.Workers); werr == nil {
+				if werr := opts.Store.WriteShardsLineage(fs, opts.Window, digest, snap.Counts, opts.Workers, snap.Lineage); werr == nil {
 					if ss, lerr := opts.Store.LoadShards(digest, opts.MemBudget); lerr == nil {
 						shards = ss
 					}
@@ -153,6 +174,18 @@ func Load(dir string, opts LoadOptions) (*Generation, error) {
 				snap.Close()
 				snap = nil
 			}
+		}
+		// Incremental append: no generation matched the current digest,
+		// but the previous one may cover a byte-prefix of the archive.
+		if opts.Delta && snap == nil && shards == nil {
+			snap, shards = tryDelta(dir, opts, digest, snapPath, staleErr != nil)
+			if snap != nil || shards != nil {
+				deltaBuilt = true
+				staleErr = nil
+			}
+		}
+		if staleErr != nil {
+			countSnapshotSkip(h, staleErr)
 		}
 	}
 	warm := snap != nil || shards != nil
@@ -211,7 +244,7 @@ func Load(dir string, opts LoadOptions) (*Generation, error) {
 				// Persist the sharded layout and serve the reopened,
 				// file-backed shards, so a cold build and the warm start
 				// that follows it answer from the identical bytes.
-				if ss := persistShards(opts, p, b, h, digest); ss != nil {
+				if ss := persistShards(opts, p, b, h, digest, cursors); ss != nil {
 					if sh, serr := ss.Sharded(opts.Workers); serr == nil {
 						p.Index = sh
 						shards = ss
@@ -221,7 +254,7 @@ func Load(dir string, opts LoadOptions) (*Generation, error) {
 					}
 				}
 			} else {
-				persistSnapshot(opts, snapPath, p, b, h, digest)
+				persistSnapshot(opts, snapPath, p, b, h, digest, cursors)
 			}
 		}
 		if snap == nil {
@@ -250,7 +283,9 @@ func Load(dir string, opts LoadOptions) (*Generation, error) {
 		// good; the next promote retries.
 		_ = opts.Store.Promote(digest)
 	}
-	return newGeneration(snap, shards, p), nil
+	g := newGeneration(snap, shards, p)
+	g.deltaBuilt = deltaBuilt
+	return g, nil
 }
 
 // countSnapshotSkip classifies a discarded snapshot in the health
@@ -302,11 +337,19 @@ func collectorCounts(b *archive.Bundle, h *ingest.Health) []ribsnap.CollectorCou
 	return counts
 }
 
+// coldLineage builds the lineage a clean cold build persists: no
+// parent, the index's max record day, and the archive cursors from the
+// same read that produced the generation's digest — the base state the
+// next load's delta path resumes from.
+func coldLineage(cursors []ribsnap.ArchiveCursor, f *rib.Frozen) *ribsnap.Lineage {
+	return &ribsnap.Lineage{MaxDay: f.MaxDay, Cursors: cursors}
+}
+
 // persistSnapshot writes the freshly built index for the next load —
 // through the manifest-backed store when one is configured, else to
 // the bare snapshot path. Best-effort, and it refuses to persist an
 // index built from damaged MRT ingest.
-func persistSnapshot(opts LoadOptions, path string, p *analysis.Pipeline, b *archive.Bundle, h *ingest.Health, digest [32]byte) {
+func persistSnapshot(opts LoadOptions, path string, p *analysis.Pipeline, b *archive.Bundle, h *ingest.Health, digest [32]byte, cursors []ribsnap.ArchiveCursor) {
 	if opts.Store == nil && path == "" {
 		return
 	}
@@ -322,14 +365,15 @@ func persistSnapshot(opts LoadOptions, path string, p *analysis.Pipeline, b *arc
 		return
 	}
 	counts := collectorCounts(b, h)
+	lin := coldLineage(cursors, f)
 	if opts.Store != nil {
-		_ = opts.Store.Write(f, opts.Window, digest, counts)
+		_ = opts.Store.WriteLineage(f, opts.Window, digest, counts, lin)
 		return
 	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return
 	}
-	_ = ribsnap.Write(path, f, opts.Window, digest, counts)
+	_ = ribsnap.WriteLineage(path, f, opts.Window, digest, counts, lin)
 }
 
 // persistShards cuts the cold-built index into opts.Shards prefix
@@ -337,7 +381,7 @@ func persistSnapshot(opts LoadOptions, path string, p *analysis.Pipeline, b *arc
 // directory, and reopens the result under the residency budget. Any
 // failure (unclean ingest, a write error) returns nil and the caller
 // falls back to an in-memory cut — best-effort, like persistSnapshot.
-func persistShards(opts LoadOptions, p *analysis.Pipeline, b *archive.Bundle, h *ingest.Health, digest [32]byte) *ribsnap.ShardSet {
+func persistShards(opts LoadOptions, p *analysis.Pipeline, b *archive.Bundle, h *ingest.Health, digest [32]byte, cursors []ribsnap.ArchiveCursor) *ribsnap.ShardSet {
 	if !mrtClean(h) {
 		return nil
 	}
@@ -349,7 +393,14 @@ func persistShards(opts LoadOptions, p *analysis.Pipeline, b *archive.Bundle, h 
 	if err != nil {
 		return nil
 	}
-	if err := opts.Store.WriteShards(fs, opts.Window, digest, collectorCounts(b, h), opts.Workers); err != nil {
+	var lin *ribsnap.Lineage
+	if len(fs) > 0 {
+		// Lineage is global (cursors span the whole archive), so any
+		// shard's MaxDay-bearing frozen works; shard 0 carries the
+		// global MaxDay like every other.
+		lin = coldLineage(cursors, fs[0])
+	}
+	if err := opts.Store.WriteShardsLineage(fs, opts.Window, digest, collectorCounts(b, h), opts.Workers, lin); err != nil {
 		return nil
 	}
 	ss, err := opts.Store.LoadShards(digest, opts.MemBudget)

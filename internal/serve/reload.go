@@ -155,11 +155,21 @@ func (r *Reloader) cycle(ctx context.Context) {
 			r.stats.SetReloadError(err.Error())
 			return err
 		}
+		if g.DeltaBuilt() {
+			// Counted before the swap publishes the generation, so a
+			// reader that observes the new generation also observes the
+			// incremented counter.
+			r.stats.DeltaReloads.Add(1)
+		}
 		r.srv.Swap(g)
 		r.stats.Degraded.Store(false)
 		r.stats.SetReloadError("")
-		r.event(fmt.Sprintf("reload: swapped in generation %s in %v (attempt %d)",
-			g.DigestHex()[:12], time.Since(t0).Round(time.Millisecond), retries+1))
+		how := "swapped in"
+		if g.DeltaBuilt() {
+			how = "delta-merged in"
+		}
+		r.event(fmt.Sprintf("reload: %s generation %s in %v (attempt %d)",
+			how, g.DigestHex()[:12], time.Since(t0).Round(time.Millisecond), retries+1))
 		return nil
 	}, session.Config{
 		Backoff:     r.cfg.Backoff,

@@ -488,6 +488,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, g *Generation) {
 	b = strconv.AppendUint(b, s.stats.Panics.Load(), 10)
 	b = append(b, `,"reload_retries":`...)
 	b = strconv.AppendUint(b, s.stats.ReloadRetries.Load(), 10)
+	b = append(b, `,"delta_reloads_total":`...)
+	b = strconv.AppendUint(b, s.stats.DeltaReloads.Load(), 10)
 	b = append(b, `,"scrub_passes":`...)
 	b = strconv.AppendUint(b, s.stats.ScrubPasses.Load(), 10)
 	b = append(b, `,"scrub_bytes":`...)

@@ -21,6 +21,7 @@ type Stats struct {
 	Panics   atomic.Uint64 // handler panics contained by the middleware
 
 	ReloadRetries atomic.Uint64 // failed reload attempts retried under backoff
+	DeltaReloads  atomic.Uint64 // generations installed via the incremental append path
 	Degraded      atomic.Bool   // serving stale: the last reload cycle is failing
 	genBorn       atomic.Int64  // unix nanos when the current generation was published
 

@@ -22,7 +22,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES='BenchmarkPipelineNew|BenchmarkEndToEnd|BenchmarkWarmStart'
+BENCHES='BenchmarkPipelineNew|BenchmarkEndToEnd|BenchmarkWarmStart|BenchmarkIncrementalAppend'
 COUNT="${BENCH_COUNT:-3}"
 TIME="${BENCH_TIME:-3x}"
 TOL="${BENCH_ALLOC_TOLERANCE:-10}"
@@ -101,9 +101,22 @@ compare() {
     benchstat "$old" "$new"
     return
   fi
-  # Fallback: join the two averaged summaries and print deltas.
+  # Fallback: join the two averaged summaries and print deltas. A
+  # benchmark present in only one file has no delta to print — warn and
+  # skip it instead of silently dropping it from the join (e.g. a
+  # baseline recorded before a benchmark existed).
   echo "benchstat not installed; awk fallback (averages over $COUNT runs)"
-  join <(summarize "$old") <(summarize "$new") | awk '
+  local so sn only
+  so="$(summarize "$old")"
+  sn="$(summarize "$new")"
+  only="$(join -v 1 <(echo "$so") <(echo "$sn") | awk '{ print $1 " (old run only)" }'
+          join -v 2 <(echo "$so") <(echo "$sn") | awk '{ print $1 " (new run only)" }')"
+  if [ -n "$only" ]; then
+    while read -r line; do
+      echo "compare: skipping $line: missing from the other run" >&2
+    done <<<"$only"
+  fi
+  join <(echo "$so") <(echo "$sn") | awk '
     BEGIN { printf "%-28s %14s %14s %8s  %12s %12s %8s\n",
             "benchmark", "old ns/op", "new ns/op", "delta",
             "old allocs", "new allocs", "delta" }

@@ -3,7 +3,7 @@
 # (.github/workflows/ci.yml) and the Makefile both run these commands, so
 # local runs and the gate stay in lockstep.
 #
-# Usage: scripts/check.sh [build|vet|fmt|test|race|bench|fuzz|faults|chaos|warmstart|serve|soak|crash|overload|shard|shardgate|all]
+# Usage: scripts/check.sh [build|vet|fmt|test|race|bench|fuzz|faults|chaos|warmstart|serve|soak|crash|overload|shard|shardgate|delta|deltaratio|all]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -514,6 +514,116 @@ shardgate() {
     }' shard-bench.txt
 }
 
+# delta is the incremental-ingest acceptance gate. It runs the
+# overlay/merge property suite, the append-only contract tests, and the
+# daemon delta-reload tests; then it drives the real CLI: a snapshot
+# seeded on the base archive must serve an append load over the grown
+# archive — decoding only the appended bytes — whose renders are
+# byte-identical to a cache-off cold rebuild of the grown archive, in
+# parallel, serial, strict, and sharded modes. A delta that silently
+# fell back cold cannot pass the lenient comparisons: the fallback
+# counts a discarded-snapshot skip, which surfaces in the report's
+# data-health section and breaks the byte comparison.
+delta() {
+  echo "--- delta: overlay/merge and append-contract suites"
+  go test -count=1 ./internal/delta
+  go test -count=1 -run 'TestDelta' ./internal/rib
+  go test -count=1 -run 'TestDelta' ./internal/serve
+  go test -count=1 -run 'TestAppend' .
+
+  local tmp scale
+  tmp="$(mktemp -d)"
+  # shellcheck disable=SC2064 -- expand now: $tmp is a function local.
+  trap "rm -rf '$tmp'" EXIT
+  scale="${DELTA_SCALE:-512}"
+  echo "--- delta: generating base and grown archives (scale $scale, seed 1)"
+  go run ./cmd/synthgen -dir "$tmp/arch" -scale "$scale" -seed 1 >/dev/null
+  # Same world, plus amplified churn: the deterministic encoder makes
+  # every grown MRT file a byte-superset of its base counterpart —
+  # exactly the append-only growth the delta path requires.
+  go run ./cmd/synthgen -dir "$tmp/grown" -scale "$scale" -seed 1 -volume 1024 >/dev/null
+  echo "--- delta: cold render of the grown archive (cache off)"
+  go run ./cmd/dropscope -load "$tmp/grown" -index-cache off >"$tmp/cold.txt"
+  echo "--- delta: seeding the snapshot on the base archive"
+  go run ./cmd/dropscope -load "$tmp/arch" >/dev/null
+  if [ ! -f "$tmp/arch/ribsnap/index.ribsnap" ]; then
+    echo "delta: base snapshot was not written" >&2
+    return 1
+  fi
+  local mode
+  for mode in par serial strict sharded; do
+    mkdir -p "$tmp/snap-$mode"
+    cp "$tmp/arch/ribsnap/index.ribsnap" "$tmp/snap-$mode/"
+  done
+  echo "--- delta: append loads over the grown archive (parallel, serial, strict, sharded)"
+  go run ./cmd/dropscope -load "$tmp/grown" -index-cache "$tmp/snap-par" -append >"$tmp/append.txt"
+  go run ./cmd/dropscope -load "$tmp/grown" -index-cache "$tmp/snap-serial" -append -serial >"$tmp/append-serial.txt"
+  go run ./cmd/dropscope -load "$tmp/grown" -index-cache "$tmp/snap-strict" -append -strict >"$tmp/append-strict.txt"
+  go run ./cmd/dropscope -load "$tmp/grown" -index-cache "$tmp/snap-sharded" -append -shards 7 >"$tmp/append-sharded.txt"
+  local f
+  for f in append append-serial append-strict append-sharded; do
+    if ! cmp -s "$tmp/cold.txt" "$tmp/$f.txt"; then
+      echo "delta: $f render differs from the cold render of the grown archive" >&2
+      return 1
+    fi
+  done
+  echo "--- delta: all append renders byte-identical to the cold rebuild"
+}
+
+# deltaratio is the incremental-ingest performance gate. It first
+# checks the committed append/cold ratio in BENCH_PR10.json (an append
+# must cost at most DELTA_RATIO % — default 30 — of the cold rebuild it
+# replaces), then re-measures BenchmarkIncrementalAppend live and holds
+# the fresh ratio to the same bar. The live half self-skips on
+# undersized runners (< 2 cores): a box saturated by the harness
+# measures scheduler noise, not the decode saving.
+deltaratio() {
+  if [ ! -f BENCH_PR10.json ]; then
+    echo "BENCH_PR10.json missing; nothing to gate against" >&2
+    return 1
+  fi
+  awk -v tol="${DELTA_RATIO:-30}" '
+    /"cold_ns_op"/ { c = $0; sub(/.*: */, "", c); sub(/[,}].*/, "", c) }
+    /"append_ns_op"/ { a = $0; sub(/.*: */, "", a); sub(/[,}].*/, "", a) }
+    END {
+      if (c + 0 == 0 || a + 0 == 0) {
+        print "deltaratio: cold_ns_op or append_ns_op missing from BENCH_PR10.json" > "/dev/stderr"
+        exit 1
+      }
+      r = a / c * 100
+      printf "append/cold committed ratio: %.1f%% ns/op (bar %d%%)\n", r, tol
+      if (r > tol) {
+        print "DELTA GATE FAIL: committed append cost exceeds the ratio bar" > "/dev/stderr"
+        exit 1
+      }
+      print "DELTA GATE OK (committed)"
+    }' BENCH_PR10.json
+  local cores
+  cores="$(nproc 2>/dev/null || echo 1)"
+  if [ "$cores" -lt 2 ]; then
+    echo "deltaratio: $cores core(s) < 2; live re-measure skipped"
+    return 0
+  fi
+  go test -run '^$' -bench 'BenchmarkIncrementalAppend' \
+    -benchtime "${DELTA_BENCHTIME:-3x}" -count "${DELTA_COUNT:-3}" . | tee delta-bench.txt
+  awk -v tol="${DELTA_RATIO:-30}" '
+    $1 ~ /IncrementalAppend\/cold/ && $4 == "ns/op" { c += $3; cn++ }
+    $1 ~ /IncrementalAppend\/append/ && $4 == "ns/op" { a += $3; an++ }
+    END {
+      if (cn == 0 || an == 0) {
+        print "deltaratio: benchmark output missing cold or append runs" > "/dev/stderr"
+        exit 1
+      }
+      r = (a / an) / (c / cn) * 100
+      printf "append/cold measured ratio: %.1f%% ns/op (bar %d%%)\n", r, tol
+      if (r > tol) {
+        print "DELTA GATE FAIL: measured append cost exceeds the ratio bar" > "/dev/stderr"
+        exit 1
+      }
+      print "DELTA GATE OK (measured)"
+    }' delta-bench.txt
+}
+
 # lint runs gofmt/vet plus staticcheck (correctness checks) and
 # govulncheck when installed. CI installs both pinned; locally they are
 # optional and skipped with a notice, never fetched implicitly.
@@ -563,10 +673,12 @@ case "${1:-all}" in
   overloadgate) shift; overloadgate "${1:-}" ;;
   shard) shard ;;
   shardgate) shardgate ;;
+  delta) delta ;;
+  deltaratio) deltaratio ;;
   lint) lint ;;
   all) all ;;
   *)
-    echo "usage: $0 [build|vet|fmt|test|race|bench|benchgate|fuzz|faults|chaos|warmstart|serve|soak|crash|overload|shard|shardgate|lint|all]" >&2
+    echo "usage: $0 [build|vet|fmt|test|race|bench|benchgate|fuzz|faults|chaos|warmstart|serve|soak|crash|overload|shard|shardgate|delta|deltaratio|lint|all]" >&2
     exit 2
     ;;
 esac
